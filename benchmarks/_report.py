@@ -1,0 +1,54 @@
+"""Shared reporting helpers for the benchmark harnesses.
+
+Each benchmark regenerates one of the paper's tables or figures.  Besides
+the pytest-benchmark timing table, every harness writes a plain-text report
+to ``benchmarks/reports/<name>.txt`` containing the regenerated rows — these
+artifacts are what EXPERIMENTS.md references as "measured".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, List, Sequence
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def write_report(name: str, lines: Sequence[str]) -> str:
+    """Write a report file and echo its content to stdout.
+
+    Returns the path written.
+    """
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"\n--- report: {name} ---\n{text}")
+    return path
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    """Format a list-of-rows as aligned text lines."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def time_call(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]

@@ -1,0 +1,68 @@
+"""Figure 2: the Theorem 2.2 reduction, regenerated exactly.
+
+The paper's Figure 2 shows the 2(m+n) unary relations and the JU query's
+output for the running formula.  This harness rebuilds the figure, writes it
+to the report, and benchmarks encode+solve over growing formulas.
+"""
+
+import pytest
+
+from repro.algebra import evaluate, render_relation, render_rows, view_rows
+from repro.deletion import side_effect_free_exists
+from repro.deletion.plan import apply_deletions
+from repro.reductions import encode_ju_view, figure2, random_monotone_3sat
+
+from _report import write_report
+
+
+EXPECTED_VIEW = {("c1", "F"), ("T", "c2"), ("c3", "F"), ("T", "F")}
+
+
+def test_figure2_exact_reproduction(benchmark):
+    """Rebuild Figure 2 and check the relations and the union's output."""
+    red = figure2()
+    view = benchmark(lambda: evaluate(red.query, red.db))
+    assert set(view.rows) == EXPECTED_VIEW
+    # 2(m + n) relations, each a single tuple.
+    assert len(red.db) == 2 * (3 + 5)
+    assert all(len(red.db[name]) == 1 for name in red.db)
+
+    lines = ["Figure 2 — relations of the Theorem 2.2 reduction", ""]
+    summary = [
+        (name, red.db[name].schema.attributes[0], next(iter(red.db[name].rows))[0])
+        for name in red.db
+    ]
+    lines.append(
+        render_rows(("relation", "attribute", "tuple"), summary, "2(m+n) unary relations")
+    )
+    lines.append("")
+    lines.append(render_relation(view, title="Q1 UNION ... UNION Qm+n"))
+    lines.append("")
+    lines.append(f"target tuple to delete: {red.target}")
+    model = red.instance.solve()
+    deletions = red.assignment_to_deletions(model)
+    after = view_rows(red.query, apply_deletions(red.db, deletions))
+    lines.append(
+        "side-effect-free deletion from satisfying assignment: "
+        f"{set(view.rows) - after == {red.target}}"
+    )
+    write_report("figure2_ju_view_reduction", lines)
+
+
+@pytest.mark.parametrize("num_vars,num_clauses", [(5, 3), (8, 6), (12, 10)])
+def test_encode_scaling(benchmark, num_vars, num_clauses):
+    """Encoding is linear: 2(m+n) singleton relations, 3m+n branches."""
+    instance = random_monotone_3sat(num_vars, num_clauses, seed=1)
+    red = benchmark(lambda: encode_ju_view(instance))
+    assert len(red.db) == 2 * (num_clauses + num_vars)
+
+
+@pytest.mark.parametrize("num_vars", [4, 5, 6])
+def test_decision_scaling(benchmark, num_vars):
+    """Side-effect-free decision cost on growing JU encodings."""
+    instance = random_monotone_3sat(num_vars, num_vars, seed=2)
+    red = encode_ju_view(instance)
+    result = benchmark(
+        lambda: side_effect_free_exists(red.query, red.db, red.target)
+    )
+    assert result == (instance.solve() is not None)

@@ -1,0 +1,90 @@
+"""Figure 3: the Theorem 2.5 reduction template, regenerated.
+
+The paper's Figure 3 is schematic (the characteristic-vector relation R0 and
+the α-padded relations Ri); this harness instantiates it concretely, prints
+the relations, verifies the hitting-set equivalence, and measures the
+deliberate n^(n-|Si|) intermediate blow-up that carries the hardness.
+"""
+
+import pytest
+
+from repro.algebra import evaluate, render_relation, view_rows
+from repro.deletion import exact_source_deletion, greedy_source_deletion
+from repro.provenance.why import why_provenance
+from repro.reductions import encode_pj_source, figure3, random_hitting_set
+from repro.solvers.setcover import exact_min_hitting_set
+
+from _report import format_table, write_report
+
+
+def test_figure3_reproduction(benchmark):
+    """Rebuild the Figure 3 template and check shape and equivalence."""
+    red = figure3()
+    view = benchmark(lambda: evaluate(red.query, red.db))
+    assert set(view.rows) == {("c",)}
+
+    lines = ["Figure 3 — relations of the Theorem 2.5 reduction", ""]
+    lines.append(render_relation(red.db["R0"]))
+    for i in range(1, red.num_elements + 1):
+        lines.append("")
+        lines.append(render_relation(red.db[f"R{i}"]))
+    lines.append("")
+    lines.append("query: PROJECT[C](R0 JOIN R1 JOIN ... JOIN Rn); view = {(c,)}")
+
+    plan = exact_source_deletion(red.query, red.db, red.target)
+    optimum = exact_min_hitting_set(list(red.sets))
+    lines.append(
+        f"minimum source deletions = {plan.num_deletions}; "
+        f"minimum hitting set = {len(optimum)}; equal = "
+        f"{plan.num_deletions == len(optimum)}"
+    )
+    write_report("figure3_pj_source_reduction", lines)
+    assert plan.num_deletions == len(optimum)
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_witness_blowup(benchmark, n):
+    """The number of minimal witnesses grows like Σ n^(n-|Si|)."""
+    sets, _ = random_hitting_set(n, n, 2, seed=n)
+    red = encode_pj_source(sets, n)
+
+    def count_witnesses():
+        prov = why_provenance(red.query, red.db)
+        return len(prov.witnesses(red.target))
+
+    count = benchmark(count_witnesses)
+    assert count >= len(sets)  # at least one witness family per set
+
+
+def test_regenerate_blowup_series(benchmark):
+    """The hardness series: witnesses and runtime vs universe size n."""
+    rows = []
+    for n in (2, 3, 4, 5):
+        sets, _ = random_hitting_set(n, n, 2, seed=n)
+        red = encode_pj_source(sets, n)
+        prov = why_provenance(red.query, red.db)
+        witnesses = len(prov.witnesses(red.target))
+        exact = exact_source_deletion(red.query, red.db, red.target)
+        greedy = greedy_source_deletion(red.query, red.db, red.target)
+        rows.append(
+            (
+                n,
+                len(sets),
+                witnesses,
+                exact.num_deletions,
+                greedy.num_deletions,
+                len(exact_min_hitting_set(list(sets))),
+            )
+        )
+    lines = [
+        "Theorem 2.5 hardness series — witness blow-up on encoded instances",
+        "",
+    ]
+    lines += format_table(
+        ("n", "sets", "min witnesses", "exact del", "greedy del", "min HS"), rows
+    )
+    write_report("figure3_blowup_series", lines)
+    for _, _, _, exact_del, greedy_del, min_hs in rows:
+        assert exact_del == min_hs
+        assert greedy_del >= min_hs
+    benchmark(lambda: None)

@@ -1,0 +1,111 @@
+"""Ablation X6 — §2.1.1 remark: key constraints tame PJ deletion.
+
+The paper, right after proving PJ deletion NP-hard: joins on (foreign) keys
+make the side-effect-free decision polynomial.  The ablation compares, on
+foreign-key star schemas of growing size, the key-based algorithm (unique
+witness, component scan) against the generic exact solver, and asserts they
+agree — the paper's promised escape hatch, measured.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import Database, FunctionalDependency, Relation, parse_query, view_rows
+from repro.deletion import (
+    exact_view_deletion,
+    is_key_based,
+    key_based_source_deletion,
+    key_based_view_deletion,
+)
+
+from _report import format_table, time_call, write_report
+
+FD = FunctionalDependency
+
+FDS = {
+    "Emp": [FD(["emp"], ["dept"])],
+    "Dept": [FD(["dept"], ["mgr"])],
+}
+
+QUERY = parse_query("PROJECT[emp, mgr](Emp JOIN Dept)")
+
+
+def fk_instance(num_emps: int, num_depts: int, seed: int = 0):
+    rng = random.Random(seed)
+    emps = {("e0", "d0")}
+    while len(emps) < num_emps:
+        emps.add((f"e{len(emps)}", f"d{rng.randrange(num_depts)}"))
+    depts = {(f"d{j}", f"m{j}") for j in range(num_depts)}
+    return Database(
+        [
+            Relation("Emp", ["emp", "dept"], emps),
+            Relation("Dept", ["dept", "mgr"], depts),
+        ]
+    )
+
+
+@pytest.mark.parametrize("num_emps", [50, 100, 200])
+def test_keyed_view_deletion_scaling(benchmark, num_emps):
+    """Key-based deletion cost grows polynomially with the data."""
+    db = fk_instance(num_emps, max(2, num_emps // 10), seed=1)
+    target = ("e0", "m0")
+    plan = benchmark(lambda: key_based_view_deletion(QUERY, db, target, FDS))
+    assert plan.optimal
+
+
+@pytest.mark.parametrize("num_emps", [50, 100, 200])
+def test_exact_baseline_scaling(benchmark, num_emps):
+    """The generic exact solver on the same (easy) instances."""
+    db = fk_instance(num_emps, max(2, num_emps // 10), seed=1)
+    plan = benchmark(lambda: exact_view_deletion(QUERY, db, ("e0", "m0")))
+    assert plan.optimal
+
+
+def test_regenerate_keyed_ablation(benchmark):
+    """The §2.1.1 ablation table: keyed vs exact across FK-instance sizes."""
+    rows = []
+    catalog = None
+    for num_emps, num_depts in [(25, 5), (50, 8), (100, 12), (200, 20)]:
+        db = fk_instance(num_emps, num_depts, seed=2)
+        catalog = {name: db[name].schema for name in db}
+        assert is_key_based(QUERY, catalog, FDS)
+        target = ("e0", "m0")
+        keyed = key_based_view_deletion(QUERY, db, target, FDS)
+        exact = exact_view_deletion(QUERY, db, target)
+        assert keyed.num_side_effects == exact.num_side_effects
+        t_keyed = time_call(lambda: key_based_view_deletion(QUERY, db, target, FDS))
+        t_exact = time_call(lambda: exact_view_deletion(QUERY, db, target))
+        source = key_based_source_deletion(QUERY, db, target, FDS)
+        rows.append(
+            (
+                f"{num_emps} emps / {num_depts} depts",
+                keyed.num_side_effects,
+                exact.num_side_effects,
+                source.num_deletions,
+                f"{t_keyed * 1e3:.2f}",
+                f"{t_exact * 1e3:.2f}",
+            )
+        )
+    lines = [
+        "§2.1.1 ablation — key-constrained PJ deletion (unique witness)",
+        "",
+    ]
+    lines += format_table(
+        (
+            "instance",
+            "keyed side-eff",
+            "exact side-eff",
+            "src deletions",
+            "keyed ms",
+            "exact ms",
+        ),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "every FK view tuple has a unique witness; the keyed component scan "
+        "matches the exact optimum at every size."
+    )
+    write_report("keyed_pj_ablation", lines)
+    benchmark(lambda: None)

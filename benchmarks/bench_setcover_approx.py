@@ -1,0 +1,101 @@
+"""Ablation X2 — the set-cover approximation behaviour (Thms 2.5/2.7 remark).
+
+The paper: the source side-effect problem on PJ/JU queries is as hard as set
+cover, which greedy approximates within H_n ≈ ln n and nothing polynomial
+does better (Feige).  Measured here: the greedy/optimal ratio on (a) the
+classical gap family, where the Θ(log N) gap actually materializes, and (b)
+random instances, where greedy is near-optimal — exactly the expected shape.
+"""
+
+import pytest
+
+from repro.deletion import greedy_source_deletion, exact_source_deletion
+from repro.reductions import (
+    encode_ju_source,
+    greedy_gap_instance,
+    random_coverable,
+    random_hitting_set,
+)
+from repro.solvers.setcover import (
+    exact_min_hitting_set,
+    greedy_hitting_set,
+    harmonic,
+)
+
+from _report import format_table, write_report
+
+
+@pytest.mark.parametrize("levels", [3, 5, 7])
+def test_greedy_on_gap_family(benchmark, levels):
+    """Greedy hitting set on the worst-case family."""
+    sets, _ = greedy_gap_instance(levels)
+    result = benchmark(lambda: greedy_hitting_set(list(sets)))
+    assert len(result) == levels
+
+
+@pytest.mark.parametrize("num_sets", [20, 40, 80])
+def test_exact_on_random_instances(benchmark, num_sets):
+    """Exact hitting set on random instances (branch and bound)."""
+    sets, _ = random_coverable(12, num_sets, 3, 3, seed=num_sets)
+    result = benchmark(lambda: exact_min_hitting_set(list(sets)))
+    assert len(result) <= 3
+
+
+def test_regenerate_ratio_series(benchmark):
+    """The greedy/OPT ratio series the hardness transfer predicts."""
+    rows = []
+    # Gap family: ratio grows like levels/2 = Θ(log N).
+    for levels in (2, 3, 4, 5, 6):
+        sets, _ = greedy_gap_instance(levels)
+        greedy = greedy_hitting_set(list(sets))
+        exact = exact_min_hitting_set(list(sets))
+        ratio = len(greedy) / len(exact)
+        bound = harmonic(len(sets))
+        rows.append(
+            (
+                f"gap family L={levels}",
+                len(sets),
+                len(exact),
+                len(greedy),
+                f"{ratio:.2f}",
+                f"{bound:.2f}",
+            )
+        )
+        assert ratio <= bound + 1e-9
+    # Random instances: greedy near-optimal.
+    for seed in range(3):
+        sets, n = random_hitting_set(10, 12, 3, seed=seed)
+        greedy = greedy_hitting_set(list(sets))
+        exact = exact_min_hitting_set(list(sets))
+        rows.append(
+            (
+                f"random seed={seed}",
+                len(sets),
+                len(exact),
+                len(greedy),
+                f"{len(greedy) / len(exact):.2f}",
+                f"{harmonic(len(sets)):.2f}",
+            )
+        )
+    lines = [
+        "Set-cover approximation series — greedy vs optimal hitting set",
+        "(the hardness currency of Theorems 2.5 and 2.7)",
+        "",
+    ]
+    lines += format_table(
+        ("instance", "sets", "OPT", "greedy", "ratio", "H_m bound"), rows
+    )
+    write_report("setcover_approx_series", lines)
+    benchmark(lambda: None)
+
+
+def test_ratio_transfers_through_encoding(benchmark):
+    """The same gap shows up through the Theorem 2.7 encoding: greedy source
+    deletion pays the same factor over the exact minimum."""
+    sets, n = greedy_gap_instance(4)
+    red = encode_ju_source(list(sets), n)
+    greedy = greedy_source_deletion(red.query, red.db, red.target)
+    exact = exact_source_deletion(red.query, red.db, red.target)
+    assert exact.num_deletions == 2
+    assert greedy.num_deletions >= exact.num_deletions
+    benchmark(lambda: greedy_source_deletion(red.query, red.db, red.target))

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Access revocation: the paper's motivating view-deletion scenario at scale.
+
+A file-sharing system exposes the view ``who can read which file`` as
+``Π_{user,file}(UserGroup ⋈ GroupFile)``.  Revoking one (user, file) pair is
+a *view deletion*: we must delete group memberships and/or group-file grants
+— and every choice has consequences for other users.
+
+This example compares, on a realistic-sized instance:
+
+* the view-optimal plan (fewest collateral revocations),
+* the source-optimal plan (fewest changes, via the chain-join min cut),
+* the greedy approximation,
+* the Cui–Widom lineage-based exact translation ([14]).
+
+Run with: ``python examples/access_revocation.py``
+"""
+
+from repro import (
+    cui_widom_translation,
+    enumerate_deletion_plans,
+    delete_view_tuple,
+    evaluate,
+    minimum_source_deletion,
+    greedy_source_deletion,
+    verify_plan,
+    why_provenance,
+)
+from repro.workloads import usergroup_workload
+
+
+def main() -> None:
+    db, query, target = usergroup_workload(
+        num_users=12, num_groups=5, num_files=6, seed=42
+    )
+    view = evaluate(query, db)
+    print(
+        f"{len(db['UserGroup'])} memberships, {len(db['GroupFile'])} grants, "
+        f"{len(view)} (user, file) pairs in the access view"
+    )
+    print(f"revoking access: {target}")
+    print()
+
+    # Why is this hard? Show the witnesses: each is one way the access holds.
+    prov = why_provenance(query, db)
+    witnesses = prov.witnesses(target)
+    print(f"u0 can reach f0 through {len(witnesses)} membership/grant chains:")
+    for witness in sorted(witnesses, key=repr):
+        print(f"  {sorted(witness, key=repr)}")
+    print()
+
+    # View-optimal revocation: disturb as few other users as possible.
+    view_plan = delete_view_tuple(query, db, target)
+    verify_plan(query, db, view_plan)
+    print(f"[view objective / {view_plan.algorithm}]")
+    print(f"  revoke: {list(view_plan.sorted_deletions())}")
+    print(
+        f"  collateral revocations: "
+        f"{sorted(view_plan.side_effects) or 'none'}"
+    )
+    print()
+
+    # Source-optimal revocation: fewest changes (chain-join min cut).
+    source_plan = minimum_source_deletion(query, db, target)
+    verify_plan(query, db, source_plan)
+    print(f"[source objective / {source_plan.algorithm}]")
+    print(f"  revoke: {list(source_plan.sorted_deletions())}")
+    print(f"  collateral revocations: {sorted(source_plan.side_effects) or 'none'}")
+    print()
+
+    # Greedy: what a log-factor approximation buys.
+    greedy_plan = greedy_source_deletion(query, db, target)
+    verify_plan(query, db, greedy_plan)
+    print(
+        f"[greedy approximation] {greedy_plan.num_deletions} deletions vs "
+        f"optimal {source_plan.num_deletions}"
+    )
+    print()
+
+    # The translation is ambiguous: list every minimal alternative.
+    plans = enumerate_deletion_plans(query, db, target, limit=5)
+    print(f"[all minimal translations] showing {len(plans)} of them:")
+    for plan in plans:
+        print(
+            f"  {plan.num_deletions} deletion(s), "
+            f"{plan.num_side_effects} side effect(s): "
+            f"{list(plan.sorted_deletions())}"
+        )
+    print()
+
+    # Cui–Widom: exact (side-effect-free) translation when one exists.
+    translation = cui_widom_translation(query, db, target)
+    if translation is None:
+        print("[Cui–Widom] no side-effect-free translation exists")
+    else:
+        print(f"[Cui–Widom] exact translation: {sorted(translation, key=repr)}")
+
+    print()
+    print(
+        "Takeaway: the two objectives pick different plans, the chain-join\n"
+        "structure of this schema keeps the source objective polynomial\n"
+        "(Theorem 2.6), and side-effect-free translations exist only when\n"
+        "the membership graph allows them (Theorem 2.1 says detecting this\n"
+        "is NP-hard for general PJ views)."
+    )
+
+
+if __name__ == "__main__":
+    main()

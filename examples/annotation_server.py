@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A miniature distributed-annotation server (BioDAS/Annotea scenario).
+
+The paper's introduction: scientific annotations are "much looser" than
+schema-anticipated fields — annotators lack update privileges, annotations
+live in a separate database, and annotations-on-annotations must work.
+
+This example runs a small curation workflow over a sequence database:
+
+1. scientists attach notes (and replies) to source fields they can see;
+2. a consumer queries a *view* and receives the notes carried through it by
+   the paper's propagation rules;
+3. a curator annotates a suspicious *view* field: the store solves the
+   placement problem and records the note at the optimal source field;
+4. a source deletion strands a note; the store reports the orphan.
+
+Run with: ``python examples/annotation_server.py``
+"""
+
+from repro import (
+    AnnotationStore,
+    Database,
+    Location,
+    Relation,
+    evaluate,
+    parse_query,
+    render_relation,
+)
+
+
+def main() -> None:
+    db = Database(
+        [
+            Relation(
+                "Sequence",
+                ["acc", "organism", "length"],
+                [
+                    ("AB123", "E. coli", 4100),
+                    ("AB124", "E. coli", 5200),
+                    ("XY900", "S. cerevisiae", 12000),
+                ],
+            ),
+            Relation(
+                "Feature",
+                ["acc", "feature", "start"],
+                [
+                    ("AB123", "promoter", 12),
+                    ("AB123", "CDS", 140),
+                    ("AB124", "CDS", 77),
+                    ("XY900", "intron", 301),
+                ],
+            ),
+        ]
+    )
+    store = AnnotationStore()
+
+    # --- 1. Scientists annotate source fields --------------------------
+    note = store.add(
+        db,
+        Location("Sequence", ("AB123", "E. coli", 4100), "length"),
+        "length re-measured after resequencing",
+    )
+    store.reply(note.annotation_id, "confirmed against assembly v2")
+    store.add(
+        db,
+        Location("Feature", ("AB123", "CDS", 140), "start"),
+        "start codon shifted +2 in the 2002 re-annotation",
+    )
+    print(f"store holds {len(store)} annotations on {len(store.locations())} locations")
+    print()
+
+    # --- 2. A consumer's view carries the notes ------------------------
+    query = parse_query(
+        "PROJECT[acc, length, feature, start](Sequence JOIN Feature)"
+    )
+    print("consumer view:")
+    print(render_relation(evaluate(query, db)))
+    annotated = store.annotated_view(query, db)
+    print("\nannotations visible in the view:")
+    for location in annotated.annotated_locations():
+        for annotation in annotated.at(location):
+            reply_marker = " (reply)" if annotation.parent else ""
+            print(f"  {location}: {annotation.text!r}{reply_marker}")
+    print()
+
+    # --- 3. A curator annotates a view field ---------------------------
+    target = Location("V", ("XY900", 12000, "intron", 301), "start")
+    annotation, placement = store.annotate_view(
+        query, db, target, "intron boundary disputed"
+    )
+    print(f"curator annotated view field {target}")
+    print(f"  stored at source: {annotation.location}")
+    print(f"  visible at {len(placement.propagated)} view location(s); "
+          f"side-effect-free: {placement.side_effect_free}")
+    print()
+
+    # --- 4. Source deletion strands a note ------------------------------
+    smaller = db.delete([("Feature", ("AB123", "CDS", 140))])
+    orphans = store.orphans(smaller)
+    print(f"after deleting Feature('AB123','CDS',140): {len(orphans)} orphaned note(s):")
+    for orphan in orphans:
+        print(f"  #{orphan.annotation_id} at {orphan.location}: {orphan.text!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 517/660 builds are unavailable; this shim lets
+``pip install -e . --no-build-isolation`` use the classic development
+install. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

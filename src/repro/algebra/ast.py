@@ -1,0 +1,387 @@
+"""Query abstract syntax trees for the monotone SPJRU fragment.
+
+The paper works over monotone relational queries built from five operators:
+
+* **S**\\ election ``σ_C(E)``
+* **P**\\ rojection ``Π_B(E)``
+* **J**\\ oin (natural) ``E1 ⋈ E2``
+* **U**\\ nion ``E1 ∪ E2``
+* **R**\\ enaming ``δ_θ(E)``
+
+plus references to base relations.  Query values are immutable and hashable;
+rewrites (normalization) construct new trees.
+
+Schema inference is static: ``output_schema(catalog)`` computes the result
+schema given a catalog mapping base relation names to schemas, raising
+:class:`SchemaError` for ill-typed queries (e.g. union of incompatible
+schemas) before any data is touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.algebra.predicates import Predicate
+from repro.algebra.schema import Schema
+
+__all__ = [
+    "Query",
+    "RelationRef",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Rename",
+    "OPERATOR_LETTERS",
+]
+
+#: Letters used to describe query classes, as in the paper ("SPJU", "PJ", ...).
+OPERATOR_LETTERS = ("S", "P", "J", "U", "R")
+
+
+class Query:
+    """Abstract base class for query AST nodes."""
+
+    __slots__ = ()
+
+    #: The operator letter for this node ("S", "P", "J", "U", "R"), or None
+    #: for base relation references.
+    letter: "str | None" = None
+
+    @property
+    def children(self) -> Tuple["Query", ...]:
+        """The direct subqueries of this node."""
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["Query"]) -> "Query":
+        """A copy of this node with its children replaced.
+
+        Used by the normalizer's generic bottom-up rewriting.
+        """
+        raise NotImplementedError
+
+    def output_schema(self, catalog: Mapping[str, Schema]) -> Schema:
+        """The schema of this query's result, given base-relation schemas."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Structural queries used by the classifier and the algorithms
+    # ------------------------------------------------------------------
+    def relation_names(self) -> FrozenSet[str]:
+        """Names of all base relations referenced anywhere in the tree."""
+        names: set = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, RelationRef):
+                names.add(node.name)
+            stack.extend(node.children)
+        return frozenset(names)
+
+    def operators(self) -> FrozenSet[str]:
+        """The set of operator letters used anywhere in the tree.
+
+        A bare relation reference uses no operators (empty set).
+        """
+        letters: set = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.letter is not None:
+                letters.add(node.letter)
+            stack.extend(node.children)
+        return frozenset(letters)
+
+    def subqueries(self) -> Tuple["Query", ...]:
+        """All nodes in the tree, in pre-order."""
+        out = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(node.children))
+        return tuple(out)
+
+    def size(self) -> int:
+        """Number of nodes in the tree (a measure of query size)."""
+        return len(self.subqueries())
+
+    # Convenience constructors so examples read close to the algebra.
+    def select(self, predicate: Predicate) -> "Select":
+        """``σ_predicate(self)``"""
+        return Select(self, predicate)
+
+    def project(self, attributes: Sequence[str]) -> "Project":
+        """``Π_attributes(self)``"""
+        return Project(self, attributes)
+
+    def join(self, other: "Query") -> "Join":
+        """``self ⋈ other``"""
+        return Join(self, other)
+
+    def union(self, other: "Query") -> "Union":
+        """``self ∪ other``"""
+        return Union(self, other)
+
+    def rename(self, mapping: Dict[str, str]) -> "Rename":
+        """``δ_mapping(self)``"""
+        return Rename(self, mapping)
+
+
+class RelationRef(Query):
+    """A reference to a base relation by name."""
+
+    __slots__ = ("name",)
+
+    letter = None
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"relation reference needs a non-empty name, got {name!r}")
+        self.name = name
+
+    @property
+    def children(self) -> Tuple[Query, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[Query]) -> "RelationRef":
+        if children:
+            raise SchemaError("RelationRef has no children")
+        return self
+
+    def output_schema(self, catalog: Mapping[str, Schema]) -> Schema:
+        try:
+            return catalog[self.name]
+        except KeyError:
+            raise SchemaError(f"unknown base relation {self.name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RelationRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("rel", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Select(Query):
+    """Selection ``σ_C(E)``: keep the rows of ``E`` satisfying ``C``."""
+
+    __slots__ = ("child", "predicate")
+
+    letter = "S"
+
+    def __init__(self, child: Query, predicate: Predicate):
+        if not isinstance(child, Query):
+            raise SchemaError(f"Select child must be a Query, got {child!r}")
+        if not isinstance(predicate, Predicate):
+            raise SchemaError(f"Select predicate must be a Predicate, got {predicate!r}")
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Query]) -> "Select":
+        (child,) = children
+        return Select(child, self.predicate)
+
+    def output_schema(self, catalog: Mapping[str, Schema]) -> Schema:
+        schema = self.child.output_schema(catalog)
+        self.predicate.validate(schema)
+        return schema
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Select)
+            and other.child == self.child
+            and other.predicate == self.predicate
+        )
+
+    def __hash__(self) -> int:
+        return hash(("select", self.child, self.predicate))
+
+    def __repr__(self) -> str:
+        return f"SELECT[{self.predicate!r}]({self.child!r})"
+
+
+class Project(Query):
+    """Projection ``Π_B(E)``: keep only attributes ``B`` (set semantics)."""
+
+    __slots__ = ("child", "attributes")
+
+    letter = "P"
+
+    def __init__(self, child: Query, attributes: Sequence[str]):
+        if not isinstance(child, Query):
+            raise SchemaError(f"Project child must be a Query, got {child!r}")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("projection onto zero attributes is not supported")
+        self.child = child
+        self.attributes = attrs
+        # Validate distinctness eagerly.
+        Schema(attrs)
+
+    @property
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Query]) -> "Project":
+        (child,) = children
+        return Project(child, self.attributes)
+
+    def output_schema(self, catalog: Mapping[str, Schema]) -> Schema:
+        return self.child.output_schema(catalog).project(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Project)
+            and other.child == self.child
+            and other.attributes == self.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash(("project", self.child, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"PROJECT[{', '.join(self.attributes)}]({self.child!r})"
+
+
+class Join(Query):
+    """Natural join ``E1 ⋈ E2`` on the attributes the two schemas share.
+
+    When the schemas share no attributes this degenerates to the cross
+    product, exactly as in the standard definition.
+    """
+
+    __slots__ = ("left", "right")
+
+    letter = "J"
+
+    def __init__(self, left: Query, right: Query):
+        if not isinstance(left, Query) or not isinstance(right, Query):
+            raise SchemaError("Join operands must be Query values")
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Query]) -> "Join":
+        left, right = children
+        return Join(left, right)
+
+    def output_schema(self, catalog: Mapping[str, Schema]) -> Schema:
+        return self.left.output_schema(catalog).join(self.right.output_schema(catalog))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Join) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("join", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} JOIN {self.right!r})"
+
+
+class Union(Query):
+    """Union ``E1 ∪ E2`` of two union-compatible queries.
+
+    The operands must have the same *set* of attribute names; the result uses
+    the left operand's attribute order and the right operand's rows are
+    reordered to match.
+    """
+
+    __slots__ = ("left", "right")
+
+    letter = "U"
+
+    def __init__(self, left: Query, right: Query):
+        if not isinstance(left, Query) or not isinstance(right, Query):
+            raise SchemaError("Union operands must be Query values")
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Query]) -> "Union":
+        left, right = children
+        return Union(left, right)
+
+    def output_schema(self, catalog: Mapping[str, Schema]) -> Schema:
+        left = self.left.output_schema(catalog)
+        right = self.right.output_schema(catalog)
+        if not left.is_union_compatible(right):
+            raise SchemaError(
+                f"union of incompatible schemas {left.attributes} and {right.attributes}"
+            )
+        return left
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Union) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("union", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} UNION {self.right!r})"
+
+
+class Rename(Query):
+    """Renaming ``δ_θ(E)``: rewrite attribute names via the mapping ``θ``.
+
+    ``θ`` is given as a dict from old names to new names; attributes not
+    mentioned keep their names.  The mapping must be injective on the child's
+    schema (checked during schema inference).
+    """
+
+    __slots__ = ("child", "mapping")
+
+    letter = "R"
+
+    def __init__(self, child: Query, mapping: Mapping[str, str]):
+        if not isinstance(child, Query):
+            raise SchemaError(f"Rename child must be a Query, got {child!r}")
+        items = tuple(sorted(mapping.items()))
+        for old, new in items:
+            if not isinstance(old, str) or not isinstance(new, str) or not old or not new:
+                raise SchemaError(f"invalid rename pair {old!r} -> {new!r}")
+        self.child = child
+        self.mapping: Tuple[Tuple[str, str], ...] = items
+
+    @property
+    def mapping_dict(self) -> Dict[str, str]:
+        """The renaming as a plain dict (old name → new name)."""
+        return dict(self.mapping)
+
+    @property
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Query]) -> "Rename":
+        (child,) = children
+        return Rename(child, dict(self.mapping))
+
+    def output_schema(self, catalog: Mapping[str, Schema]) -> Schema:
+        return self.child.output_schema(catalog).rename(self.mapping_dict)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Rename)
+            and other.child == self.child
+            and other.mapping == self.mapping
+        )
+
+    def __hash__(self) -> int:
+        return hash(("rename", self.child, self.mapping))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{old}->{new}" for old, new in self.mapping)
+        return f"RENAME[{pairs}]({self.child!r})"

@@ -1,0 +1,292 @@
+"""Query classification.
+
+The paper's dichotomy theorems are stated per *query class*: the subset of
+operator letters {S, P, J, U} a query uses (renaming δ is tracked separately
+— Theorem 2.7 needs it, and the polynomial algorithms tolerate it).  This
+module detects:
+
+* which operators a query uses (:func:`query_class`),
+* membership in the named fragments (SP, SJ, SPU, SJU, PJ, JU, ...),
+* whether a query is in the paper's *normal form* — a union of
+  select-project-join branches over (possibly renamed) base relations,
+* whether a normal-form PJ query is a *chain join* (Theorem 2.6).
+
+The deletion and annotation dispatchers use these predicates to route each
+problem instance to the algorithm the dichotomy tables promise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.errors import QueryClassError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.schema import Schema
+
+__all__ = [
+    "query_class",
+    "uses_only",
+    "involves",
+    "is_sp",
+    "is_sj",
+    "is_spu",
+    "is_sju",
+    "involves_pj",
+    "involves_ju",
+    "flatten_union",
+    "flatten_join",
+    "branch_parts",
+    "is_normal_form",
+    "assert_normal_form",
+    "chain_join_order",
+]
+
+
+def query_class(query: Query, include_rename: bool = False) -> str:
+    """The query's class string, e.g. ``"PJ"`` or ``"SPJU"``.
+
+    Letters appear in the canonical order S, P, J, U (and R last when
+    ``include_rename``).  A bare relation reference yields ``""``.
+    """
+    ops = query.operators()
+    order = "SPJU" + ("R" if include_rename else "")
+    return "".join(letter for letter in order if letter in ops)
+
+
+def uses_only(query: Query, letters: str, allow_rename: bool = True) -> bool:
+    """True if the query uses no operators outside ``letters``.
+
+    ``allow_rename`` controls whether δ is tolerated; the paper's polynomial
+    algorithms are insensitive to renaming, so it defaults to True.
+    """
+    allowed = set(letters)
+    if allow_rename:
+        allowed.add("R")
+    return query.operators() <= allowed
+
+
+def involves(query: Query, letters: str) -> bool:
+    """True if the query uses *all* of the operators in ``letters``.
+
+    Matches the paper's phrasing "queries involving PJ" — both projection and
+    join occur somewhere in the query.
+    """
+    return set(letters) <= query.operators()
+
+
+def is_sp(query: Query, allow_rename: bool = True) -> bool:
+    """Membership in the SP fragment (select/project only)."""
+    return uses_only(query, "SP", allow_rename)
+
+
+def is_sj(query: Query, allow_rename: bool = True) -> bool:
+    """Membership in the SJ fragment (select/join only)."""
+    return uses_only(query, "SJ", allow_rename)
+
+
+def is_spu(query: Query, allow_rename: bool = True) -> bool:
+    """Membership in the SPU fragment (no joins)."""
+    return uses_only(query, "SPU", allow_rename)
+
+
+def is_sju(query: Query, allow_rename: bool = True) -> bool:
+    """Membership in the SJU fragment (no projection)."""
+    return uses_only(query, "SJU", allow_rename)
+
+
+def involves_pj(query: Query) -> bool:
+    """True if the query uses both projection and join (the hard class)."""
+    return involves(query, "PJ")
+
+
+def involves_ju(query: Query) -> bool:
+    """True if the query uses both join and union (the other hard class)."""
+    return involves(query, "JU")
+
+
+# ----------------------------------------------------------------------
+# Normal form
+# ----------------------------------------------------------------------
+
+def flatten_union(query: Query) -> List[Query]:
+    """The maximal list of union-free branches of a union tree.
+
+    ``A ∪ (B ∪ C)`` flattens to ``[A, B, C]``; a union-free query flattens to
+    ``[query]``.
+    """
+    if isinstance(query, Union):
+        return flatten_union(query.left) + flatten_union(query.right)
+    return [query]
+
+
+def flatten_join(query: Query) -> List[Query]:
+    """The leaves of a join tree, left to right.
+
+    A join-free query is its own single leaf.
+    """
+    if isinstance(query, Join):
+        return flatten_join(query.left) + flatten_join(query.right)
+    return [query]
+
+
+def _is_leaf(query: Query) -> bool:
+    """A normal-form leaf: a base relation under zero or more renamings."""
+    node = query
+    while isinstance(node, Rename):
+        node = node.child
+    return isinstance(node, RelationRef)
+
+
+def _leaf_relation(query: Query) -> RelationRef:
+    """The base relation under a normal-form leaf's renamings."""
+    node = query
+    while isinstance(node, Rename):
+        node = node.child
+    if not isinstance(node, RelationRef):
+        raise QueryClassError(f"{query!r} is not a normal-form leaf")
+    return node
+
+
+def _is_join_tree(query: Query) -> bool:
+    """True if every node below is a Join or a normal-form leaf."""
+    if isinstance(query, Join):
+        return _is_join_tree(query.left) and _is_join_tree(query.right)
+    return _is_leaf(query)
+
+
+def _is_spj_branch(query: Query) -> bool:
+    """A normal-form branch: ``Π_B?(σ_C?(join tree of leaves))``."""
+    node = query
+    if isinstance(node, Project):
+        node = node.child
+    if isinstance(node, Select):
+        node = node.child
+    return _is_join_tree(node)
+
+
+def branch_parts(
+    branch: Query,
+) -> Tuple[Optional[Project], Optional[Select], List[Query]]:
+    """Decompose a normal-form branch into (project, select, join leaves).
+
+    Returns the Project node (or None), the Select node (or None), and the
+    list of leaf queries of the join tree.  Raises :class:`QueryClassError`
+    if the branch is not in normal form.
+    """
+    if not _is_spj_branch(branch):
+        raise QueryClassError(f"query branch not in SPJ normal form: {branch!r}")
+    project: Optional[Project] = None
+    select: Optional[Select] = None
+    node = branch
+    if isinstance(node, Project):
+        project = node
+        node = node.child
+    if isinstance(node, Select):
+        select = node
+        node = node.child
+    return project, select, flatten_join(node)
+
+
+def is_normal_form(query: Query) -> bool:
+    """True if the query is a union of SPJ normal-form branches.
+
+    This is the shape the paper's theorems are stated over: unions at the
+    top; each branch an optional projection over an optional selection over a
+    join tree of (possibly renamed) base relations.
+    """
+    return all(_is_spj_branch(b) for b in flatten_union(query))
+
+
+def assert_normal_form(query: Query) -> None:
+    """Raise :class:`QueryClassError` unless ``query`` is in normal form."""
+    if not is_normal_form(query):
+        raise QueryClassError(
+            f"query is not in normal form (union of SPJ branches): {query!r}; "
+            "apply repro.algebra.normalize.normalize first"
+        )
+
+
+# ----------------------------------------------------------------------
+# Chain joins (Theorem 2.6)
+# ----------------------------------------------------------------------
+
+def chain_join_order(
+    query: Query, catalog: Mapping[str, Schema]
+) -> Optional[List[Query]]:
+    """If the query is a normal-form chain-join PJ query, return the chain.
+
+    A join on k distinct relations R1..Rk is a *chain join* when the attribute
+    sets of Ri and Rj are disjoint for j > i + 1 — only consecutive relations
+    share attributes.  We search for an ordering of the join leaves with this
+    property by examining the attribute-sharing graph: a valid chain ordering
+    exists iff that graph is a simple path (isolated leaf pairs allowed only
+    for k <= 2).
+
+    Returns the ordered list of leaf queries, or None when the query is not a
+    chain join (not normal form, repeated relations, or no path ordering).
+    """
+    branches = flatten_union(query)
+    if len(branches) != 1:
+        return None
+    try:
+        _, _, leaves = branch_parts(branches[0])
+    except QueryClassError:
+        return None
+    names = [_leaf_relation(leaf).name for leaf in leaves]
+    if len(set(names)) != len(names):
+        return None  # chain joins are over distinct relations
+    if len(leaves) == 1:
+        return list(leaves)
+
+    schemas = [set(leaf.output_schema(catalog).attributes) for leaf in leaves]
+    k = len(leaves)
+    # Build the attribute-sharing graph.
+    adjacency: Dict[int, set] = {i: set() for i in range(k)}
+    for i in range(k):
+        for j in range(i + 1, k):
+            if schemas[i] & schemas[j]:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+
+    order = _path_order(adjacency, k)
+    if order is None:
+        return None
+    # Verify the chain property: non-consecutive relations share nothing.
+    for i in range(k):
+        for j in range(i + 2, k):
+            if schemas[order[i]] & schemas[order[j]]:
+                return None
+    return [leaves[i] for i in order]
+
+
+def _path_order(adjacency: Dict[int, set], k: int) -> Optional[List[int]]:
+    """Order the vertices of a graph along a Hamiltonian path if the graph
+    is itself a simple path; otherwise return None."""
+    degrees = {v: len(adjacency[v]) for v in adjacency}
+    if k == 1:
+        return [0]
+    ends = [v for v, d in degrees.items() if d == 1]
+    if len(ends) != 2 or any(d > 2 for d in degrees.values()):
+        return None
+    order = [ends[0]]
+    seen = {ends[0]}
+    while len(order) < k:
+        nxt = [v for v in adjacency[order[-1]] if v not in seen]
+        if len(nxt) != 1:
+            return None
+        order.append(nxt[0])
+        seen.add(nxt[0])
+    return order
+
+
+def leaf_base_name(leaf: Query) -> str:
+    """The base relation name under a normal-form leaf (public helper)."""
+    return _leaf_relation(leaf).name

@@ -1,0 +1,173 @@
+"""Functional dependencies and key constraints.
+
+Section 2.1.1 of the paper remarks that the PJ hardness evaporates under key
+constraints: *"most joins are performed on foreign keys.  It is easy to show
+that project join queries based on key constraints (e.g. lossless joins with
+respect to a set of functional dependencies) allow us to decide whether
+there is a side-effect-free deletion in polynomial time."*
+
+This module supplies the constraint substrate that remark needs:
+
+* :class:`FunctionalDependency` — ``X → Y`` over attribute names;
+* :func:`closure` — the attribute closure ``X⁺`` under a set of FDs
+  (Armstrong's axioms via the standard fixpoint algorithm);
+* :func:`is_key` / :func:`candidate_keys` — key detection for a schema;
+* :func:`satisfies` / :func:`violations` — checking a concrete relation
+  against declared FDs;
+* :func:`implies` — FD implication via closure.
+
+The polynomial key-based deletion algorithm built on top of this lives in
+:mod:`repro.deletion.keyed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import SchemaError
+from repro.algebra.relation import Relation, Row
+from repro.algebra.schema import Schema
+
+__all__ = [
+    "FunctionalDependency",
+    "closure",
+    "implies",
+    "is_key",
+    "is_superkey",
+    "candidate_keys",
+    "satisfies",
+    "violations",
+]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``X → Y`` (determinant → dependent).
+
+    >>> fd = FunctionalDependency(("group",), ("file",))
+    >>> fd.determinant
+    ('group',)
+    """
+
+    determinant: Tuple[str, ...]
+    dependent: Tuple[str, ...]
+
+    def __init__(self, determinant: Iterable[str], dependent: Iterable[str]):
+        det = tuple(sorted(set(determinant)))
+        dep = tuple(sorted(set(dependent)))
+        if not det:
+            raise SchemaError("a functional dependency needs a determinant")
+        if not dep:
+            raise SchemaError("a functional dependency needs a dependent")
+        object.__setattr__(self, "determinant", det)
+        object.__setattr__(self, "dependent", dep)
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes the FD mentions."""
+        return frozenset(self.determinant) | frozenset(self.dependent)
+
+    def validate(self, schema: Schema) -> None:
+        """Raise :class:`SchemaError` if the FD mentions unknown attributes."""
+        for attr in self.attributes():
+            schema.index_of(attr)
+
+    def __repr__(self) -> str:
+        return f"{{{', '.join(self.determinant)}}} -> {{{', '.join(self.dependent)}}}"
+
+
+def closure(
+    attributes: Iterable[str], fds: Sequence[FunctionalDependency]
+) -> FrozenSet[str]:
+    """The attribute closure ``X⁺`` under the given FDs.
+
+    Standard fixpoint: repeatedly add the dependents of FDs whose
+    determinants are contained in the current set.
+    """
+    result: Set[str] = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.determinant) <= result and not set(fd.dependent) <= result:
+                result.update(fd.dependent)
+                changed = True
+    return frozenset(result)
+
+
+def implies(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """True if ``fds ⊨ candidate`` (checked via the closure test)."""
+    return set(candidate.dependent) <= closure(candidate.determinant, fds)
+
+
+def is_superkey(
+    attributes: Iterable[str],
+    schema: Schema,
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """True if the attributes functionally determine the whole schema."""
+    return set(schema.attributes) <= closure(attributes, fds)
+
+
+def is_key(
+    attributes: Iterable[str],
+    schema: Schema,
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """True if the attributes are a *minimal* superkey of the schema."""
+    attrs = tuple(sorted(set(attributes)))
+    if not is_superkey(attrs, schema, fds):
+        return False
+    return all(
+        not is_superkey([a for a in attrs if a != dropped], schema, fds)
+        for dropped in attrs
+    )
+
+
+def candidate_keys(
+    schema: Schema, fds: Sequence[FunctionalDependency]
+) -> List[FrozenSet[str]]:
+    """All candidate keys of the schema, smallest first.
+
+    Exponential in the schema arity in the worst case; relations in this
+    library have small schemas, so a subset sweep is appropriate.
+    """
+    for fd in fds:
+        fd.validate(schema)
+    keys: List[FrozenSet[str]] = []
+    for size in range(1, schema.arity + 1):
+        for subset in combinations(schema.attributes, size):
+            if any(key <= set(subset) for key in keys):
+                continue  # already covered by a smaller key
+            if is_superkey(subset, schema, fds):
+                keys.append(frozenset(subset))
+    return sorted(keys, key=lambda k: (len(k), sorted(k)))
+
+
+def violations(
+    relation: Relation, fd: FunctionalDependency
+) -> List[Tuple[Row, Row]]:
+    """Pairs of rows violating the FD (same determinant, different dependent)."""
+    fd.validate(relation.schema)
+    det_positions = relation.schema.positions(fd.determinant)
+    dep_positions = relation.schema.positions(fd.dependent)
+    seen: Dict[Tuple[object, ...], Tuple[Tuple[object, ...], Row]] = {}
+    bad: List[Tuple[Row, Row]] = []
+    for row in relation.sorted_rows():
+        det = tuple(row[i] for i in det_positions)
+        dep = tuple(row[i] for i in dep_positions)
+        if det in seen:
+            prior_dep, prior_row = seen[det]
+            if prior_dep != dep:
+                bad.append((prior_row, row))
+        else:
+            seen[det] = (dep, row)
+    return bad
+
+
+def satisfies(relation: Relation, fds: Sequence[FunctionalDependency]) -> bool:
+    """True if the relation satisfies every FD."""
+    return all(not violations(relation, fd) for fd in fds)

@@ -1,0 +1,160 @@
+"""Set-semantics evaluation of SPJRU queries.
+
+:func:`evaluate` interprets a :class:`~repro.algebra.ast.Query` against a
+:class:`~repro.algebra.relation.Database` and returns the view as a
+:class:`~repro.algebra.relation.Relation`.
+
+The evaluator is deliberately simple and faithful to the textbook semantics:
+
+* selection filters rows by the predicate;
+* projection keeps the named attributes and collapses duplicates (sets);
+* natural join hash-joins on the shared attributes;
+* union canonicalizes the right operand's attribute order to the left's;
+* renaming relabels the schema without touching rows.
+
+The deletion-propagation solvers re-evaluate queries against hypothetical
+databases thousands of times, so the join uses a hash partition on the shared
+attributes rather than a nested loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import EvaluationError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.relation import Database, Relation, Row
+from repro.algebra.schema import Schema
+
+__all__ = ["evaluate", "output_schema", "view_rows"]
+
+#: Name given to evaluated views when the caller does not supply one.
+DEFAULT_VIEW_NAME = "V"
+
+
+def output_schema(query: Query, db: Database) -> Schema:
+    """Static result schema of ``query`` over ``db``'s catalog."""
+    catalog = {name: db[name].schema for name in db}
+    return query.output_schema(catalog)
+
+
+def evaluate(query: Query, db: Database, name: str = DEFAULT_VIEW_NAME) -> Relation:
+    """Evaluate ``query`` against ``db``; return the view named ``name``.
+
+    Raises :class:`EvaluationError` for references to missing relations and
+    :class:`SchemaError` for ill-typed queries.
+    """
+    schema, rows = _eval(query, db)
+    return Relation(name, schema, rows)
+
+
+def view_rows(query: Query, db: Database) -> frozenset:
+    """Evaluate ``query`` and return just the row set.
+
+    This is the hot path for the exact solvers, which compare row sets of the
+    view before and after hypothetical deletions and do not need a full
+    :class:`Relation` object.
+    """
+    _, rows = _eval(query, db)
+    return frozenset(rows)
+
+
+def _eval(query: Query, db: Database) -> Tuple[Schema, List[Row]]:
+    """Recursive evaluator returning (schema, rows)."""
+    if isinstance(query, RelationRef):
+        rel = db[query.name]
+        return rel.schema, list(rel.rows)
+
+    if isinstance(query, Select):
+        schema, rows = _eval(query.child, db)
+        query.predicate.validate(schema)
+        kept = [row for row in rows if query.predicate.evaluate(schema, row)]
+        return schema, kept
+
+    if isinstance(query, Project):
+        schema, rows = _eval(query.child, db)
+        out_schema = schema.project(query.attributes)
+        positions = schema.positions(query.attributes)
+        projected = {tuple(row[i] for i in positions) for row in rows}
+        return out_schema, list(projected)
+
+    if isinstance(query, Join):
+        left_schema, left_rows = _eval(query.left, db)
+        right_schema, right_rows = _eval(query.right, db)
+        return _natural_join(left_schema, left_rows, right_schema, right_rows)
+
+    if isinstance(query, Union):
+        left_schema, left_rows = _eval(query.left, db)
+        right_schema, right_rows = _eval(query.right, db)
+        if not left_schema.is_union_compatible(right_schema):
+            raise EvaluationError(
+                f"union of incompatible schemas {left_schema.attributes} "
+                f"and {right_schema.attributes}"
+            )
+        reorder = right_schema.positions(left_schema.attributes)
+        merged = set(left_rows)
+        merged.update(tuple(row[i] for i in reorder) for row in right_rows)
+        return left_schema, list(merged)
+
+    if isinstance(query, Rename):
+        schema, rows = _eval(query.child, db)
+        return schema.rename(query.mapping_dict), rows
+
+    raise EvaluationError(f"unknown query node {query!r}")
+
+
+def _natural_join(
+    left_schema: Schema,
+    left_rows: List[Row],
+    right_schema: Schema,
+    right_rows: List[Row],
+) -> Tuple[Schema, List[Row]]:
+    """Hash-based natural join.
+
+    Partitions the right rows by their shared-attribute key, then streams the
+    left rows.  Degenerates to a cross product when no attributes are shared.
+    """
+    out_schema = left_schema.join(right_schema)
+    shared = left_schema.common(right_schema)
+    left_key = left_schema.positions(shared)
+    right_key = right_schema.positions(shared)
+    right_extra = [
+        i for i, a in enumerate(right_schema.attributes) if a not in left_schema
+    ]
+
+    buckets: Dict[Tuple[object, ...], List[Row]] = {}
+    for row in right_rows:
+        key = tuple(row[i] for i in right_key)
+        buckets.setdefault(key, []).append(row)
+
+    out: set = set()
+    for lrow in left_rows:
+        key = tuple(lrow[i] for i in left_key)
+        for rrow in buckets.get(key, ()):
+            out.add(lrow + tuple(rrow[i] for i in right_extra))
+    return out_schema, list(out)
+
+
+def join_components(
+    schema_left: Schema, schema_right: Schema, row: Row
+) -> Tuple[Row, Row]:
+    """Split a joined row back into its left and right components.
+
+    For a natural join, an output row determines both join operands uniquely:
+    the left component is the row restricted to the left schema and the right
+    component the row restricted to the right schema.  Provenance and
+    annotation propagation both rely on this fact (the paper's join rule is
+    stated via ``t.R1`` and ``t.R2``).
+    """
+    out_schema = schema_left.join(schema_right)
+    left = tuple(row[out_schema.index_of(a)] for a in schema_left.attributes)
+    right = tuple(row[out_schema.index_of(a)] for a in schema_right.attributes)
+    return left, right

@@ -1,0 +1,419 @@
+"""Normalization of SPJRU queries (Theorem 3.1).
+
+The paper states its theorems over queries *in normal form*: a union of
+branches, each of the shape ``Π_B(σ_C(L1 ⋈ ... ⋈ Lk))`` where every leaf
+``Li`` is a (possibly renamed) base relation.  Theorem 3.1 asserts that such
+a normal form exists for every PSJRU query **and** that the rewriting
+preserves the relation ``R(Q, S)`` between source locations and view
+locations induced by the annotation-propagation rules.
+
+The paper warns that *not* every classical equivalence preserves annotation
+propagation — e.g. replacing a natural join with a selection over a cross
+product (``Π_ACD(σ_{A=B}(R × S)) ≡ R ⋈ δ_{B→A}(S)``) changes which
+annotations flow, because the rules use "equality of similarly named fields"
+rather than explicit equality.  The rewrite system implemented here therefore
+uses only the following R-preserving rules:
+
+1. rename composition           ``δ_θ1(δ_θ2(E)) → δ_{θ1∘θ2}(E)``
+2. rename past selection        ``δ_θ(σ_C(E)) → σ_{θ(C)}(δ_θ(E))``
+3. rename past projection       ``δ_θ(Π_B(E)) → Π_{θ(B)}(δ_θ̂(E))``
+4. rename past join             ``δ_θ(E1 ⋈ E2) → δ_{θ|E1}(E1) ⋈ δ_{θ|E2}(E2)``
+5. distribution over union      for σ, Π, ⋈ (both sides) and δ
+6. selection merging            ``σ_C1(σ_C2(E)) → σ_{C2 ∧ C1}(E)``
+7. projection merging           ``Π_B1(Π_B2(E)) → Π_B1(E)``
+8. selection past projection    ``σ_C(Π_B(E)) → Π_B(σ_C(E))``
+9. selection past join          ``σ_C(E1) ⋈ E2 → σ_C(E1 ⋈ E2)``
+10. projection past join        ``Π_B(E1) ⋈ E2 → Π_{B ∪ attrs(E2)}(E1' ⋈ E2)``
+    where ``E1'`` freshly renames E1's *hidden* (projected-away) attributes
+    so the join attributes are unchanged.
+
+Rules 3, 4 and 10 need care with attribute collisions; hidden attributes are
+renamed to globally fresh names (``_h1``, ``_h2``, ...).  Because hidden
+attributes contribute no view locations, freshening them never changes
+``R(Q, S)`` — this is verified by property-based tests
+(``tests/test_normalize.py``).
+
+The public entry point is :func:`normalize`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchemaError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import Predicate, TruePredicate, conjoin
+from repro.algebra.schema import Schema
+
+__all__ = ["normalize", "simplify", "union_of"]
+
+
+class _FreshNames:
+    """Generator of attribute names guaranteed not to collide.
+
+    Seeded with every name that occurs anywhere in the catalog or the query
+    (projection lists and rename targets), so generated names are globally
+    fresh.
+    """
+
+    def __init__(self, forbidden: Set[str]):
+        self._forbidden = set(forbidden)
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> str:
+        while True:
+            name = f"_h{next(self._counter)}"
+            if name not in self._forbidden:
+                self._forbidden.add(name)
+                return name
+
+
+def _collect_names(query: Query, catalog: Mapping[str, Schema]) -> Set[str]:
+    """Every attribute name that can occur while rewriting ``query``."""
+    names: Set[str] = set()
+    for schema in catalog.values():
+        names.update(schema.attributes)
+    for node in query.subqueries():
+        if isinstance(node, Project):
+            names.update(node.attributes)
+        elif isinstance(node, Rename):
+            for old, new in node.mapping:
+                names.add(old)
+                names.add(new)
+        elif isinstance(node, Select):
+            names.update(node.predicate.attributes())
+    return names
+
+
+def union_of(branches: Sequence[Query]) -> Query:
+    """Left-deep union of one or more branches."""
+    if not branches:
+        raise SchemaError("cannot build a union of zero branches")
+    result = branches[0]
+    for b in branches[1:]:
+        result = Union(result, b)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Stage A: push renamings down to the leaves
+# ----------------------------------------------------------------------
+
+def _total(mapping: Dict[str, str], attr: str) -> str:
+    """Apply a partial renaming, treating missing keys as identity."""
+    return mapping.get(attr, attr)
+
+
+def _restrict(mapping: Dict[str, str], attrs: Sequence[str]) -> Dict[str, str]:
+    """Restrict a renaming to the given attributes, dropping identity pairs."""
+    return {a: mapping[a] for a in attrs if a in mapping and mapping[a] != a}
+
+
+def _push_renames(
+    query: Query,
+    pending: Dict[str, str],
+    catalog: Mapping[str, Schema],
+    fresh: _FreshNames,
+) -> Query:
+    """Rewrite ``δ_pending(query)`` with all renamings at the leaves."""
+    if isinstance(query, RelationRef):
+        schema = query.output_schema(catalog)
+        mapping = _restrict(pending, schema.attributes)
+        return Rename(query, mapping) if mapping else query
+
+    if isinstance(query, Rename):
+        # δ_pending(δ_θ(E)) = δ_{pending ∘ θ}(E); compose per source attribute.
+        inner = query.mapping_dict
+        child_schema = query.child.output_schema(catalog)
+        composed: Dict[str, str] = {}
+        for attr in child_schema.attributes:
+            target = _total(pending, _total(inner, attr))
+            if target != attr:
+                composed[attr] = target
+        return _push_renames(query.child, composed, catalog, fresh)
+
+    if isinstance(query, Select):
+        predicate = query.predicate.rename(pending) if pending else query.predicate
+        return Select(_push_renames(query.child, pending, catalog, fresh), predicate)
+
+    if isinstance(query, Project):
+        child_schema = query.child.output_schema(catalog)
+        new_attrs = tuple(_total(pending, a) for a in query.attributes)
+        # Extend the renaming over hidden attributes; freshen any hidden
+        # attribute whose (identity) name collides with a new visible name.
+        extended = dict(_restrict(pending, query.attributes))
+        visible_after = set(new_attrs)
+        for attr in child_schema.attributes:
+            if attr in query.attributes:
+                continue
+            if attr in visible_after or attr in extended.values():
+                extended[attr] = fresh.fresh()
+        return Project(
+            _push_renames(query.child, extended, catalog, fresh), new_attrs
+        )
+
+    if isinstance(query, Join):
+        left_schema = query.left.output_schema(catalog)
+        right_schema = query.right.output_schema(catalog)
+        left_map = _restrict(pending, left_schema.attributes)
+        right_map = _restrict(pending, right_schema.attributes)
+        return Join(
+            _push_renames(query.left, left_map, catalog, fresh),
+            _push_renames(query.right, right_map, catalog, fresh),
+        )
+
+    if isinstance(query, Union):
+        left_schema = query.left.output_schema(catalog)
+        right_schema = query.right.output_schema(catalog)
+        left_map = _restrict(pending, left_schema.attributes)
+        right_map = _restrict(pending, right_schema.attributes)
+        return Union(
+            _push_renames(query.left, left_map, catalog, fresh),
+            _push_renames(query.right, right_map, catalog, fresh),
+        )
+
+    raise SchemaError(f"unknown query node {query!r}")
+
+
+# ----------------------------------------------------------------------
+# Stage B: lift unions to the top
+# ----------------------------------------------------------------------
+
+def _lift_unions(query: Query) -> List[Query]:
+    """Return union-free branches whose union is equivalent to ``query``.
+
+    Assumes renamings are already at the leaves.
+    """
+    if isinstance(query, Union):
+        return _lift_unions(query.left) + _lift_unions(query.right)
+    if isinstance(query, Select):
+        return [Select(b, query.predicate) for b in _lift_unions(query.child)]
+    if isinstance(query, Project):
+        return [Project(b, query.attributes) for b in _lift_unions(query.child)]
+    if isinstance(query, Join):
+        lefts = _lift_unions(query.left)
+        rights = _lift_unions(query.right)
+        return [Join(l, r) for l in lefts for r in rights]
+    # Leaves (RelationRef, Rename-over-leaf) are their own branch.
+    return [query]
+
+
+# ----------------------------------------------------------------------
+# Stage C: canonicalize each union-free branch to Π?(σ?(join of leaves))
+# ----------------------------------------------------------------------
+
+class _Branch:
+    """Canonical decomposition of a union-free branch.
+
+    ``projection`` is the ordered output attribute list or None when the
+    branch has no projection; ``predicate`` is the merged selection predicate
+    (TruePredicate when none); ``tree`` is a pure join tree of leaves.
+    """
+
+    __slots__ = ("projection", "predicate", "tree")
+
+    def __init__(
+        self,
+        projection: Optional[Tuple[str, ...]],
+        predicate: Predicate,
+        tree: Query,
+    ):
+        self.projection = projection
+        self.predicate = predicate
+        self.tree = tree
+
+    def to_query(self) -> Query:
+        """Rebuild the branch as ``Π_B?(σ_C?(tree))``."""
+        node = self.tree
+        if not isinstance(self.predicate, TruePredicate):
+            node = Select(node, self.predicate)
+        if self.projection is not None:
+            node = Project(node, self.projection)
+        return node
+
+
+def _rename_tree_leaves(
+    tree: Query,
+    mapping: Dict[str, str],
+    catalog: Mapping[str, Schema],
+) -> Query:
+    """Apply an attribute renaming to every leaf of a join tree.
+
+    Only leaves whose schema contains a renamed attribute are touched;
+    renames compose with any existing leaf rename.  Because the mapping is
+    applied to *every* leaf holding the attribute, shared (join) attributes
+    stay shared and the join structure is preserved.
+    """
+    if not mapping:
+        return tree
+    if isinstance(tree, Join):
+        return Join(
+            _rename_tree_leaves(tree.left, mapping, catalog),
+            _rename_tree_leaves(tree.right, mapping, catalog),
+        )
+    schema = tree.output_schema(catalog)
+    local = _restrict(mapping, schema.attributes)
+    if not local:
+        return tree
+    if isinstance(tree, Rename):
+        inner = tree.mapping_dict
+        child_schema = tree.child.output_schema(catalog)
+        composed: Dict[str, str] = {}
+        for attr in child_schema.attributes:
+            target = _total(local, _total(inner, attr))
+            if target != attr:
+                composed[attr] = target
+        return Rename(tree.child, composed) if composed else tree.child
+    return Rename(tree, local)
+
+
+def _canonicalize_branch(
+    branch: Query,
+    catalog: Mapping[str, Schema],
+    fresh: _FreshNames,
+) -> _Branch:
+    """Recursively flatten a union-free branch into a :class:`_Branch`."""
+    if isinstance(branch, (RelationRef, Rename)):
+        return _Branch(None, TruePredicate(), branch)
+
+    if isinstance(branch, Select):
+        inner = _canonicalize_branch(branch.child, catalog, fresh)
+        # σ_C commutes below Π (rule 8) and merges with inner σ (rule 6).
+        return _Branch(
+            inner.projection,
+            conjoin(inner.predicate, branch.predicate),
+            inner.tree,
+        )
+
+    if isinstance(branch, Project):
+        inner = _canonicalize_branch(branch.child, catalog, fresh)
+        # Π_B1(Π_B2(E)) = Π_B1(E)  (rule 7); order follows the outer Π.
+        return _Branch(tuple(branch.attributes), inner.predicate, inner.tree)
+
+    if isinstance(branch, Join):
+        left = _canonicalize_branch(branch.left, catalog, fresh)
+        right = _canonicalize_branch(branch.right, catalog, fresh)
+        return _merge_join(branch, left, right, catalog, fresh)
+
+    raise SchemaError(f"unexpected node in union-free branch: {branch!r}")
+
+
+def _merge_join(
+    original: Join,
+    left: _Branch,
+    right: _Branch,
+    catalog: Mapping[str, Schema],
+    fresh: _FreshNames,
+) -> _Branch:
+    """Combine two canonical branches under a join (rules 9 and 10).
+
+    Hidden attributes (those each side projects away) are freshened so the
+    combined join tree joins on exactly the attributes the original query
+    joined on.
+    """
+    left_tree_attrs = left.tree.output_schema(catalog).attributes
+    right_tree_attrs = right.tree.output_schema(catalog).attributes
+    left_visible = left.projection if left.projection is not None else left_tree_attrs
+    right_visible = (
+        right.projection if right.projection is not None else right_tree_attrs
+    )
+    left_hidden = [a for a in left_tree_attrs if a not in set(left_visible)]
+    right_hidden = [a for a in right_tree_attrs if a not in set(right_visible)]
+
+    # Freshen every hidden attribute: cheap, and guarantees no spurious join
+    # attributes between hidden/hidden or hidden/visible names.
+    left_freshen = {a: fresh.fresh() for a in left_hidden}
+    right_freshen = {a: fresh.fresh() for a in right_hidden}
+
+    left_tree = _rename_tree_leaves(left.tree, left_freshen, catalog)
+    right_tree = _rename_tree_leaves(right.tree, right_freshen, catalog)
+    left_pred = left.predicate.rename(left_freshen) if left_freshen else left.predicate
+    right_pred = (
+        right.predicate.rename(right_freshen) if right_freshen else right.predicate
+    )
+
+    tree = Join(left_tree, right_tree)
+    predicate = conjoin(left_pred, right_pred)
+
+    if left.projection is None and right.projection is None:
+        projection: Optional[Tuple[str, ...]] = None
+    else:
+        # Output order of ``Π_Bl(L) ⋈ Π_Br(R)``: Bl then Br \ Bl.
+        seen = set(left_visible)
+        projection = tuple(left_visible) + tuple(
+            a for a in right_visible if a not in seen
+        )
+    return _Branch(projection, predicate, tree)
+
+
+# ----------------------------------------------------------------------
+# Simplification and the public entry point
+# ----------------------------------------------------------------------
+
+def simplify(query: Query, catalog: Mapping[str, Schema]) -> Query:
+    """Remove no-op operators: TRUE selections, identity renames, and
+    identity projections (projections onto the child's full schema in
+    order).
+
+    These simplifications never change the result or the annotation
+    relation; they matter because the classifier counts operator letters
+    (a redundant ``Π`` onto all attributes would otherwise move an SJ query
+    into the "involves PJ" class).
+    """
+    children = [simplify(c, catalog) for c in query.children]
+    node = query.with_children(children) if children else query
+
+    if isinstance(node, Select) and isinstance(node.predicate, TruePredicate):
+        return node.child
+    if isinstance(node, Rename):
+        child_schema = node.child.output_schema(catalog)
+        mapping = _restrict(node.mapping_dict, child_schema.attributes)
+        if not mapping:
+            return node.child
+        if mapping != node.mapping_dict:
+            return Rename(node.child, mapping)
+        return node
+    if isinstance(node, Project):
+        child_schema = node.child.output_schema(catalog)
+        if tuple(node.attributes) == child_schema.attributes:
+            return node.child
+        return node
+    return node
+
+
+def normalize(query: Query, catalog: Mapping[str, Schema]) -> Query:
+    """Rewrite ``query`` into the paper's normal form.
+
+    The result is a union of branches ``Π_B?(σ_C?(L1 ⋈ ... ⋈ Lk))`` with all
+    renamings sitting directly on base relations.  The rewriting preserves
+    both the query result on every database over ``catalog`` and the
+    annotation relation ``R(Q, S)`` (Theorem 3.1); the test suite checks both
+    properties on randomized queries and databases.
+    """
+    # Validate the query is well-typed before rewriting.
+    query.output_schema(catalog)
+
+    fresh = _FreshNames(_collect_names(query, catalog))
+    no_renames = _push_renames(query, {}, catalog, fresh)
+    branches = _lift_unions(no_renames)
+    canonical = [
+        _canonicalize_branch(branch, catalog, fresh).to_query()
+        for branch in branches
+    ]
+    result = union_of(canonical)
+    result = simplify(result, catalog)
+    # Sanity: normalization must not change the output schema's attribute
+    # *set*; order is also preserved by construction.
+    assert set(result.output_schema(catalog).attributes) == set(
+        query.output_schema(catalog).attributes
+    )
+    return result

@@ -1,0 +1,346 @@
+"""Selection predicates.
+
+A selection condition ``C`` in ``σ_C(E)`` is a boolean combination of atomic
+comparisons.  An atomic comparison compares either an attribute with a
+constant (``A = 3``, ``price < 100``) or two attributes of the same tuple
+(``A = B``).  Selection is a monotone operator regardless of the predicate —
+it filters single tuples — so the full boolean language (including negation)
+keeps queries inside the paper's monotone fragment.
+
+Predicates are immutable, hashable, and know how to:
+
+* evaluate themselves against a row under a schema,
+* report which attributes they mention (used by the normalizer to decide when
+  a selection commutes with a projection),
+* rewrite their attribute names (used when pushing selections through
+  renamings).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from repro.errors import EvaluationError, SchemaError
+from repro.algebra.schema import Schema
+from repro.algebra.relation import Row
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "AttributeRef",
+    "Constant",
+    "COMPARATORS",
+]
+
+#: The supported comparison operators, mapping symbol to implementation.
+COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class _Operand:
+    """Base class for comparison operands (attribute reference or constant)."""
+
+    __slots__ = ()
+
+    def value(self, schema: Schema, row: Row) -> object:
+        """The operand's value in the context of ``row`` under ``schema``."""
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """The attribute names this operand mentions."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Dict[str, str]) -> "_Operand":
+        """This operand with attribute names rewritten via ``mapping``."""
+        raise NotImplementedError
+
+
+class AttributeRef(_Operand):
+    """A reference to an attribute of the tuple being tested."""
+
+    __slots__ = ("attribute",)
+
+    def __init__(self, attribute: str):
+        if not isinstance(attribute, str) or not attribute:
+            raise SchemaError(f"attribute reference must name an attribute, got {attribute!r}")
+        self.attribute = attribute
+
+    def value(self, schema: Schema, row: Row) -> object:
+        return row[schema.index_of(self.attribute)]
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
+    def rename(self, mapping: Dict[str, str]) -> "AttributeRef":
+        return AttributeRef(mapping.get(self.attribute, self.attribute))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AttributeRef) and other.attribute == self.attribute
+
+    def __hash__(self) -> int:
+        return hash(("attr", self.attribute))
+
+    def __repr__(self) -> str:
+        return self.attribute
+
+
+class Constant(_Operand):
+    """A literal constant operand."""
+
+    __slots__ = ("literal",)
+
+    def __init__(self, literal: object):
+        try:
+            hash(literal)
+        except TypeError:
+            raise SchemaError(f"constant {literal!r} must be hashable") from None
+        self.literal = literal
+
+    def value(self, schema: Schema, row: Row) -> object:
+        return self.literal
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def rename(self, mapping: Dict[str, str]) -> "Constant":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and other.literal == self.literal
+
+    def __hash__(self) -> int:
+        return hash(("const", self.literal))
+
+    def __repr__(self) -> str:
+        return repr(self.literal)
+
+
+class Predicate:
+    """Abstract base class for selection predicates."""
+
+    __slots__ = ()
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        """True if ``row`` (under ``schema``) satisfies this predicate."""
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attribute names mentioned anywhere in this predicate."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Dict[str, str]) -> "Predicate":
+        """This predicate with attributes renamed via ``mapping``.
+
+        Used by the normalizer: ``δ_θ(σ_C(E)) = σ_{θ(C)}(δ_θ(E))``.
+        """
+        raise NotImplementedError
+
+    def validate(self, schema: Schema) -> None:
+        """Raise :class:`SchemaError` if the predicate mentions unknown attributes."""
+        for a in self.attributes():
+            schema.index_of(a)
+
+    # Conjunction/disjunction helpers make call sites read naturally.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """The always-true predicate (selection with it is the identity)."""
+
+    __slots__ = ()
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return True
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def rename(self, mapping: Dict[str, str]) -> "TruePredicate":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self) -> int:
+        return hash("true")
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class Comparison(Predicate):
+    """An atomic comparison between two operands.
+
+    >>> from repro.algebra.schema import Schema
+    >>> p = Comparison(AttributeRef("A"), "=", Constant(3))
+    >>> p.evaluate(Schema(["A"]), (3,))
+    True
+    """
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: "_Operand | str", op: str, right: "_Operand | object"):
+        if isinstance(left, str):
+            left = AttributeRef(left)
+        if not isinstance(right, _Operand):
+            right = Constant(right)
+        if not isinstance(left, _Operand):
+            raise SchemaError(f"invalid comparison operand {left!r}")
+        if op not in COMPARATORS:
+            raise SchemaError(
+                f"unknown comparison operator {op!r}; expected one of {sorted(COMPARATORS)}"
+            )
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        lhs = self.left.value(schema, row)
+        rhs = self.right.value(schema, row)
+        try:
+            return COMPARATORS[self.op](lhs, rhs)
+        except TypeError:
+            raise EvaluationError(
+                f"cannot compare {lhs!r} {self.op} {rhs!r} (incompatible types)"
+            ) from None
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Dict[str, str]) -> "Comparison":
+        return Comparison(self.left.rename(mapping), self.op, self.right.rename(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.left == self.left
+            and other.op == self.op
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.op, self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return self.left.evaluate(schema, row) and self.right.evaluate(schema, row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Dict[str, str]) -> "And":
+        return And(self.left.rename(mapping), self.right.rename(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("and", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return self.left.evaluate(schema, row) or self.right.evaluate(schema, row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Dict[str, str]) -> "Or":
+        return Or(self.left.rename(mapping), self.right.rename(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self) -> int:
+        return hash(("or", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+class Not(Predicate):
+    """Negation of a predicate.
+
+    Note that negation inside a *selection* keeps the query monotone: the
+    operator σ is monotone in its relation argument for any fixed predicate.
+    """
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return not self.child.evaluate(schema, row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.child.attributes()
+
+    def rename(self, mapping: Dict[str, str]) -> "Not":
+        return Not(self.child.rename(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.child == self.child
+
+    def __hash__(self) -> int:
+        return hash(("not", self.child))
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+def conjoin(*predicates: Predicate) -> Predicate:
+    """Conjunction of any number of predicates (TRUE for zero).
+
+    Flattens nothing; simply left-folds with :class:`And`, dropping
+    :class:`TruePredicate` operands.
+    """
+    result: Predicate = TruePredicate()
+    for p in predicates:
+        if isinstance(p, TruePredicate):
+            continue
+        if isinstance(result, TruePredicate):
+            result = p
+        else:
+            result = And(result, p)
+    return result

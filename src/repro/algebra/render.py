@@ -1,0 +1,118 @@
+"""Plain-text rendering of relations, databases, and query trees.
+
+The examples and benchmark harnesses print the paper's figures; these helpers
+produce deterministic ASCII tables (rows sorted) so output is comparable
+across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.relation import Database, Relation
+
+__all__ = ["render_relation", "render_database", "render_query_tree", "render_rows"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    return repr(value)
+
+
+def render_rows(
+    header: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render a header and rows as an ASCII table."""
+    str_rows = [[_format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(header)))
+    out.append(separator)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def render_relation(relation: Relation, title: Optional[str] = None) -> str:
+    """Render a relation as an ASCII table with sorted rows.
+
+    >>> print(render_relation(Relation("R", ["A"], [(1,), (2,)])))
+    R
+    +---+
+    | A |
+    +---+
+    | 1 |
+    | 2 |
+    +---+
+    """
+    return render_rows(
+        relation.schema.attributes,
+        relation.sorted_rows(),
+        title if title is not None else relation.name,
+    )
+
+
+def render_database(db: Database) -> str:
+    """Render every relation of a database, separated by blank lines."""
+    return "\n\n".join(render_relation(db[name]) for name in db)
+
+
+def render_query_tree(query: Query, indent: str = "") -> str:
+    """Render a query AST as an indented tree.
+
+    >>> from repro.algebra.parser import parse_query
+    >>> print(render_query_tree(parse_query("PROJECT[A](R JOIN S)")))
+    PROJECT[A]
+      JOIN
+        R
+        S
+    """
+    if isinstance(query, RelationRef):
+        return f"{indent}{query.name}"
+    if isinstance(query, Select):
+        head = f"{indent}SELECT[{query.predicate!r}]"
+        return head + "\n" + render_query_tree(query.child, indent + "  ")
+    if isinstance(query, Project):
+        head = f"{indent}PROJECT[{', '.join(query.attributes)}]"
+        return head + "\n" + render_query_tree(query.child, indent + "  ")
+    if isinstance(query, Rename):
+        pairs = ", ".join(f"{old}->{new}" for old, new in query.mapping)
+        head = f"{indent}RENAME[{pairs}]"
+        return head + "\n" + render_query_tree(query.child, indent + "  ")
+    if isinstance(query, Join):
+        return (
+            f"{indent}JOIN\n"
+            + render_query_tree(query.left, indent + "  ")
+            + "\n"
+            + render_query_tree(query.right, indent + "  ")
+        )
+    if isinstance(query, Union):
+        return (
+            f"{indent}UNION\n"
+            + render_query_tree(query.left, indent + "  ")
+            + "\n"
+            + render_query_tree(query.right, indent + "  ")
+        )
+    return f"{indent}{query!r}"

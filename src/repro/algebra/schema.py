@@ -1,0 +1,157 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered sequence of distinct attribute names.  The
+paper works with named attributes throughout — natural join joins on shared
+names, projection selects by name, and renaming maps names to names — so the
+schema layer is the foundation everything else builds on.
+
+Schemas are immutable and hashable; all operations return new schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+def _check_attribute_name(name: object) -> str:
+    """Validate a single attribute name and return it.
+
+    Attribute names must be non-empty strings.  We deliberately allow
+    arbitrary non-empty strings (including e.g. ``"A1"`` or ``"user"``)
+    because the reductions in the paper synthesize attribute names
+    programmatically.
+    """
+    if not isinstance(name, str):
+        raise SchemaError(f"attribute name must be a string, got {name!r}")
+    if not name:
+        raise SchemaError("attribute name must be a non-empty string")
+    return name
+
+
+class Schema:
+    """An ordered list of distinct attribute names.
+
+    >>> s = Schema(["A", "B"])
+    >>> s.attributes
+    ('A', 'B')
+    >>> s.index_of("B")
+    1
+    >>> s.project(["B"]).attributes
+    ('B',)
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(_check_attribute_name(a) for a in attributes)
+        seen = set()
+        for a in attrs:
+            if a in seen:
+                raise SchemaError(f"duplicate attribute name {a!r} in schema")
+            seen.add(a)
+        self._attributes: Tuple[str, ...] = attrs
+        self._index: Dict[str, int] = {a: i for i, a in enumerate(attrs)}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names, in order."""
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        """The number of attributes."""
+        return len(self._attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Return the position of ``attribute``.
+
+        Raises :class:`SchemaError` if the attribute is absent.
+        """
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self._attributes}"
+            ) from None
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    # ------------------------------------------------------------------
+    # Equality / hashing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attributes)!r})"
+
+    # ------------------------------------------------------------------
+    # Derived schemas
+    # ------------------------------------------------------------------
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """Schema obtained by projecting onto ``attributes`` (in that order).
+
+        Every requested attribute must exist.  Duplicates are rejected by the
+        :class:`Schema` constructor.
+        """
+        for a in attributes:
+            self.index_of(a)
+        return Schema(attributes)
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Schema obtained by renaming attributes via ``mapping``.
+
+        ``mapping`` maps old names to new names.  Attributes not mentioned are
+        kept unchanged.  The result must have distinct names (i.e. the total
+        renaming must be injective on this schema); otherwise a
+        :class:`SchemaError` is raised.
+        """
+        for old in mapping:
+            self.index_of(old)
+        new_attrs = [mapping.get(a, a) for a in self._attributes]
+        return Schema(new_attrs)  # constructor rejects duplicates
+
+    def join(self, other: "Schema") -> "Schema":
+        """Schema of the natural join of relations with ``self`` and ``other``.
+
+        Result order: all of ``self``'s attributes, then ``other``'s
+        attributes that are not shared.
+        """
+        extra = [a for a in other.attributes if a not in self]
+        return Schema(self._attributes + tuple(extra))
+
+    def common(self, other: "Schema") -> Tuple[str, ...]:
+        """The shared attribute names, in ``self``'s order."""
+        return tuple(a for a in self._attributes if a in other)
+
+    def is_union_compatible(self, other: "Schema") -> bool:
+        """True if both schemas have the same *set* of attribute names.
+
+        The paper treats union as an operation on relations over the same
+        attributes; we allow attribute order to differ and canonicalize on
+        the left operand's order.
+        """
+        return set(self._attributes) == set(other.attributes)
+
+    def positions(self, attributes: Sequence[str]) -> Tuple[int, ...]:
+        """Indices of ``attributes`` within this schema, in the given order."""
+        return tuple(self.index_of(a) for a in attributes)

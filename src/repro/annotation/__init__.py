@@ -1,0 +1,31 @@
+"""Annotation placement through views (Section 3 of the paper).
+
+Builds on the where-provenance engine
+(:mod:`repro.provenance.where`) to answer: *which source field should be
+annotated so the annotation lands on a requested view field with minimal
+spread?*
+"""
+
+from repro.annotation.store import AnnotatedView, Annotation, AnnotationStore
+from repro.annotation.placement import (
+    AnnotationPlacement,
+    exhaustive_placement,
+    place_annotation,
+    side_effect_free_annotation_exists,
+    sju_placement,
+    spu_placement,
+    verify_placement,
+)
+
+__all__ = [
+    "Annotation",
+    "AnnotationStore",
+    "AnnotatedView",
+    "AnnotationPlacement",
+    "place_annotation",
+    "spu_placement",
+    "sju_placement",
+    "exhaustive_placement",
+    "side_effect_free_annotation_exists",
+    "verify_placement",
+]

@@ -1,0 +1,354 @@
+"""The annotation placement problem (Section 3.1).
+
+Given a source database ``S``, a query ``Q``, the view ``Q(S)`` and a view
+location, find **one** source location whose annotation propagates (under
+the forward rules of :mod:`repro.provenance.where`) to the given view
+location while annotating as few other view locations as possible.
+
+Unlike deletion, the optimal solution is always a *single* source location
+— annotating several can only widen the spread — so the problem is a
+minimization over the candidate source locations in the view location's
+backward image.
+
+The paper's dichotomy (its third table):
+
+===================  ==============================================
+Query class          Deciding whether a side-effect-free annotation
+                     exists
+===================  ==============================================
+involves P and J     NP-hard (Theorem 3.2)
+SJU                  P (Theorem 3.4)
+SPU                  P (Theorem 3.3)
+===================  ==============================================
+
+Note the contrast with deletion: JU queries are *easy* here — without
+projection an annotation cannot "hide" — while PJ queries remain hard.  The
+hardness for PJ is query complexity: materializing ``R1 ⋈ ... ⋈ Rm`` under a
+projection can be exponential in the query size, which is exactly the lever
+Theorem 3.2's reduction pulls.
+
+Implementations:
+
+* :func:`spu_placement` — Theorem 3.3: scan each SP branch for a source
+  tuple that selects-and-projects onto the target row; its matching field is
+  side-effect-free (rename-free SPU; actual side effects always verified).
+* :func:`sju_placement` — Theorem 3.4: for each branch containing the
+  target and each join component carrying the attribute, count the view
+  locations annotated through *every* branch, and keep the minimum.
+  Polynomial given the branch views.
+* :func:`exhaustive_placement` — optimal for any SPJRU query via the full
+  where-provenance relation; worst-case exponential in query size.
+* :func:`place_annotation` — the dispatcher realizing the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import InfeasibleError, QueryClassError, ReproError
+from repro.algebra.ast import Query, RelationRef, Rename
+from repro.algebra.classify import (
+    branch_parts,
+    flatten_union,
+    is_sju,
+    is_spu,
+)
+from repro.algebra.evaluate import evaluate
+from repro.algebra.relation import Database, Row
+from repro.algebra.schema import Schema
+from repro.provenance.locations import Location
+from repro.provenance.where import WhereProvenance, where_provenance
+
+__all__ = [
+    "AnnotationPlacement",
+    "spu_placement",
+    "sju_placement",
+    "exhaustive_placement",
+    "place_annotation",
+    "side_effect_free_annotation_exists",
+    "verify_placement",
+]
+
+
+@dataclass(frozen=True)
+class AnnotationPlacement:
+    """A solution to the annotation placement problem.
+
+    Attributes:
+        target: the requested view location.
+        source: the source location to annotate.
+        propagated: every view location the annotation reaches (includes
+            the target).
+        algorithm: name of the algorithm that produced the placement.
+        optimal: True when the algorithm guarantees minimality of
+            ``len(propagated)``.
+    """
+
+    target: Location
+    source: Location
+    propagated: FrozenSet[Location]
+    algorithm: str
+    optimal: bool
+
+    @property
+    def num_side_effects(self) -> int:
+        """View locations annotated besides the target."""
+        return len(self.propagated) - 1
+
+    @property
+    def side_effect_free(self) -> bool:
+        """True when only the target receives the annotation."""
+        return self.num_side_effects == 0
+
+    def describe(self) -> str:
+        """A short human-readable summary."""
+        return (
+            f"annotate {self.source} via {self.algorithm}; "
+            f"side effects: {self.num_side_effects}"
+        )
+
+
+def _leaf_attribute_maps(
+    leaf: Query, catalog: Mapping[str, Schema]
+) -> Tuple[str, Dict[str, str], Dict[str, str]]:
+    """For a normal-form leaf, its base name and attribute maps.
+
+    Returns ``(base_name, base_to_leaf, leaf_to_base)`` where the maps
+    compose every renaming between the base relation and the leaf's output.
+    """
+    renames: List[Dict[str, str]] = []
+    node = leaf
+    while isinstance(node, Rename):
+        renames.append(node.mapping_dict)
+        node = node.child
+    if not isinstance(node, RelationRef):
+        raise QueryClassError(f"{leaf!r} is not a normal-form leaf")
+    base_to_leaf: Dict[str, str] = {}
+    for attr in catalog[node.name].attributes:
+        current = attr
+        for mapping in reversed(renames):  # innermost rename applies first
+            current = mapping.get(current, current)
+        base_to_leaf[attr] = current
+    leaf_to_base = {leaf_attr: base for base, leaf_attr in base_to_leaf.items()}
+    return node.name, base_to_leaf, leaf_to_base
+
+
+def spu_placement(query: Query, db: Database, target: Location) -> AnnotationPlacement:
+    """Theorem 3.3: side-effect-free placement for SPU queries.
+
+    Scans each SP branch for a source tuple whose selection and projection
+    reach the target row, and annotates the matching source field.  For
+    rename-free SPU queries the result is always side-effect-free; side
+    effects are computed from the true propagation relation regardless, so
+    the plan is honest even on renamed variants.
+    """
+    if not is_spu(query):
+        raise QueryClassError(
+            f"spu_placement requires an SPU query, got class {query.operators()!r}"
+        )
+    return _best_placement(query, db, target, "spu-branch-scan")
+
+
+def exhaustive_placement(
+    query: Query, db: Database, target: Location
+) -> AnnotationPlacement:
+    """Optimal placement for any SPJRU query via full where-provenance.
+
+    Candidates are exactly the backward image of the target; the winner
+    minimizes the forward image size.  Worst-case exponential in query size
+    (Theorem 3.2 says this cannot be avoided for PJ queries) but exact.
+    """
+    return _best_placement(query, db, target, "exhaustive-where-provenance")
+
+
+def _best_placement(
+    query: Query, db: Database, target: Location, algorithm: str
+) -> AnnotationPlacement:
+    prov = where_provenance(query, db, view_name=target.relation)
+    candidates = prov.backward(target.row, target.attribute)
+    if not candidates:
+        raise InfeasibleError(
+            f"no source location propagates to {target} "
+            "(a constant view column carries no annotations)"
+        )
+    forward = prov.forward_closure()
+    best_source = None
+    best_image: Optional[FrozenSet[Location]] = None
+    for candidate in sorted(candidates, key=repr):
+        image = forward[candidate]
+        if best_image is None or len(image) < len(best_image):
+            best_source, best_image = candidate, image
+            if len(image) == 1:
+                break
+    assert best_source is not None and best_image is not None
+    return AnnotationPlacement(
+        target=target,
+        source=best_source,
+        propagated=best_image,
+        algorithm=algorithm,
+        optimal=True,
+    )
+
+
+def sju_placement(query: Query, db: Database, target: Location) -> AnnotationPlacement:
+    """Theorem 3.4: polynomial placement for SJU queries in normal form.
+
+    For each SJ branch producing the target row and each join component
+    whose (renamed) schema carries the target attribute, the candidate is
+    the corresponding field of that component; its cost is the number of
+    view locations annotated through **all** branches in which the same base
+    relation occurs.  No projection means no blowup: everything is computed
+    on the branch views.
+    """
+    if not is_sju(query):
+        raise QueryClassError(
+            f"sju_placement requires an SJU query, got class {query.operators()!r}"
+        )
+    catalog = {name: db[name].schema for name in db}
+    branches = flatten_union(query)
+    parsed = []
+    for branch in branches:
+        project, select, leaves = branch_parts(branch)
+        if project is not None:
+            raise QueryClassError("sju_placement requires a projection-free query")
+        parsed.append((branch, leaves))
+
+    view_schema = query.output_schema(catalog)
+    view_order = view_schema.attributes
+    branch_views: List[Set[Row]] = []
+    branch_schemas: List[Schema] = []
+    for branch, _ in parsed:
+        relation = evaluate(branch, db)
+        branch_schemas.append(relation.schema)
+        reorder = relation.schema.positions(view_order)
+        branch_views.append({tuple(r[i] for i in reorder) for r in relation.rows})
+
+    target_row = tuple(target.row)
+    attribute = target.attribute
+
+    # Candidate source locations, per the theorem: components of the target
+    # row in branches that produce it, restricted to leaves carrying the
+    # attribute.
+    candidates: Set[Location] = set()
+    for (branch, leaves), rows in zip(parsed, branch_views):
+        if target_row not in rows:
+            continue
+        for leaf in leaves:
+            base, base_to_leaf, leaf_to_base = _leaf_attribute_maps(leaf, catalog)
+            if attribute not in leaf_to_base:
+                continue
+            leaf_schema = leaf.output_schema(catalog)
+            component = tuple(
+                target_row[view_schema.index_of(a)] for a in leaf_schema.attributes
+            )
+            candidates.add(Location(base, component, leaf_to_base[attribute]))
+    if not candidates:
+        raise InfeasibleError(f"no source location propagates to {target}")
+
+    view_name = target.relation
+
+    def forward_image(source: Location) -> FrozenSet[Location]:
+        """View locations annotated by ``source``, across every branch."""
+        annotated: Set[Location] = set()
+        for (branch, leaves), rows, schema in zip(
+            parsed, branch_views, branch_schemas
+        ):
+            for leaf in leaves:
+                base, base_to_leaf, _ = _leaf_attribute_maps(leaf, catalog)
+                if base != source.relation:
+                    continue
+                leaf_attr = base_to_leaf[source.attribute]
+                leaf_schema = leaf.output_schema(catalog)
+                for row in rows:
+                    component = tuple(
+                        row[view_schema.index_of(a)]
+                        for a in leaf_schema.attributes
+                    )
+                    if component == tuple(source.row):
+                        annotated.add(Location(view_name, row, leaf_attr))
+        return frozenset(annotated)
+
+    best_source = None
+    best_image: Optional[FrozenSet[Location]] = None
+    for candidate in sorted(candidates, key=repr):
+        image = forward_image(candidate)
+        if best_image is None or len(image) < len(best_image):
+            best_source, best_image = candidate, image
+            if len(image) == 1:
+                break
+    assert best_source is not None and best_image is not None
+    return AnnotationPlacement(
+        target=target,
+        source=best_source,
+        propagated=best_image,
+        algorithm="sju-component-count",
+        optimal=True,
+    )
+
+
+def place_annotation(
+    query: Query,
+    db: Database,
+    target: Location,
+    allow_exponential: bool = True,
+) -> AnnotationPlacement:
+    """Dispatcher realizing the paper's third dichotomy table.
+
+    SPU → branch scan (Theorem 3.3); SJU → component counting
+    (Theorem 3.4); anything involving projection and join → exhaustive
+    search (NP-hard territory, Theorem 3.2), refused when
+    ``allow_exponential=False``.
+    """
+    if is_spu(query):
+        return spu_placement(query, db, target)
+    if is_sju(query):
+        try:
+            return sju_placement(query, db, target)
+        except QueryClassError:
+            pass  # not in normal form; fall back to the generic engine
+    if not allow_exponential:
+        raise QueryClassError(
+            "query involves projection and join; the annotation placement "
+            "problem is NP-hard for this class (Theorem 3.2) — pass "
+            "allow_exponential=True to run the exhaustive search"
+        )
+    return exhaustive_placement(query, db, target)
+
+
+def side_effect_free_annotation_exists(
+    query: Query, db: Database, target: Location
+) -> bool:
+    """Decide whether some source annotation reaches only ``target``.
+
+    The decision problem of the table; NP-hard for PJ queries
+    (Theorem 3.2).
+    """
+    try:
+        placement = exhaustive_placement(query, db, target)
+    except InfeasibleError:
+        return False
+    return placement.side_effect_free
+
+
+def verify_placement(
+    query: Query, db: Database, placement: AnnotationPlacement
+) -> None:
+    """Check a placement against the ground-truth propagation relation.
+
+    Recomputes the forward image of the chosen source location with the
+    where-provenance engine and compares; raises :class:`ReproError` on any
+    disagreement or if the target is not reached.
+    """
+    prov = where_provenance(query, db, view_name=placement.target.relation)
+    actual = prov.forward(placement.source)
+    if actual != placement.propagated:
+        raise ReproError(
+            f"placement propagation is wrong: recorded "
+            f"{sorted(map(str, placement.propagated))}, actual "
+            f"{sorted(map(str, actual))}"
+        )
+    if placement.target not in actual:
+        raise ReproError(
+            f"placement does not reach the target {placement.target}"
+        )

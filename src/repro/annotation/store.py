@@ -1,0 +1,211 @@
+"""An annotation store: the paper's introduction scenario, implemented.
+
+The paper motivates annotation placement with shared scientific databases
+(BioDAS, Annotea): annotators usually *cannot* modify the source database,
+so annotations live in a **separate store** keyed by location, and "we may
+allow annotations on annotations".
+
+:class:`AnnotationStore` provides exactly that:
+
+* attach free-form annotation values to source locations
+  (:meth:`AnnotationStore.add`), including replies to existing annotations
+  (:meth:`AnnotationStore.reply` — annotations on annotations);
+* compute the annotated view of any monotone query
+  (:meth:`AnnotationStore.annotated_view`): each view location receives the
+  annotations of every source location that propagates to it, per the
+  paper's five forward rules;
+* place a new annotation *via the view* (:meth:`AnnotationStore.annotate_view`):
+  the store runs the Section 3 placement algorithm, records the annotation
+  at the chosen **source** location, and reports the side effects — this is
+  the end-to-end loop the paper's annotation placement problem optimizes.
+
+The store is deliberately independent of the database objects (immutable
+value-identified rows make that sound): deleting a source tuple simply
+orphans its annotations, which :meth:`AnnotationStore.orphans` reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import InfeasibleError, ReproError
+from repro.algebra.ast import Query
+from repro.algebra.relation import Database
+from repro.annotation.placement import AnnotationPlacement, place_annotation
+from repro.provenance.locations import Location, validate_location
+from repro.provenance.where import where_provenance
+
+__all__ = ["Annotation", "AnnotationStore", "AnnotatedView"]
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One annotation: an id, the annotated location, text, and optionally
+    the id of the annotation it replies to (annotations on annotations)."""
+
+    annotation_id: int
+    location: Location
+    text: str
+    parent: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AnnotatedView:
+    """A view plus the annotations each of its locations carries."""
+
+    view_name: str
+    annotations: Dict[Location, Tuple[Annotation, ...]]
+
+    def at(self, location: Location) -> Tuple[Annotation, ...]:
+        """Annotations visible at a view location (empty tuple if none)."""
+        return self.annotations.get(location, ())
+
+    def annotated_locations(self) -> Tuple[Location, ...]:
+        """View locations that carry at least one annotation, sorted."""
+        return tuple(
+            sorted(
+                (loc for loc, anns in self.annotations.items() if anns),
+                key=lambda l: (repr(l.row), l.attribute),
+            )
+        )
+
+
+class AnnotationStore:
+    """A mutable store of annotations over source locations.
+
+    The store never touches the source database — matching the paper's
+    observation that annotators "may not have update privileges to the
+    database so that annotations have to be stored in a separate database".
+    """
+
+    def __init__(self) -> None:
+        self._annotations: Dict[int, Annotation] = {}
+        self._by_location: Dict[Location, List[int]] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Authoring
+    # ------------------------------------------------------------------
+    def add(self, db: Database, location: Location, text: str) -> Annotation:
+        """Attach ``text`` to a source location (validated against ``db``)."""
+        validate_location(db, location)
+        annotation = Annotation(next(self._ids), location, text)
+        self._annotations[annotation.annotation_id] = annotation
+        self._by_location.setdefault(location, []).append(annotation.annotation_id)
+        return annotation
+
+    def reply(self, parent_id: int, text: str) -> Annotation:
+        """An annotation **on an annotation**: attaches to the same location
+        and records the parent id."""
+        try:
+            parent = self._annotations[parent_id]
+        except KeyError:
+            raise ReproError(f"no annotation with id {parent_id}") from None
+        annotation = Annotation(next(self._ids), parent.location, text, parent_id)
+        self._annotations[annotation.annotation_id] = annotation
+        self._by_location.setdefault(parent.location, []).append(
+            annotation.annotation_id
+        )
+        return annotation
+
+    def remove(self, annotation_id: int) -> None:
+        """Delete an annotation (and leave replies dangling-but-listed)."""
+        annotation = self._annotations.pop(annotation_id, None)
+        if annotation is None:
+            raise ReproError(f"no annotation with id {annotation_id}")
+        self._by_location[annotation.location].remove(annotation_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def get(self, annotation_id: int) -> Annotation:
+        """Fetch an annotation by id."""
+        try:
+            return self._annotations[annotation_id]
+        except KeyError:
+            raise ReproError(f"no annotation with id {annotation_id}") from None
+
+    def at(self, location: Location) -> Tuple[Annotation, ...]:
+        """All annotations attached to a source location."""
+        ids = self._by_location.get(location, ())
+        return tuple(self._annotations[i] for i in ids)
+
+    def thread(self, annotation_id: int) -> Tuple[Annotation, ...]:
+        """An annotation with its chain of ancestors, root first."""
+        chain: List[Annotation] = []
+        current: Optional[int] = annotation_id
+        while current is not None:
+            annotation = self.get(current)
+            chain.append(annotation)
+            current = annotation.parent
+        return tuple(reversed(chain))
+
+    def locations(self) -> Tuple[Location, ...]:
+        """Source locations carrying at least one annotation."""
+        return tuple(
+            sorted(
+                (loc for loc, ids in self._by_location.items() if ids),
+                key=lambda l: (l.relation, repr(l.row), l.attribute),
+            )
+        )
+
+    def orphans(self, db: Database) -> Tuple[Annotation, ...]:
+        """Annotations whose location no longer exists in ``db``.
+
+        Source deletions can strand annotations; curation tooling needs to
+        find them.
+        """
+        out: List[Annotation] = []
+        for annotation in self._annotations.values():
+            try:
+                validate_location(db, annotation.location)
+            except Exception:
+                out.append(annotation)
+        return tuple(sorted(out, key=lambda a: a.annotation_id))
+
+    # ------------------------------------------------------------------
+    # Propagation through queries
+    # ------------------------------------------------------------------
+    def annotated_view(
+        self, query: Query, db: Database, view_name: str = "V"
+    ) -> AnnotatedView:
+        """Evaluate ``query`` and carry every stored annotation forward.
+
+        Each view location receives the annotations of all source locations
+        in its backward where-provenance — the paper's forward rules run on
+        the entire store at once.
+        """
+        prov = where_provenance(query, db, view_name=view_name)
+        out: Dict[Location, Tuple[Annotation, ...]] = {}
+        for (row, attr), sources in prov.as_dict().items():
+            collected: List[Annotation] = []
+            for source in sorted(sources, key=repr):
+                collected.extend(self.at(source))
+            out[Location(view_name, row, attr)] = tuple(collected)
+        return AnnotatedView(view_name, out)
+
+    def annotate_view(
+        self,
+        query: Query,
+        db: Database,
+        target: Location,
+        text: str,
+        allow_exponential: bool = True,
+    ) -> Tuple[Annotation, AnnotationPlacement]:
+        """Annotate a *view* location: solve placement, store at the source.
+
+        Runs the Section 3 placement problem to pick the side-effect-minimal
+        source location, records the annotation there, and returns both the
+        stored annotation and the placement (whose ``propagated`` field
+        lists every view location that will now show the note).
+        """
+        placement = place_annotation(
+            query, db, target, allow_exponential=allow_exponential
+        )
+        annotation = self.add(db, placement.source, text)
+        return annotation, placement

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Operates on a JSON database file of the form::
+
+    {
+      "relations": [
+        {"name": "UserGroup", "schema": ["user", "group"],
+         "rows": [["joe", "g1"], ["ann", "g1"]]},
+        {"name": "GroupFile", "schema": ["group", "file"],
+         "rows": [["g1", "f1"]]}
+      ]
+    }
+
+Sub-commands (query syntax is the DSL of :mod:`repro.algebra.parser`)::
+
+    repro show DB.json
+    repro eval DB.json "PROJECT[user, file](UserGroup JOIN GroupFile)"
+    repro classify "PROJECT[user, file](UserGroup JOIN GroupFile)"
+    repro normalize DB.json QUERY
+    repro witnesses DB.json QUERY '["joe", "f1"]'
+    repro delete DB.json QUERY '["joe", "f1"]' --objective view
+    repro annotate DB.json QUERY '["joe", "f1"]' file
+
+Exit status is 0 on success, 2 on usage errors, 1 on library errors (which
+are printed, not raised).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.algebra import (
+    Database,
+    Relation,
+    evaluate,
+    is_normal_form,
+    normalize,
+    parse_query,
+    query_class,
+    render_query_tree,
+    render_relation,
+)
+from repro.annotation import place_annotation
+from repro.deletion import delete_view_tuple, minimum_source_deletion, verify_plan
+from repro.provenance import Location, why_provenance
+
+__all__ = ["main", "load_database"]
+
+
+def load_database(path: str) -> Database:
+    """Load a JSON database file (see module docstring for the format)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "relations" not in payload:
+        raise ReproError(f"{path}: expected an object with a 'relations' key")
+    relations = []
+    for entry in payload["relations"]:
+        try:
+            relations.append(
+                Relation(
+                    entry["name"],
+                    entry["schema"],
+                    [tuple(row) for row in entry["rows"]],
+                )
+            )
+        except KeyError as missing:
+            raise ReproError(
+                f"{path}: relation entry is missing key {missing}"
+            ) from None
+    return Database(relations)
+
+
+def _parse_row(text: str) -> tuple:
+    """Parse a view row given as a JSON array on the command line."""
+    try:
+        values = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ReproError(f"invalid row {text!r}: {err}") from None
+    if not isinstance(values, list):
+        raise ReproError(f"row must be a JSON array, got {text!r}")
+    return tuple(values)
+
+
+def _cmd_show(args: argparse.Namespace) -> None:
+    db = load_database(args.database)
+    for name in db:
+        print(render_relation(db[name]))
+        print()
+
+
+def _cmd_eval(args: argparse.Namespace) -> None:
+    db = load_database(args.database)
+    query = parse_query(args.query)
+    print(render_relation(evaluate(query, db)))
+
+
+def _cmd_classify(args: argparse.Namespace) -> None:
+    query = parse_query(args.query)
+    letters = query_class(query, include_rename=True)
+    print(f"operators: {letters or '(none)'}")
+    print(f"normal form: {is_normal_form(query)}")
+    print(render_query_tree(query))
+
+
+def _cmd_normalize(args: argparse.Namespace) -> None:
+    db = load_database(args.database)
+    query = parse_query(args.query)
+    catalog = {name: db[name].schema for name in db}
+    print(render_query_tree(normalize(query, catalog)))
+
+
+def _cmd_witnesses(args: argparse.Namespace) -> None:
+    db = load_database(args.database)
+    query = parse_query(args.query)
+    row = _parse_row(args.row)
+    prov = why_provenance(query, db)
+    for index, witness in enumerate(sorted(prov.witnesses(row), key=repr), 1):
+        parts = ", ".join(f"{rel}{list(r)!r}" for rel, r in sorted(witness, key=repr))
+        print(f"witness {index}: {parts}")
+
+
+def _cmd_delete(args: argparse.Namespace) -> None:
+    db = load_database(args.database)
+    query = parse_query(args.query)
+    row = _parse_row(args.row)
+    if args.objective == "view":
+        plan = delete_view_tuple(
+            query, db, row, allow_exponential=not args.no_exponential
+        )
+    else:
+        plan = minimum_source_deletion(
+            query, db, row, allow_exponential=not args.no_exponential
+        )
+    verify_plan(query, db, plan)
+    print(f"algorithm: {plan.algorithm}")
+    print(f"optimal: {plan.optimal}")
+    for rel, r in plan.sorted_deletions():
+        print(f"delete: {rel}{list(r)!r}")
+    if plan.side_effects:
+        for effect in sorted(plan.side_effects, key=repr):
+            print(f"side effect: view row {list(effect)!r} also removed")
+    else:
+        print("side effects: none")
+
+
+def _cmd_annotate(args: argparse.Namespace) -> None:
+    db = load_database(args.database)
+    query = parse_query(args.query)
+    row = _parse_row(args.row)
+    target = Location("V", row, args.attribute)
+    placement = place_annotation(
+        query, db, target, allow_exponential=not args.no_exponential
+    )
+    print(f"algorithm: {placement.algorithm}")
+    print(f"annotate: {placement.source}")
+    for location in sorted(map(str, placement.propagated)):
+        print(f"propagates to: {location}")
+    print(f"side effects: {placement.num_side_effects}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deletion and annotation propagation through views "
+        "(Buneman, Khanna, Tan — PODS 2002).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_show = sub.add_parser("show", help="print every relation of a database")
+    p_show.add_argument("database", help="path to a JSON database file")
+    p_show.set_defaults(handler=_cmd_show)
+
+    p_eval = sub.add_parser("eval", help="evaluate a query and print the view")
+    p_eval.add_argument("database")
+    p_eval.add_argument("query", help="query in the DSL syntax")
+    p_eval.set_defaults(handler=_cmd_eval)
+
+    p_classify = sub.add_parser("classify", help="show a query's class and tree")
+    p_classify.add_argument("query")
+    p_classify.set_defaults(handler=_cmd_classify)
+
+    p_norm = sub.add_parser("normalize", help="print the Theorem 3.1 normal form")
+    p_norm.add_argument("database")
+    p_norm.add_argument("query")
+    p_norm.set_defaults(handler=_cmd_normalize)
+
+    p_wit = sub.add_parser("witnesses", help="list a view tuple's minimal witnesses")
+    p_wit.add_argument("database")
+    p_wit.add_argument("query")
+    p_wit.add_argument("row", help="view row as a JSON array")
+    p_wit.set_defaults(handler=_cmd_witnesses)
+
+    p_del = sub.add_parser("delete", help="plan a view-tuple deletion")
+    p_del.add_argument("database")
+    p_del.add_argument("query")
+    p_del.add_argument("row", help="view row as a JSON array")
+    p_del.add_argument(
+        "--objective",
+        choices=("view", "source"),
+        default="view",
+        help="minimize view side effects (default) or source deletions",
+    )
+    p_del.add_argument(
+        "--no-exponential",
+        action="store_true",
+        help="refuse/avoid exponential algorithms on the NP-hard fragments",
+    )
+    p_del.set_defaults(handler=_cmd_delete)
+
+    p_ann = sub.add_parser("annotate", help="plan an annotation placement")
+    p_ann.add_argument("database")
+    p_ann.add_argument("query")
+    p_ann.add_argument("row", help="view row as a JSON array")
+    p_ann.add_argument("attribute", help="view attribute to annotate")
+    p_ann.add_argument("--no-exponential", action="store_true")
+    p_ann.set_defaults(handler=_cmd_annotate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.handler(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

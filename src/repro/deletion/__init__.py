@@ -1,0 +1,60 @@
+"""Deletion propagation through views (Section 2 of the paper).
+
+Two objectives over the same setup (source ``S``, monotone query ``Q``, view
+``Q(S)``, tuple ``t`` to delete):
+
+* :mod:`repro.deletion.view_side_effect` — minimize collateral view
+  deletions (Theorems 2.1–2.4);
+* :mod:`repro.deletion.source_side_effect` — minimize the number of source
+  deletions (Theorems 2.5–2.9), with the chain-join min-cut special case in
+  :mod:`repro.deletion.chain_join`;
+* :mod:`repro.deletion.api` — dispatchers that realize the dichotomy tables.
+"""
+
+from repro.deletion.plan import DeletionPlan, apply_deletions, verify_plan
+from repro.deletion.view_side_effect import (
+    exact_view_deletion,
+    side_effect_free_exists,
+    sj_view_deletion,
+    spu_view_deletion,
+)
+from repro.deletion.source_side_effect import (
+    exact_source_deletion,
+    greedy_source_deletion,
+    sj_source_deletion,
+    spu_source_deletion,
+)
+from repro.deletion.chain_join import build_chain_network, chain_join_source_deletion
+from repro.deletion.keyed import (
+    is_key_based,
+    key_based_source_deletion,
+    key_based_view_deletion,
+)
+from repro.deletion.enumerate import (
+    count_minimal_translations,
+    enumerate_deletion_plans,
+)
+from repro.deletion.api import delete_view_tuple, minimum_source_deletion
+
+__all__ = [
+    "DeletionPlan",
+    "apply_deletions",
+    "verify_plan",
+    "delete_view_tuple",
+    "minimum_source_deletion",
+    "spu_view_deletion",
+    "sj_view_deletion",
+    "exact_view_deletion",
+    "side_effect_free_exists",
+    "spu_source_deletion",
+    "sj_source_deletion",
+    "greedy_source_deletion",
+    "exact_source_deletion",
+    "chain_join_source_deletion",
+    "build_chain_network",
+    "is_key_based",
+    "key_based_view_deletion",
+    "key_based_source_deletion",
+    "enumerate_deletion_plans",
+    "count_minimal_translations",
+]

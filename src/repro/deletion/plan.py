@@ -1,0 +1,109 @@
+"""Deletion plans: the result type of every deletion algorithm.
+
+A :class:`DeletionPlan` records which source tuples to delete, what the
+deletion does to the view (the side effects), which algorithm produced it,
+and whether it is provably optimal for its objective.  The two objectives of
+the paper are:
+
+* ``"view"`` — minimize the number of *other* view tuples deleted
+  (Section 2.1, the view side-effect problem);
+* ``"source"`` — minimize the number of source tuples deleted
+  (Section 2.2, the source side-effect problem).
+
+:func:`verify_plan` re-evaluates the query on the updated database, so every
+algorithm's output can be checked against ground truth independent of the
+provenance machinery that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.ast import Query
+from repro.algebra.evaluate import view_rows
+from repro.algebra.relation import Database, Row
+from repro.provenance.locations import SourceTuple
+
+__all__ = ["DeletionPlan", "verify_plan", "apply_deletions"]
+
+
+@dataclass(frozen=True)
+class DeletionPlan:
+    """A solution to a deletion-propagation problem.
+
+    Attributes:
+        target: the view row whose deletion was requested.
+        deletions: source tuples to delete, as ``(relation, row)`` pairs.
+        side_effects: view rows other than ``target`` that the deletion
+            also removes.
+        algorithm: name of the algorithm that produced the plan.
+        objective: ``"view"`` or ``"source"``.
+        optimal: True when the algorithm guarantees optimality for the
+            objective (the polynomial algorithms and the exact solvers do;
+            the greedy approximation does not).
+    """
+
+    target: Row
+    deletions: FrozenSet[SourceTuple]
+    side_effects: FrozenSet[Row]
+    algorithm: str
+    objective: str
+    optimal: bool
+
+    @property
+    def num_deletions(self) -> int:
+        """Number of source tuples the plan deletes (``|T|``)."""
+        return len(self.deletions)
+
+    @property
+    def num_side_effects(self) -> int:
+        """Number of collateral view deletions (``|ΔV|``)."""
+        return len(self.side_effects)
+
+    @property
+    def side_effect_free(self) -> bool:
+        """True when only the target leaves the view."""
+        return not self.side_effects
+
+    def sorted_deletions(self) -> Tuple[SourceTuple, ...]:
+        """Deletions in deterministic order for display and tests."""
+        return tuple(sorted(self.deletions, key=repr))
+
+    def describe(self) -> str:
+        """A short human-readable summary."""
+        return (
+            f"delete {self.num_deletions} source tuple(s) via {self.algorithm} "
+            f"({self.objective} objective); side effects: {self.num_side_effects}"
+        )
+
+
+def apply_deletions(db: Database, deletions: Iterable[SourceTuple]) -> Database:
+    """The database ``S \\ T``."""
+    return db.delete(deletions)
+
+
+def verify_plan(query: Query, db: Database, plan: DeletionPlan) -> None:
+    """Check a plan against ground truth by re-evaluating the query.
+
+    Raises :class:`ReproError` when the plan does not remove the target or
+    when its recorded side effects disagree with the actual view difference.
+    This is the library's independent oracle: it never consults provenance.
+    """
+    before = view_rows(query, db)
+    target = tuple(plan.target)
+    if target not in before:
+        raise ReproError(f"target {target!r} is not in the view")
+    after = view_rows(query, apply_deletions(db, plan.deletions))
+    if target in after:
+        raise ReproError(
+            f"plan does not delete the target {target!r}: {plan.describe()}"
+        )
+    actual_side_effects = frozenset(before - after - {target})
+    if actual_side_effects != plan.side_effects:
+        raise ReproError(
+            "plan side effects are wrong: "
+            f"recorded {sorted(plan.side_effects, key=repr)!r}, "
+            f"actual {sorted(actual_side_effects, key=repr)!r}"
+        )

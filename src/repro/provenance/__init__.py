@@ -1,0 +1,62 @@
+"""Provenance engines: why-provenance, where-provenance, lineage.
+
+The paper's two view-update problems correspond to two distinct notions of
+provenance:
+
+* the deletion problems of Section 2 are governed by **why-provenance** —
+  the minimal witnesses of a view tuple (:mod:`repro.provenance.why`);
+* the annotation problems of Section 3 are governed by **where-provenance**
+  — the copy paths annotations travel (:mod:`repro.provenance.where`);
+* the Cui–Widom **lineage** baseline the paper compares against is in
+  :mod:`repro.provenance.lineage`.
+"""
+
+from repro.provenance.locations import (
+    Location,
+    SourceTuple,
+    locations_of_relation,
+    validate_location,
+)
+from repro.provenance.why import (
+    WhyProvenance,
+    minimize_monomials,
+    why_provenance,
+    witnesses_of,
+)
+from repro.provenance.where import (
+    WhereProvenance,
+    annotate,
+    where_provenance,
+)
+from repro.provenance.proof import (
+    Derivation,
+    Fact,
+    derivations,
+    render_proof,
+)
+from repro.provenance.lineage import (
+    cui_widom_translation,
+    lineage,
+    lineage_of,
+)
+
+__all__ = [
+    "Location",
+    "SourceTuple",
+    "locations_of_relation",
+    "validate_location",
+    "WhyProvenance",
+    "why_provenance",
+    "witnesses_of",
+    "minimize_monomials",
+    "WhereProvenance",
+    "where_provenance",
+    "annotate",
+    "lineage",
+    "lineage_of",
+    "cui_widom_translation",
+    "Fact",
+    "Derivation",
+    "derivations",
+    "render_proof",
+]

@@ -1,0 +1,193 @@
+"""Cui–Widom lineage: the paper's cited baseline for deletion translation.
+
+The paper contrasts its complexity results with the lineage system of Cui,
+Widom and Wiener ("Tracing the Lineage of View Data in a Data Warehousing
+Environment", TODS 2000) and the deletion-translation algorithm built on it
+(Cui & Widom, 2001, reference [14]): lineage information is used "as a
+starting point, to enumerate all candidate witnesses for a deletion", giving
+an *exact* (side-effect-free) deletion-to-deletion translation whenever one
+exists.
+
+*Lineage* here is the per-relation set of source tuples that contribute to a
+view tuple through **some** derivation.  It differs from why-provenance:
+
+* lineage is a flat set per base relation — it forgets which combinations of
+  tuples jointly derive the view tuple;
+* lineage includes every contributing tuple, including tuples that appear
+  only in non-minimal witnesses (e.g. through an absorbed union branch),
+  whereas the minimal-witness basis may drop them.
+
+The invariant ``lineage(t) ⊇ union of t's minimal witnesses`` is checked in
+the tests.
+
+:func:`cui_widom_translation` reproduces the baseline behaviour: starting
+from the lineage of the doomed tuple, enumerate candidate witness-destroying
+deletion sets and return one with **no side effects** on the view, or None
+when no side-effect-free translation exists.  Consistent with the paper's
+observation (and Theorem 2.1), this procedure is worst-case exponential: it
+is guarded by a node budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import EvaluationError, InfeasibleError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.relation import Database, Row
+from repro.algebra.schema import Schema
+from repro.provenance.locations import SourceTuple
+from repro.provenance.why import why_provenance
+from repro.solvers.setcover import enumerate_minimal_hitting_sets
+
+__all__ = ["lineage", "lineage_of", "cui_widom_translation"]
+
+#: Lineage of one view tuple: relation name → contributing rows.
+Lineage = Dict[str, FrozenSet[Row]]
+
+
+def lineage(query: Query, db: Database) -> Dict[Row, Lineage]:
+    """Compute the Cui–Widom lineage of every view tuple.
+
+    Returns a map from view row to its lineage (relation name → set of
+    contributing source rows).
+    """
+    _, table = _eval(query, db)
+    return {
+        row: {name: frozenset(rows) for name, rows in entry.items()}
+        for row, entry in table.items()
+    }
+
+
+def lineage_of(query: Query, db: Database, row: Row) -> Lineage:
+    """Lineage of a single view tuple.
+
+    Raises :class:`InfeasibleError` when the row is not in the view.
+    """
+    table = lineage(query, db)
+    row = tuple(row)
+    if row not in table:
+        raise InfeasibleError(f"row {row!r} is not in the view")
+    return table[row]
+
+
+_MutableLineage = Dict[str, Set[Row]]
+
+
+def _merge(into: _MutableLineage, other: "Dict[str, Set[Row]] | Lineage") -> None:
+    for name, rows in other.items():
+        into.setdefault(name, set()).update(rows)
+
+
+def _eval(query: Query, db: Database) -> Tuple[Schema, Dict[Row, _MutableLineage]]:
+    """Compositional lineage evaluation: (schema, row → lineage)."""
+    if isinstance(query, RelationRef):
+        relation = db[query.name]
+        return relation.schema, {
+            row: {query.name: {row}} for row in relation.rows
+        }
+
+    if isinstance(query, Select):
+        schema, table = _eval(query.child, db)
+        query.predicate.validate(schema)
+        kept = {
+            row: entry
+            for row, entry in table.items()
+            if query.predicate.evaluate(schema, row)
+        }
+        return schema, kept
+
+    if isinstance(query, Project):
+        schema, table = _eval(query.child, db)
+        out_schema = schema.project(query.attributes)
+        positions = schema.positions(query.attributes)
+        out: Dict[Row, _MutableLineage] = {}
+        for row, entry in table.items():
+            image = tuple(row[i] for i in positions)
+            _merge(out.setdefault(image, {}), entry)
+        return out_schema, out
+
+    if isinstance(query, Join):
+        left_schema, left_table = _eval(query.left, db)
+        right_schema, right_table = _eval(query.right, db)
+        out_schema = left_schema.join(right_schema)
+        shared = left_schema.common(right_schema)
+        left_key = left_schema.positions(shared)
+        right_key = right_schema.positions(shared)
+        right_extra = [
+            i
+            for i, attr in enumerate(right_schema.attributes)
+            if attr not in left_schema
+        ]
+        buckets: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in right_table:
+            buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+        out = {}
+        for lrow, lentry in left_table.items():
+            key = tuple(lrow[i] for i in left_key)
+            for rrow in buckets.get(key, ()):
+                joined = lrow + tuple(rrow[i] for i in right_extra)
+                entry = out.setdefault(joined, {})
+                _merge(entry, lentry)
+                _merge(entry, right_table[rrow])
+        return out_schema, out
+
+    if isinstance(query, Union):
+        left_schema, left_table = _eval(query.left, db)
+        right_schema, right_table = _eval(query.right, db)
+        if not left_schema.is_union_compatible(right_schema):
+            raise EvaluationError(
+                f"union of incompatible schemas {left_schema.attributes} "
+                f"and {right_schema.attributes}"
+            )
+        reorder = right_schema.positions(left_schema.attributes)
+        merged: Dict[Row, _MutableLineage] = {
+            row: {name: set(rows) for name, rows in entry.items()}
+            for row, entry in left_table.items()
+        }
+        for row, entry in right_table.items():
+            image = tuple(row[i] for i in reorder)
+            _merge(merged.setdefault(image, {}), entry)
+        return left_schema, merged
+
+    if isinstance(query, Rename):
+        schema, table = _eval(query.child, db)
+        return schema.rename(query.mapping_dict), table
+
+    raise EvaluationError(f"unknown query node {query!r}")
+
+
+def cui_widom_translation(
+    query: Query,
+    db: Database,
+    row: Row,
+    node_budget: int = 200_000,
+) -> Optional[FrozenSet[SourceTuple]]:
+    """Find an exact (side-effect-free) deletion translation, or None.
+
+    Reproduces the behaviour of Cui & Widom's run-time translation algorithm
+    [14]: use provenance as the candidate space, enumerate deletion sets that
+    destroy every witness of ``row``, and accept the first one that deletes
+    no other view tuple.
+
+    Returns the deletion set as ``(relation, row)`` pairs, or None when no
+    side-effect-free translation exists (in which case the paper's Theorem
+    2.1 explains why deciding this was expensive).
+    """
+    prov = why_provenance(query, db)
+    row = tuple(row)
+    monomials = prov.witnesses(row)  # InfeasibleError if absent
+    for candidate in enumerate_minimal_hitting_sets(
+        list(monomials), node_budget=node_budget
+    ):
+        if not prov.side_effects(row, candidate):
+            return candidate
+    return None

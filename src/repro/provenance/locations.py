@@ -1,0 +1,61 @@
+"""Locations: the unit of annotation.
+
+The paper defines a *location* as a triple ``(R, t, A)`` — attribute ``A`` of
+tuple ``t`` of relation ``R``.  Annotations are placed on locations and
+propagate between locations; both the where-provenance engine and the
+annotation placement algorithms speak in locations.
+
+Tuples have no identifiers under set semantics, so ``t`` is the row's value.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.errors import SchemaError
+from repro.algebra.relation import Database, Relation, Row
+
+__all__ = ["Location", "SourceTuple", "locations_of_relation", "validate_location"]
+
+#: A source tuple identified by (relation name, row value).
+SourceTuple = Tuple[str, Row]
+
+
+class Location(NamedTuple):
+    """A field of a tuple of a named relation: the triple ``(R, t, A)``."""
+
+    relation: str
+    row: Row
+    attribute: str
+
+    def __str__(self) -> str:
+        values = ", ".join(str(v) for v in self.row)
+        return f"({self.relation}, ({values}), {self.attribute})"
+
+    @property
+    def source_tuple(self) -> SourceTuple:
+        """The (relation, row) pair this location lives on."""
+        return (self.relation, self.row)
+
+
+def locations_of_relation(relation: Relation) -> Tuple[Location, ...]:
+    """Every location of a relation, in deterministic order."""
+    out = []
+    for row in relation.sorted_rows():
+        for attribute in relation.schema.attributes:
+            out.append(Location(relation.name, row, attribute))
+    return tuple(out)
+
+
+def validate_location(db: Database, location: Location) -> None:
+    """Raise :class:`SchemaError` unless ``location`` exists in ``db``.
+
+    Checks that the relation exists, the row is present, and the attribute
+    belongs to the relation's schema.
+    """
+    relation = db[location.relation]
+    relation.schema.index_of(location.attribute)
+    if tuple(location.row) not in relation:
+        raise SchemaError(
+            f"row {location.row!r} is not in relation {location.relation!r}"
+        )

@@ -1,0 +1,281 @@
+"""Where-provenance: annotation propagation from source to view.
+
+Section 3 of the paper defines five *forward propagation rules*, one per
+monotone operator, describing how an annotation placed on a source location
+``(R, t', A)`` is carried into the view:
+
+* **Selection** ``σ_C(R)``: propagates to ``(σ_C(R), t, A)`` iff ``t = t'``.
+* **Projection** ``Π_B(R)``: propagates to ``(Π_B(R), t, A)`` iff ``A ∈ B``
+  and ``t'.B = t``.
+* **Join** ``R1 ⋈ R2``: an annotation on ``(R1, t1, A)`` (resp. ``R2``)
+  propagates to ``(R1 ⋈ R2, t, A)`` iff ``t.R1 = t1`` (resp. ``t.R2 = t2``).
+* **Union** ``R1 ∪ R2``: propagates iff ``t = t1`` (resp. ``t = t2``).
+* **Renaming** ``δ_θ(R)``: ``(R, t, A)`` propagates to ``(δ_θ(R), t, θ(A))``.
+
+The rules use *equality of similarly named fields* — there is no flow across
+differently named attributes, even under an explicit equality selection
+``σ_{A=A'}``; the test suite pins this consequence down.
+
+This module computes the full relation ``R(Q, S)`` between source locations
+and view locations:
+
+* :func:`where_provenance` — for each view location, the set of source
+  locations whose annotation reaches it (the *backward* image);
+* :meth:`WhereProvenance.forward` — for a source location, the set of view
+  locations it propagates to (the *forward* image, i.e. what happens if you
+  annotate that source field);
+* :meth:`WhereProvenance.forward_closure` — forward images for all source
+  locations at once.
+
+Because the rules compose tuple-by-tuple, the backward image is computed by
+one annotated evaluation pass, mirroring :mod:`repro.provenance.why`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import EvaluationError, InfeasibleError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.evaluate import DEFAULT_VIEW_NAME
+from repro.algebra.relation import Database, Relation, Row
+from repro.algebra.schema import Schema
+from repro.provenance.locations import Location
+
+__all__ = ["WhereProvenance", "where_provenance", "annotate"]
+
+#: A view field: (row, attribute).  The view's name is carried separately.
+ViewField = Tuple[Row, str]
+
+
+class WhereProvenance:
+    """The relation ``R(Q, S)`` between source locations and view locations.
+
+    Stores the backward image (view field → source locations) and derives
+    forward images on demand.
+    """
+
+    __slots__ = ("_schema", "_backward", "_view_name", "_forward_cache")
+
+    def __init__(
+        self,
+        schema: Schema,
+        backward: Dict[ViewField, FrozenSet[Location]],
+        view_name: str = DEFAULT_VIEW_NAME,
+    ):
+        self._schema = schema
+        self._backward = backward
+        self._view_name = view_name
+        self._forward_cache: "Dict[Location, FrozenSet[Location]] | None" = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """Schema of the view."""
+        return self._schema
+
+    @property
+    def view_name(self) -> str:
+        """Name used for view locations."""
+        return self._view_name
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """All view rows, deterministically ordered."""
+        return tuple(sorted({row for row, _ in self._backward}, key=repr))
+
+    def relation(self) -> Relation:
+        """The view as a plain relation."""
+        return Relation(
+            self._view_name, self._schema, {row for row, _ in self._backward}
+        )
+
+    def view_locations(self) -> Tuple[Location, ...]:
+        """Every location of the view, deterministically ordered."""
+        out = [
+            Location(self._view_name, row, attr) for row, attr in self._backward
+        ]
+        return tuple(sorted(out, key=lambda loc: (repr(loc.row), loc.attribute)))
+
+    # ------------------------------------------------------------------
+    # Backward image
+    # ------------------------------------------------------------------
+    def backward(self, row: Row, attribute: str) -> FrozenSet[Location]:
+        """Source locations that propagate to view field ``(row, attribute)``.
+
+        Raises :class:`InfeasibleError` when the field is not in the view.
+        """
+        key = (tuple(row), attribute)
+        if key not in self._backward:
+            raise InfeasibleError(
+                f"({row!r}, {attribute!r}) is not a field of the view"
+            )
+        return self._backward[key]
+
+    def as_dict(self) -> Dict[ViewField, FrozenSet[Location]]:
+        """A copy of the backward map."""
+        return dict(self._backward)
+
+    # ------------------------------------------------------------------
+    # Forward image
+    # ------------------------------------------------------------------
+    def forward(self, source: Location) -> FrozenSet[Location]:
+        """View locations an annotation on ``source`` propagates to.
+
+        The inverse image of the backward map: all view fields whose
+        where-provenance contains ``source``.
+        """
+        return self.forward_closure().get(source, frozenset())
+
+    def forward_closure(self) -> Dict[Location, FrozenSet[Location]]:
+        """Forward images for every source location that reaches the view.
+
+        Source locations with an empty forward image do not appear as keys.
+        """
+        if self._forward_cache is None:
+            forward: Dict[Location, Set[Location]] = {}
+            for (row, attr), sources in self._backward.items():
+                view_loc = Location(self._view_name, row, attr)
+                for src in sources:
+                    forward.setdefault(src, set()).add(view_loc)
+            self._forward_cache = {
+                src: frozenset(locs) for src, locs in forward.items()
+            }
+        return dict(self._forward_cache)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WhereProvenance):
+            return NotImplemented
+        return self._schema == other._schema and self._backward == other._backward
+
+
+def where_provenance(
+    query: Query, db: Database, view_name: str = DEFAULT_VIEW_NAME
+) -> WhereProvenance:
+    """Compute the full annotation-propagation relation of ``query`` on ``db``."""
+    schema, table = _eval(query, db)
+    return WhereProvenance(schema, table, view_name)
+
+
+def annotate(
+    query: Query, db: Database, source: Location, view_name: str = DEFAULT_VIEW_NAME
+) -> FrozenSet[Location]:
+    """Forward-propagate an annotation on ``source`` through ``query``.
+
+    Convenience wrapper over :meth:`WhereProvenance.forward`.
+    """
+    return where_provenance(query, db, view_name).forward(source)
+
+
+def _eval(
+    query: Query, db: Database
+) -> Tuple[Schema, Dict[ViewField, FrozenSet[Location]]]:
+    """Annotated evaluation: (schema, (row, attr) → source locations)."""
+    if isinstance(query, RelationRef):
+        relation = db[query.name]
+        table: Dict[ViewField, FrozenSet[Location]] = {}
+        for row in relation.rows:
+            for attr in relation.schema.attributes:
+                table[(row, attr)] = frozenset({Location(query.name, row, attr)})
+        return relation.schema, table
+
+    if isinstance(query, Select):
+        schema, table = _eval(query.child, db)
+        query.predicate.validate(schema)
+        surviving_rows = {
+            row for row, _ in table if query.predicate.evaluate(schema, row)
+        }
+        kept = {
+            (row, attr): sources
+            for (row, attr), sources in table.items()
+            if row in surviving_rows
+        }
+        return schema, kept
+
+    if isinstance(query, Project):
+        schema, table = _eval(query.child, db)
+        out_schema = schema.project(query.attributes)
+        positions = schema.positions(query.attributes)
+        out: Dict[ViewField, Set[Location]] = {}
+        for (row, attr), sources in table.items():
+            if attr not in out_schema:
+                continue
+            image = tuple(row[i] for i in positions)
+            out.setdefault((image, attr), set()).update(sources)
+        return out_schema, {key: frozenset(v) for key, v in out.items()}
+
+    if isinstance(query, Join):
+        left_schema, left_table = _eval(query.left, db)
+        right_schema, right_table = _eval(query.right, db)
+        out_schema = left_schema.join(right_schema)
+        shared = left_schema.common(right_schema)
+        left_rows = {row for row, _ in left_table}
+        right_rows = {row for row, _ in right_table}
+        left_key = left_schema.positions(shared)
+        right_key = right_schema.positions(shared)
+        right_extra = [
+            i
+            for i, attr in enumerate(right_schema.attributes)
+            if attr not in left_schema
+        ]
+        buckets: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in right_rows:
+            buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+        out = {}
+        for lrow in left_rows:
+            key = tuple(lrow[i] for i in left_key)
+            for rrow in buckets.get(key, ()):
+                joined = lrow + tuple(rrow[i] for i in right_extra)
+                # t.R1 = lrow, t.R2 = rrow; annotations flow from both sides,
+                # and for shared attributes from both components at once.
+                for attr in out_schema.attributes:
+                    sources: Set[Location] = set()
+                    if attr in left_schema:
+                        sources |= left_table[(lrow, attr)]
+                    if attr in right_schema:
+                        sources |= right_table[(rrow, attr)]
+                    key2 = (joined, attr)
+                    if key2 in out:
+                        out[key2] = frozenset(out[key2] | sources)
+                    else:
+                        out[key2] = frozenset(sources)
+        return out_schema, out
+
+    if isinstance(query, Union):
+        left_schema, left_table = _eval(query.left, db)
+        right_schema, right_table = _eval(query.right, db)
+        if not left_schema.is_union_compatible(right_schema):
+            raise EvaluationError(
+                f"union of incompatible schemas {left_schema.attributes} "
+                f"and {right_schema.attributes}"
+            )
+        reorder = right_schema.positions(left_schema.attributes)
+        merged: Dict[ViewField, Set[Location]] = {
+            key: set(sources) for key, sources in left_table.items()
+        }
+        for (row, attr), sources in right_table.items():
+            image = tuple(row[i] for i in reorder)
+            merged.setdefault((image, attr), set()).update(sources)
+        return left_schema, {key: frozenset(v) for key, v in merged.items()}
+
+    if isinstance(query, Rename):
+        schema, table = _eval(query.child, db)
+        mapping = query.mapping_dict
+        out_schema = schema.rename(mapping)
+        renamed = {
+            (row, mapping.get(attr, attr)): sources
+            for (row, attr), sources in table.items()
+        }
+        return out_schema, renamed
+
+    raise EvaluationError(f"unknown query node {query!r}")

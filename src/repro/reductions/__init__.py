@@ -1,0 +1,78 @@
+"""The paper's hardness reductions, executable.
+
+Every NP-hardness proof in the paper is a constructive reduction; this
+package implements each construction as an encoder producing a concrete
+``(database, query, target)`` triple, together with solution translators in
+both directions, so the tests can machine-check the *iff* of every theorem:
+
+* :mod:`repro.reductions.pj_view` — Theorem 2.1 (monotone 3SAT → PJ view
+  side-effect-free deletion; the paper's Figure 1);
+* :mod:`repro.reductions.ju_view` — Theorem 2.2 (monotone 3SAT → JU view
+  side-effect-free deletion; Figure 2);
+* :mod:`repro.reductions.pj_source` — Theorem 2.5 (hitting set → PJ minimum
+  source deletion; Figure 3);
+* :mod:`repro.reductions.ju_source` — Theorem 2.7 (hitting set → JU+rename
+  minimum source deletion);
+* :mod:`repro.reductions.pj_annotation` — Theorem 3.2 and Corollary 3.1
+  (3SAT → PJ side-effect-free annotation);
+* :mod:`repro.reductions.threesat` / ``hitting_set_instances`` — the source
+  problems and their generators.
+"""
+
+from repro.reductions.threesat import (
+    MonotoneClause,
+    MonotoneThreeSAT,
+    ThreeSAT,
+    figure_instance,
+    planted_monotone_3sat,
+    random_3sat,
+    random_monotone_3sat,
+)
+from repro.reductions.pj_view import PJViewReduction, encode_pj_view, figure1
+from repro.reductions.ju_view import JUViewReduction, encode_ju_view, figure2
+from repro.reductions.pj_source import PJSourceReduction, encode_pj_source, figure3
+from repro.reductions.ju_source import (
+    JUSourceReduction,
+    encode_ju_source,
+    pad_sets,
+)
+from repro.reductions.pj_annotation import (
+    PJAnnotationReduction,
+    annotation_reaches_view,
+    encode_pj_annotation,
+    witness_membership,
+)
+from repro.reductions.hitting_set_instances import (
+    greedy_gap_instance,
+    random_coverable,
+    random_hitting_set,
+)
+
+__all__ = [
+    "MonotoneClause",
+    "MonotoneThreeSAT",
+    "ThreeSAT",
+    "random_monotone_3sat",
+    "planted_monotone_3sat",
+    "random_3sat",
+    "figure_instance",
+    "PJViewReduction",
+    "encode_pj_view",
+    "figure1",
+    "JUViewReduction",
+    "encode_ju_view",
+    "figure2",
+    "PJSourceReduction",
+    "encode_pj_source",
+    "figure3",
+    "JUSourceReduction",
+    "encode_ju_source",
+    "pad_sets",
+    "PJAnnotationReduction",
+    "encode_pj_annotation",
+    "witness_membership",
+    "annotation_reaches_view",
+    "random_hitting_set",
+    "random_coverable",
+    "greedy_gap_instance",
+]

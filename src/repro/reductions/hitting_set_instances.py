@@ -1,0 +1,102 @@
+"""Hitting set instance generators for the set-cover-hardness benchmarks.
+
+Theorems 2.5 and 2.7 transfer the set-cover approximation threshold to the
+source side-effect problem; the benchmarks need instance families that
+exercise both the equivalence (minimum deletions = minimum hitting set) and
+the greedy/optimal gap.  Provided here:
+
+* :func:`random_hitting_set` — uniform random sets;
+* :func:`random_coverable` — random sets with a planted small hitting set;
+* :func:`greedy_gap_instance` — the classical family on which greedy set
+  cover pays a Θ(log n) factor over the optimum, adapted to hitting set
+  form via duality.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Tuple
+
+from repro.errors import ReductionError
+
+__all__ = ["random_hitting_set", "random_coverable", "greedy_gap_instance"]
+
+#: An instance: (sets, number of elements).  Elements are 1-based.
+Instance = Tuple[Tuple[FrozenSet[int], ...], int]
+
+
+def random_hitting_set(
+    num_elements: int,
+    num_sets: int,
+    set_size: int,
+    seed: int = 0,
+) -> Instance:
+    """Uniform random sets of a fixed size over ``1..num_elements``."""
+    if set_size > num_elements:
+        raise ReductionError("set size exceeds universe size")
+    rng = random.Random(seed)
+    sets = tuple(
+        frozenset(rng.sample(range(1, num_elements + 1), set_size))
+        for _ in range(num_sets)
+    )
+    return sets, num_elements
+
+
+def random_coverable(
+    num_elements: int,
+    num_sets: int,
+    set_size: int,
+    planted_size: int,
+    seed: int = 0,
+) -> Instance:
+    """Random sets, each guaranteed to contain a planted element.
+
+    The planted elements form a hitting set of size ``planted_size``, so the
+    optimum is at most that — useful for benchmarking the greedy ratio on
+    instances with known-good optima.
+    """
+    if planted_size < 1 or planted_size > num_elements:
+        raise ReductionError("invalid planted size")
+    rng = random.Random(seed)
+    planted = rng.sample(range(1, num_elements + 1), planted_size)
+    sets: List[FrozenSet[int]] = []
+    for _ in range(num_sets):
+        anchor = rng.choice(planted)
+        rest = rng.sample(
+            [e for e in range(1, num_elements + 1) if e != anchor],
+            max(0, set_size - 1),
+        )
+        sets.append(frozenset([anchor] + rest))
+    return tuple(sets), num_elements
+
+
+def greedy_gap_instance(levels: int) -> Instance:
+    """A hitting set family where greedy pays ``levels`` while OPT = 2.
+
+    The dual of the classical set-cover gap family.  The sets to hit are
+    "columns" of size 2 arranged in blocks; the universe holds two *row*
+    elements (together they hit everything — the optimum) and one *block*
+    element per block:
+
+    * block ``k`` (``k = 1..levels``) contains ``2^k`` columns; column ``j``
+      of block ``k`` is the set ``{row(j), block_element_k}`` where
+      ``row(j)`` alternates between row elements 1 and 2.
+
+    At the step where blocks ``1..k`` are still unhit, the block-``k``
+    element hits ``2^k`` sets while each row element hits
+    ``Σ_{i≤k} 2^i / 2 = 2^k − 1`` — strictly fewer — so greedy takes one
+    block element per level, ``levels`` picks total, against the optimum
+    ``{1, 2}``: a Θ(log N) gap in the number of sets ``N``.
+    """
+    if levels < 1:
+        raise ReductionError("need at least one level")
+    sets: List[FrozenSet[int]] = []
+    element = 3
+    for k in range(1, levels + 1):
+        block_element = element
+        element += 1
+        width = 2 ** k
+        for j in range(width):
+            row = 1 if j % 2 == 0 else 2
+            sets.append(frozenset({row, block_element}))
+    return tuple(sets), element - 1

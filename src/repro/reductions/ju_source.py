@@ -1,0 +1,120 @@
+"""Theorem 2.7: hitting set → minimum source deletion for a JU view.
+
+The paper's second set-cover-hardness construction; it replaces projection
+with union **and renaming** (the paper notes it is open whether renaming can
+be avoided).
+
+Given a hitting set instance with equal-size sets (pad smaller sets with
+fresh elements), build:
+
+* one unary relation ``Ri(A) = {(a,)}`` per element ``xi``;
+* per set ``Si = {x_{i1}, ..., x_{ik}}``, the query
+  ``Qi = δ_{A→A1}(R_{i1}) ⋈ ... ⋈ δ_{A→Ak}(R_{ik})`` — a k-way cross product
+  of renamed singletons, producing the single tuple ``(a, ..., a)``;
+* the query is ``Q1 ∪ ... ∪ Qm``; the doomed view tuple is ``(a, ..., a)``.
+
+Every witness is exactly one set's worth of relations, so ``T`` deletes the
+tuple iff ``{ i : (a,) deleted from Ri }`` is a hitting set, and minimum
+source deletions = minimum hitting set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.errors import ReductionError
+from repro.algebra.ast import Join, Query, RelationRef, Rename
+from repro.algebra.normalize import union_of
+from repro.algebra.relation import Database, Relation, Row
+from repro.provenance.locations import SourceTuple
+
+__all__ = ["JUSourceReduction", "encode_ju_source", "pad_sets"]
+
+#: The single constant of the construction.
+A_CONST = "a"
+
+
+@dataclass(frozen=True)
+class JUSourceReduction:
+    """The encoded instance of Theorem 2.7 plus solution translators."""
+
+    sets: Tuple[FrozenSet[int], ...]
+    num_elements: int
+    db: Database
+    query: Query
+    target: Row
+
+    def hitting_set_to_deletions(
+        self, hitting_set: FrozenSet[int]
+    ) -> FrozenSet[SourceTuple]:
+        """Delete ``(a,)`` from ``Ri`` for each chosen element."""
+        return frozenset((f"R{i}", (A_CONST,)) for i in hitting_set)
+
+    def deletions_to_hitting_set(
+        self, deletions: FrozenSet[SourceTuple]
+    ) -> FrozenSet[int]:
+        """The elements whose relation lost its tuple."""
+        chosen = set()
+        for relation, _row in deletions:
+            if relation.startswith("R"):
+                chosen.add(int(relation[1:]))
+        return frozenset(chosen)
+
+
+def pad_sets(
+    sets: Sequence[FrozenSet[int]], num_elements: int
+) -> Tuple[Tuple[FrozenSet[int], ...], int]:
+    """Pad sets with fresh distinct elements so all have equal size.
+
+    Returns the padded sets and the new universe size.  Padding preserves
+    minimum hitting sets: fresh elements occur in a single set each, and a
+    minimum solution never needs them (the paper's WLOG step).
+    """
+    if not sets:
+        raise ReductionError("need at least one set")
+    k = max(len(s) for s in sets)
+    next_fresh = num_elements + 1
+    padded: List[FrozenSet[int]] = []
+    for members in sets:
+        if not members:
+            raise ReductionError("empty sets cannot be hit")
+        extra = []
+        while len(members) + len(extra) < k:
+            extra.append(next_fresh)
+            next_fresh += 1
+        padded.append(frozenset(members) | frozenset(extra))
+    return tuple(padded), next_fresh - 1
+
+
+def encode_ju_source(
+    sets: Sequence[FrozenSet[int]], num_elements: int
+) -> JUSourceReduction:
+    """Encode a hitting set instance per Theorem 2.7.
+
+    Sets are padded to equal size first (the paper's WLOG assumption); the
+    padded universe determines the relations built.
+    """
+    padded, universe = pad_sets(sets, num_elements)
+    k = len(next(iter(padded)))
+
+    relations = [
+        Relation(f"R{i}", ["A"], [(A_CONST,)]) for i in range(1, universe + 1)
+    ]
+
+    branches: List[Query] = []
+    for members in padded:
+        ordered = sorted(members)
+        branch: Query = Rename(RelationRef(f"R{ordered[0]}"), {"A": "A1"})
+        for position, element in enumerate(ordered[1:], start=2):
+            leaf = Rename(RelationRef(f"R{element}"), {"A": f"A{position}"})
+            branch = Join(branch, leaf)
+        branches.append(branch)
+
+    return JUSourceReduction(
+        sets=padded,
+        num_elements=universe,
+        db=Database(relations),
+        query=union_of(branches),
+        target=tuple([A_CONST] * k),
+    )

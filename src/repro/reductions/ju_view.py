@@ -1,0 +1,130 @@
+"""Theorem 2.2: monotone 3SAT → side-effect-free deletion for a JU view.
+
+The paper's second hardness construction (its Figure 2): projection is not
+needed — join plus union alone make the view side-effect problem NP-hard.
+
+Given a monotone 3SAT instance with m clauses over n variables, build
+``2(m + n)`` unary relations:
+
+* per variable ``xi``: ``Ri(A1) = {(T,)}`` and ``R'i(A2) = {(F,)}``;
+* per all-positive clause ``Ci``: ``Si(A2) = {(c_i,)}``;
+* per all-negative clause ``Cj``: ``S'j(A1) = {(c_j,)}``.
+
+The query is the union of per-clause and per-variable queries:
+
+* positive clause ``Ci = (x_{i1} ∨ x_{i2} ∨ x_{i3})``:
+  ``Qi = (R_{i1} ⋈ S_i) ∪ (R_{i2} ⋈ S_i) ∪ (R_{i3} ⋈ S_i)`` — each branch is
+  a cross product producing ``(T, c_i)``;
+* negative clause ``Cj``: the primed version, producing ``(c_j, F)``;
+* per variable ``xj``: ``Q_{m+j} = R_j ⋈ R'_j``, producing ``(T, F)``.
+
+The doomed tuple is ``(T, F)``.  Deleting it forces, per variable, deleting
+``T`` from ``Ri`` (read ``xi := false``) or ``F`` from ``R'i`` (read
+``xi := true``); side-effect-freeness of the deletion is exactly
+satisfiability of the formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.algebra.ast import Join, Query, RelationRef
+from repro.algebra.normalize import union_of
+from repro.algebra.relation import Database, Relation, Row
+from repro.provenance.locations import SourceTuple
+from repro.reductions.threesat import MonotoneThreeSAT, figure_instance
+
+__all__ = ["JUViewReduction", "encode_ju_view", "figure2"]
+
+#: The truth-value constants of the construction.
+T_CONST = "T"
+F_CONST = "F"
+
+
+@dataclass(frozen=True)
+class JUViewReduction:
+    """The encoded instance of Theorem 2.2 plus solution translators."""
+
+    instance: MonotoneThreeSAT
+    db: Database
+    query: Query
+    target: Row
+
+    def assignment_to_deletions(
+        self, assignment: Dict[int, bool]
+    ) -> FrozenSet[SourceTuple]:
+        """The deletion set induced by a truth assignment.
+
+        ``xi = true``  → delete ``F`` from ``R'i`` (the primed relation);
+        ``xi = false`` → delete ``T`` from ``Ri``.
+        """
+        deletions: Set[SourceTuple] = set()
+        for v in range(1, self.instance.num_variables + 1):
+            if assignment.get(v, False):
+                deletions.add((f"Rp{v}", (F_CONST,)))
+            else:
+                deletions.add((f"R{v}", (T_CONST,)))
+        return frozenset(deletions)
+
+    def deletions_to_assignment(
+        self, deletions: FrozenSet[SourceTuple]
+    ) -> Dict[int, bool]:
+        """The truth assignment read off a deletion set.
+
+        Per the paper: ``xi`` is true iff ``T`` *remains* in ``Ri``.
+        """
+        assignment = {v: True for v in range(1, self.instance.num_variables + 1)}
+        for relation, _row in deletions:
+            if relation.startswith("R") and not relation.startswith("Rp"):
+                suffix = relation[1:]
+                if suffix.isdigit():
+                    assignment[int(suffix)] = False
+        return assignment
+
+
+def encode_ju_view(instance: MonotoneThreeSAT) -> JUViewReduction:
+    """Encode a monotone 3SAT instance per Theorem 2.2 / Figure 2.
+
+    Relation naming: ``R<i>``/``Rp<i>`` for the variable relations (``Rp``
+    is the paper's ``R'``), ``S<j>``/``Sp<j>`` for the clause relations.
+    """
+    relations: List[Relation] = []
+    for v in range(1, instance.num_variables + 1):
+        relations.append(Relation(f"R{v}", ["A1"], [(T_CONST,)]))
+        relations.append(Relation(f"Rp{v}", ["A2"], [(F_CONST,)]))
+
+    branches: List[Query] = []
+    for index, clause in enumerate(instance.clauses, start=1):
+        # The paper introduces *both* S_i(A2) and S'_i(A1) per clause — the
+        # full 2(m + n) relations — even though each clause's query uses
+        # only the one matching its polarity.
+        constant = f"c{index}"
+        relations.append(Relation(f"S{index}", ["A2"], [(constant,)]))
+        relations.append(Relation(f"Sp{index}", ["A1"], [(constant,)]))
+        if clause.positive:
+            for v in clause.variables:
+                branches.append(Join(RelationRef(f"R{v}"), RelationRef(f"S{index}")))
+        else:
+            for v in clause.variables:
+                branches.append(
+                    Join(RelationRef(f"Sp{index}"), RelationRef(f"Rp{v}"))
+                )
+    for v in range(1, instance.num_variables + 1):
+        branches.append(Join(RelationRef(f"R{v}"), RelationRef(f"Rp{v}")))
+
+    return JUViewReduction(
+        instance=instance,
+        db=Database(relations),
+        query=union_of(branches),
+        target=(T_CONST, F_CONST),
+    )
+
+
+def figure2() -> JUViewReduction:
+    """The exact instance of the paper's Figure 2.
+
+    Same running formula as Figure 1; the view is
+    ``{(c1, F), (T, c2), (c3, F), (T, F)}``.
+    """
+    return encode_ju_view(figure_instance())

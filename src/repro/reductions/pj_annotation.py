@@ -1,0 +1,191 @@
+"""Theorem 3.2: 3SAT → side-effect-free annotation for a PJ view.
+
+The annotation-placement hardness construction.  Given a 3SAT instance with
+clauses ``C1..Cm`` (clause ``Ci`` over distinct variables ``v1 < v2 < v3``):
+
+* relation ``Ri(Ci, x_{v1}, x_{v2}, x_{v3})`` holds the **seven** assignment
+  tuples ``(c_i, t1, t2, t3)`` — one per truth combination satisfying the
+  clause — plus a dummy tuple ``(c_i, d, d, d)``; the last relation ``Rm``
+  additionally holds ``(c'_m, d, d, d)``;
+* the query is ``Π_{C1,...,Cm}(R1 ⋈ ... ⋈ Rm)`` — relations join on shared
+  variable columns;
+* the view is ``{(c_1, ..., c_m), (c_1, ..., c'_m)}`` and we are asked to
+  annotate the **first** component of the **first** tuple, i.e. location
+  ``(Q(S), (c_1, ..., c_m), C1)``.
+
+Candidates are the ``C1`` fields of ``R1``'s tuples.  Annotating the dummy
+``(c_1, d, d, d)`` always spreads to both view tuples (the all-dummy
+derivation produces both).  An assignment tuple reaches the view at all iff
+it extends to a satisfying assignment, and then it annotates only the first
+tuple — so a side-effect-free annotation exists iff the formula is
+satisfiable.
+
+The construction requires the instance to be *variable-connected* (see
+:meth:`repro.reductions.threesat.ThreeSAT.is_variable_connected`): on a
+disconnected formula, assignment tuples can join dummy tuples of other
+components, which breaks the equivalence.  The encoder enforces this.
+
+Corollary 3.1 falls out of the same construction: deciding whether a source
+tuple belongs to some witness of a view tuple, or whether a source
+annotation appears in the view at all, are both NP-hard —
+:func:`witness_membership` and :func:`annotation_reaches_view` expose these
+two questions on the encoded instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ReductionError
+from repro.algebra.ast import Join, Project, Query, RelationRef
+from repro.algebra.relation import Database, Relation, Row
+from repro.provenance.locations import Location, SourceTuple
+from repro.provenance.where import where_provenance
+from repro.provenance.why import why_provenance
+from repro.reductions.threesat import ThreeSAT
+
+__all__ = [
+    "PJAnnotationReduction",
+    "encode_pj_annotation",
+    "witness_membership",
+    "annotation_reaches_view",
+]
+
+#: Truth-value and dummy constants of the construction.
+TRUE = "T"
+FALSE = "F"
+DUMMY = "d"
+
+#: Name of the view in locations returned by the reduction.
+VIEW_NAME = "V"
+
+
+def _truth(value: bool) -> str:
+    return TRUE if value else FALSE
+
+
+@dataclass(frozen=True)
+class PJAnnotationReduction:
+    """The encoded instance of Theorem 3.2 plus solution translators."""
+
+    instance: ThreeSAT
+    db: Database
+    query: Query
+    target: Location
+    #: The second view tuple ``(c1, ..., c'_m)`` — the one that must *not*
+    #: receive the annotation.
+    decoy_row: Row
+
+    def assignment_to_source_location(self, assignment: Dict[int, bool]) -> Location:
+        """The ``C1`` field of the ``R1`` tuple matching the assignment.
+
+        This is the paper's feasible solution for a satisfiable formula.
+        Raises :class:`ReductionError` if the assignment does not satisfy
+        clause 1 (its tuple would not exist).
+        """
+        v1, v2, v3 = self.instance.clause_variables(0)
+        row = (
+            "c1",
+            _truth(assignment.get(v1, False)),
+            _truth(assignment.get(v2, False)),
+            _truth(assignment.get(v3, False)),
+        )
+        if row not in self.db["R1"]:
+            raise ReductionError(
+                f"assignment {assignment!r} does not satisfy clause 1"
+            )
+        return Location("R1", row, "C1")
+
+    def dummy_source_location(self) -> Location:
+        """The ``C1`` field of ``R1``'s dummy tuple (always feasible, always
+        a side effect)."""
+        return Location("R1", ("c1", DUMMY, DUMMY, DUMMY), "C1")
+
+    def placement_is_assignment_tuple(self, source: Location) -> bool:
+        """True if a chosen source location is one of R1's assignment tuples."""
+        return (
+            source.relation == "R1"
+            and source.attribute == "C1"
+            and DUMMY not in source.row[1:]
+        )
+
+
+def encode_pj_annotation(instance: ThreeSAT) -> PJAnnotationReduction:
+    """Encode a (variable-connected) 3SAT instance per Theorem 3.2."""
+    if not instance.clauses:
+        raise ReductionError("need at least one clause")
+    if not instance.is_variable_connected():
+        raise ReductionError(
+            "Theorem 3.2's construction requires a variable-connected "
+            "formula; see ThreeSAT.is_variable_connected"
+        )
+    m = len(instance.clauses)
+    relations: List[Relation] = []
+    for index, clause in enumerate(instance.clauses, start=1):
+        variables = sorted(abs(l) for l in clause)
+        schema = [f"C{index}"] + [f"x{v}" for v in variables]
+        literal_by_var = {abs(l): l for l in clause}
+        rows: List[Tuple[str, ...]] = []
+        for combo in itertools.product((False, True), repeat=3):
+            values = dict(zip(variables, combo))
+            satisfied = any(
+                values[abs(l)] == (l > 0) for l in clause
+            )
+            if satisfied:
+                rows.append(
+                    (f"c{index}",) + tuple(_truth(values[v]) for v in variables)
+                )
+        if len(rows) != 7:
+            raise ReductionError(
+                f"clause {clause!r} has {len(rows)} satisfying rows, expected 7"
+            )  # pragma: no cover - a 3-literal clause always has exactly 7
+        rows.append((f"c{index}", DUMMY, DUMMY, DUMMY))
+        if index == m:
+            rows.append((f"cp{index}", DUMMY, DUMMY, DUMMY))
+        relations.append(Relation(f"R{index}", schema, rows))
+        del literal_by_var
+
+    join: Query = RelationRef("R1")
+    for index in range(2, m + 1):
+        join = Join(join, RelationRef(f"R{index}"))
+    query = Project(join, [f"C{i}" for i in range(1, m + 1)])
+
+    target_row = tuple(f"c{i}" for i in range(1, m + 1))
+    decoy_row = tuple(f"c{i}" for i in range(1, m)) + (f"cp{m}",)
+    return PJAnnotationReduction(
+        instance=instance,
+        db=Database(relations),
+        query=query,
+        target=Location(VIEW_NAME, target_row, "C1"),
+        decoy_row=decoy_row,
+    )
+
+
+def witness_membership(
+    reduction: PJAnnotationReduction, source: SourceTuple
+) -> bool:
+    """Does ``source`` belong to some witness of the target view tuple?
+
+    Corollary 3.1 shows this question is NP-hard; this reference
+    implementation answers it by materializing the full why-provenance,
+    which is exponential in the number of clauses — exactly the behaviour
+    the corollary predicts cannot be avoided.
+    """
+    prov = why_provenance(reduction.query, reduction.db)
+    return any(
+        source in monomial for monomial in prov.witnesses(reduction.target.row)
+    )
+
+
+def annotation_reaches_view(
+    reduction: PJAnnotationReduction, source: Location
+) -> bool:
+    """Does an annotation on ``source`` appear anywhere in the view?
+
+    The second NP-hard question of Corollary 3.1, answered by materializing
+    the full propagation relation.
+    """
+    prov = where_provenance(reduction.query, reduction.db, view_name=VIEW_NAME)
+    return bool(prov.forward(source))

@@ -1,0 +1,173 @@
+"""Theorem 2.5: hitting set → minimum source deletion for a PJ view.
+
+The paper's set-cover-hardness construction (its Figure 3).  Given a hitting
+set instance — sets ``S1..Sm`` over elements ``x1..xn`` — build:
+
+* ``R0(S, A1, ..., An)``: one tuple per set ``Si``, its characteristic
+  vector — attribute ``Aj`` holds ``xj`` if ``xj ∈ Si``, else the dummy
+  ``d``;
+* ``Ri(Ai, Bi, C)`` for each element ``xi``: ``n + 1`` tuples
+  ``(xi, α0, c), (d, α1, c), ..., (d, αn, c)``.
+
+The query is ``Π_C(R0 ⋈ R1 ⋈ ... ⋈ Rn)``; the view is the single tuple
+``(c,)`` and we want to delete it with the fewest source deletions.  A set
+``Si`` generates ``n^(n - |Si|)`` witnesses; it can be "hit" by deleting one
+``(x_p, α0, c)`` with ``x_p ∈ Si`` (cost 1) or all ``n`` dummies of some
+``Rq`` with ``x_q ∉ Si`` (cost n) — so minimum deletions = minimum hitting
+set, and the O(log n) set-cover approximation threshold transfers.
+
+Warning: the join deliberately blows up — evaluating the encoded query
+materializes ``Σ_i n^(n-|Si|)`` intermediate tuples.  That blow-up *is* the
+hardness; keep ``n`` small when calling the evaluator or provenance engines
+on encoded instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import ReductionError
+from repro.algebra.ast import Join, Project, Query, RelationRef
+from repro.algebra.relation import Database, Relation, Row
+from repro.provenance.locations import SourceTuple
+
+__all__ = ["PJSourceReduction", "encode_pj_source", "figure3"]
+
+#: Constants of the construction.
+C_CONST = "c"
+DUMMY = "d"
+
+
+def _var(index: int) -> str:
+    return f"x{index}"
+
+
+@dataclass(frozen=True)
+class PJSourceReduction:
+    """The encoded instance of Theorem 2.5 plus solution translators."""
+
+    sets: Tuple[FrozenSet[int], ...]
+    num_elements: int
+    db: Database
+    query: Query
+    target: Row
+
+    def hitting_set_to_deletions(
+        self, hitting_set: FrozenSet[int]
+    ) -> FrozenSet[SourceTuple]:
+        """Delete ``(x_p, α0, c)`` from ``Rp`` for each chosen element."""
+        return frozenset(
+            (f"R{p}", (_var(p), "alpha0", C_CONST)) for p in hitting_set
+        )
+
+    def deletions_to_hitting_set(
+        self, deletions: FrozenSet[SourceTuple]
+    ) -> FrozenSet[int]:
+        """Read a hitting set off a deletion set (paper's normalization).
+
+        Canonical deletions ``(x_p, α0, c)`` map to ``p`` directly.  The
+        paper's proof shows any other deletion can be replaced without cost:
+        a deleted ``R0`` set-tuple is replaced by one of its elements, and a
+        full dummy column of ``Rq`` by an arbitrary element per remaining
+        set.  This decoder implements that normalization, so the returned
+        hitting set is never larger than the deletion set.
+        """
+        chosen: Set[int] = set()
+        needs_cover: List[int] = []
+        for relation, row in deletions:
+            if relation == "R0":
+                # A deleted set tuple: that set is trivially "hit"; replace
+                # by any of its elements.
+                set_index = int(str(row[0])[1:])  # row[0] is "s<i>"
+                needs_cover.append(set_index - 1)
+            elif relation.startswith("R"):
+                index = int(relation[1:])
+                if row[1] == "alpha0":
+                    chosen.add(index)
+                # Dummy deletions contribute only if the whole column went;
+                # the normalization below re-covers affected sets anyway.
+        for set_index in needs_cover:
+            members = self.sets[set_index]
+            if not members & chosen:
+                chosen.add(min(members))
+        # Finally ensure every set is hit (dummy-column deletions case).
+        for index, members in enumerate(self.sets):
+            if not members & chosen:
+                if self._dummy_column_deleted(deletions, members):
+                    chosen.add(min(members))
+        return frozenset(chosen)
+
+    def _dummy_column_deleted(
+        self, deletions: FrozenSet[SourceTuple], members: FrozenSet[int]
+    ) -> bool:
+        """True if some relation Rq (x_q ∉ members) lost all its dummies."""
+        for q in range(1, self.num_elements + 1):
+            if q in members:
+                continue
+            dummies = {
+                (f"R{q}", (DUMMY, f"alpha{j}", C_CONST))
+                for j in range(1, self.num_elements + 1)
+            }
+            if dummies <= deletions:
+                return True
+        return False
+
+
+def encode_pj_source(
+    sets: Sequence[FrozenSet[int]], num_elements: int
+) -> PJSourceReduction:
+    """Encode a hitting set instance per Theorem 2.5 / Figure 3.
+
+    ``sets`` are frozensets of 1-based element indices in ``1..num_elements``.
+    """
+    if not sets:
+        raise ReductionError("need at least one set")
+    for members in sets:
+        if not members:
+            raise ReductionError("empty sets cannot be hit")
+        if any(x < 1 or x > num_elements for x in members):
+            raise ReductionError(f"set {sorted(members)!r} out of element range")
+
+    n = num_elements
+    r0_schema = ["S"] + [f"A{j}" for j in range(1, n + 1)]
+    r0_rows = []
+    for index, members in enumerate(sets, start=1):
+        row = [f"s{index}"]
+        for j in range(1, n + 1):
+            row.append(_var(j) if j in members else DUMMY)
+        r0_rows.append(tuple(row))
+
+    relations: List[Relation] = [Relation("R0", r0_schema, r0_rows)]
+    for i in range(1, n + 1):
+        rows: List[Tuple[str, str, str]] = [(_var(i), "alpha0", C_CONST)]
+        for j in range(1, n + 1):
+            rows.append((DUMMY, f"alpha{j}", C_CONST))
+        relations.append(Relation(f"R{i}", [f"A{i}", f"B{i}", "C"], rows))
+
+    join: Query = RelationRef("R0")
+    for i in range(1, n + 1):
+        join = Join(join, RelationRef(f"R{i}"))
+    query = Project(join, ["C"])
+
+    return PJSourceReduction(
+        sets=tuple(frozenset(s) for s in sets),
+        num_elements=n,
+        db=Database(relations),
+        query=query,
+        target=(C_CONST,),
+    )
+
+
+def figure3() -> PJSourceReduction:
+    """A small instance shaped like the paper's Figure 3.
+
+    The figure is schematic (it shows the general template ``R0`` with
+    characteristic vectors and the ``Ri`` with ``α`` rows); this helper
+    instantiates it with the concrete instance
+    ``S1 = {x1, x3}``, ``S2 = {x2, x3}`` over three elements, small enough
+    to print and evaluate exactly.
+    """
+    return encode_pj_source(
+        [frozenset({1, 3}), frozenset({2, 3})], num_elements=3
+    )

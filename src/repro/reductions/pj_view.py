@@ -1,0 +1,134 @@
+"""Theorem 2.1: monotone 3SAT → side-effect-free deletion for a PJ view.
+
+The paper's first hardness construction (its Figure 1).  Given a monotone
+3SAT instance over variables ``x1..xn``:
+
+* relation ``R1(A, B)`` holds ``(a, xi)`` for every variable, plus, for each
+  all-**positive** clause ``Ci``, tuples ``(a_i, x)`` for each ``x ∈ Ci``
+  with a fresh constant ``a_i``;
+* relation ``R2(B, C)`` holds ``(xi, c)`` for every variable, plus, for each
+  all-**negative** clause ``Cj``, tuples ``(x, c_j)`` for each ``x ∈ Cj``
+  with a fresh constant ``c_j``;
+* the query is ``Π_{A,C}(R1 ⋈ R2)`` and the doomed view tuple is ``(a, c)``.
+
+The view contains ``(a, c)``, one ``(a_i, c)`` per positive clause and one
+``(a, c_j)`` per negative clause.  Deleting ``(a, c)`` forces, per variable,
+the removal of ``(a, xi)`` (read: ``xi := true``) or ``(xi, c)``
+(read: ``xi := false``); the deletion is side-effect-free iff the induced
+assignment satisfies every clause — i.e. iff the formula is satisfiable.
+
+This module provides the encoder, both solution translators (assignment →
+deletion set and back), and the exact Figure 1 instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import ReductionError
+from repro.algebra.ast import Query
+from repro.algebra.parser import parse_query
+from repro.algebra.relation import Database, Relation, Row
+from repro.provenance.locations import SourceTuple
+from repro.reductions.threesat import MonotoneThreeSAT, figure_instance
+
+__all__ = ["PJViewReduction", "encode_pj_view", "figure1"]
+
+#: The shared constants of the construction.
+A_CONST = "a"
+C_CONST = "c"
+
+
+def _var(name_index: int) -> str:
+    return f"x{name_index}"
+
+
+@dataclass(frozen=True)
+class PJViewReduction:
+    """The encoded instance of Theorem 2.1 plus solution translators."""
+
+    instance: MonotoneThreeSAT
+    db: Database
+    query: Query
+    target: Row
+
+    def assignment_to_deletions(
+        self, assignment: Dict[int, bool]
+    ) -> FrozenSet[SourceTuple]:
+        """The deletion set induced by a truth assignment.
+
+        ``xi = true``  → delete ``(a, xi)`` from R1;
+        ``xi = false`` → delete ``(xi, c)`` from R2.
+        """
+        deletions: Set[SourceTuple] = set()
+        for v in range(1, self.instance.num_variables + 1):
+            if assignment.get(v, False):
+                deletions.add(("R1", (A_CONST, _var(v))))
+            else:
+                deletions.add(("R2", (_var(v), C_CONST)))
+        return frozenset(deletions)
+
+    def deletions_to_assignment(
+        self, deletions: FrozenSet[SourceTuple]
+    ) -> Dict[int, bool]:
+        """The truth assignment read off a deletion set.
+
+        A variable is true iff its ``(a, xi)`` tuple was deleted.  Deleting
+        both of a variable's tuples is legal for the deletion problem but
+        read as "true"; deleting clause-constant tuples is ignored.
+        """
+        assignment = {v: False for v in range(1, self.instance.num_variables + 1)}
+        known = {("R1", (A_CONST, _var(v))): v for v in assignment}
+        for deletion in deletions:
+            if deletion in known:
+                assignment[known[deletion]] = True
+        return assignment
+
+
+def encode_pj_view(instance: MonotoneThreeSAT) -> PJViewReduction:
+    """Encode a monotone 3SAT instance per Theorem 2.1 / Figure 1."""
+    r1_rows: List[Tuple[str, str]] = []
+    r2_rows: List[Tuple[str, str]] = []
+    for v in range(1, instance.num_variables + 1):
+        r1_rows.append((A_CONST, _var(v)))
+        r2_rows.append((_var(v), C_CONST))
+    positive_index = 0
+    negative_index = 0
+    for index, clause in enumerate(instance.clauses, start=1):
+        if clause.positive:
+            positive_index += 1
+            fresh = f"a{index}"
+            for v in clause.variables:
+                r1_rows.append((fresh, _var(v)))
+        else:
+            negative_index += 1
+            fresh = f"c{index}"
+            for v in clause.variables:
+                r2_rows.append((_var(v), fresh))
+    if positive_index + negative_index != len(instance.clauses):
+        raise ReductionError("clause bookkeeping failed")  # pragma: no cover
+
+    db = Database(
+        [
+            Relation("R1", ["A", "B"], r1_rows),
+            Relation("R2", ["B", "C"], r2_rows),
+        ]
+    )
+    query = parse_query("PROJECT[A, C](R1 JOIN R2)")
+    return PJViewReduction(
+        instance=instance, db=db, query=query, target=(A_CONST, C_CONST)
+    )
+
+
+def figure1() -> PJViewReduction:
+    """The exact instance of the paper's Figure 1.
+
+    Encodes the running formula over five variables with clauses
+    ``(¬x1 ∨ ¬x2 ∨ ¬x3)``, ``(x2 ∨ x4 ∨ x5)``, ``(¬x1 ∨ ¬x3 ∨ ¬x4)``;
+    the resulting relations match the printed figure: ``R1`` has the five
+    ``(a, xi)`` rows plus ``(a2, x2), (a2, x4), (a2, x5)``, and ``R2`` has
+    the five ``(xi, c)`` rows plus the ``c1`` and ``c3`` rows.  The view is
+    ``{(a,c), (a,c1), (a,c3), (a2,c), (a2,c1), (a2,c3)}``.
+    """
+    return encode_pj_view(figure_instance())

@@ -1,0 +1,286 @@
+"""3SAT and monotone 3SAT instances for the hardness reductions.
+
+The deletion reductions (Theorems 2.1 and 2.2) start from **monotone 3SAT**
+— every clause is all-positive or all-negative (NP-hard by Gold 1974 /
+Schaefer 1978) — and the annotation reduction (Theorem 3.2) starts from
+general 3SAT.  This module provides:
+
+* :class:`MonotoneClause` / :class:`MonotoneThreeSAT` — structured monotone
+  instances with conversion to :class:`repro.solvers.sat.CNF`;
+* :class:`ThreeSAT` — general 3-literal-clause instances;
+* deterministic pseudo-random generators, including generators biased to
+  produce satisfiable or unsatisfiable instances (by planting an assignment
+  or by densifying), used by tests and benchmarks;
+* the fixed example instance of Figures 1 and 2 of the paper:
+  ``(x1 ∨ x2 ∨ x3)(¬x1 ∨ ¬x2 ∨ ¬x3)`` style — see :func:`figure_instance`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReductionError
+from repro.solvers.sat import CNF, solve
+
+__all__ = [
+    "MonotoneClause",
+    "MonotoneThreeSAT",
+    "ThreeSAT",
+    "random_monotone_3sat",
+    "random_3sat",
+    "planted_monotone_3sat",
+    "figure_instance",
+]
+
+
+@dataclass(frozen=True)
+class MonotoneClause:
+    """A monotone clause: three variables, all positive or all negated.
+
+    ``positive=True`` encodes ``(x_a ∨ x_b ∨ x_c)``; ``positive=False``
+    encodes ``(¬x_a ∨ ¬x_b ∨ ¬x_c)``.  Variables are 1-based indices.
+    """
+
+    positive: bool
+    variables: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.variables) != len(set(self.variables)):
+            raise ReductionError(f"repeated variable in clause {self.variables!r}")
+        if any(v < 1 for v in self.variables):
+            raise ReductionError("variables are 1-based positive integers")
+
+    def literals(self) -> Tuple[int, ...]:
+        """The clause as signed integer literals."""
+        sign = 1 if self.positive else -1
+        return tuple(sign * v for v in self.variables)
+
+    def satisfied_by(self, assignment: Dict[int, bool]) -> bool:
+        """True if the assignment satisfies this clause."""
+        if self.positive:
+            return any(assignment.get(v, False) for v in self.variables)
+        return any(not assignment.get(v, False) for v in self.variables)
+
+
+@dataclass(frozen=True)
+class MonotoneThreeSAT:
+    """A monotone 3SAT instance: clauses over variables ``1..num_variables``."""
+
+    num_variables: int
+    clauses: Tuple[MonotoneClause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            if any(v > self.num_variables for v in clause.variables):
+                raise ReductionError(
+                    f"clause {clause!r} references a variable beyond "
+                    f"{self.num_variables}"
+                )
+
+    @property
+    def positive_clauses(self) -> Tuple[MonotoneClause, ...]:
+        """The all-positive clauses, in order."""
+        return tuple(c for c in self.clauses if c.positive)
+
+    @property
+    def negative_clauses(self) -> Tuple[MonotoneClause, ...]:
+        """The all-negative clauses, in order."""
+        return tuple(c for c in self.clauses if not c.positive)
+
+    def to_cnf(self) -> CNF:
+        """The instance as a CNF formula for the DPLL solver."""
+        return CNF([c.literals() for c in self.clauses])
+
+    def solve(self) -> Optional[Dict[int, bool]]:
+        """A satisfying assignment over all variables, or None."""
+        model = solve(self.to_cnf())
+        if model is None:
+            return None
+        return {v: model.get(v, False) for v in range(1, self.num_variables + 1)}
+
+    def satisfied_by(self, assignment: Dict[int, bool]) -> bool:
+        """True if the assignment satisfies every clause."""
+        return all(c.satisfied_by(assignment) for c in self.clauses)
+
+
+@dataclass(frozen=True)
+class ThreeSAT:
+    """A general 3SAT instance: clauses of exactly three distinct variables.
+
+    Each clause is a tuple of three signed literals.  Used by the annotation
+    placement reduction (Theorem 3.2), whose relations need one column per
+    clause variable.
+    """
+
+    num_variables: int
+    clauses: Tuple[Tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            variables = [abs(l) for l in clause]
+            if len(set(variables)) != 3:
+                raise ReductionError(
+                    f"clause {clause!r} must use three distinct variables"
+                )
+            if any(v > self.num_variables or v < 1 for v in variables):
+                raise ReductionError(f"clause {clause!r} out of variable range")
+
+    def to_cnf(self) -> CNF:
+        """The instance as a CNF formula."""
+        return CNF(self.clauses)
+
+    def solve(self) -> Optional[Dict[int, bool]]:
+        """A satisfying assignment over all variables, or None."""
+        model = solve(self.to_cnf())
+        if model is None:
+            return None
+        return {v: model.get(v, False) for v in range(1, self.num_variables + 1)}
+
+    def clause_variables(self, index: int) -> Tuple[int, int, int]:
+        """The (ordered) variables of clause ``index`` (0-based)."""
+        a, b, c = self.clauses[index]
+        return abs(a), abs(b), abs(c)
+
+    def is_variable_connected(self) -> bool:
+        """True if the clause graph (edges = shared variables) is connected.
+
+        The Theorem 3.2 reduction needs this property: on a disconnected
+        formula, assignment tuples from one component can join with dummy
+        tuples of another, blurring the satisfiable ⟺ side-effect-free
+        equivalence.  The generators only emit connected instances.
+        """
+        if not self.clauses:
+            return True
+        adjacency: Dict[int, set] = {i: set() for i in range(len(self.clauses))}
+        for i in range(len(self.clauses)):
+            for j in range(i + 1, len(self.clauses)):
+                if set(self.clause_variables(i)) & set(self.clause_variables(j)):
+                    adjacency[i].add(j)
+                    adjacency[j].add(i)
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return len(seen) == len(self.clauses)
+
+
+def random_monotone_3sat(
+    num_variables: int,
+    num_clauses: int,
+    seed: int = 0,
+) -> MonotoneThreeSAT:
+    """A uniformly random monotone 3SAT instance (deterministic per seed)."""
+    if num_variables < 3:
+        raise ReductionError("need at least 3 variables for 3-clauses")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = tuple(sorted(rng.sample(range(1, num_variables + 1), 3)))
+        clauses.append(MonotoneClause(rng.random() < 0.5, variables))
+    return MonotoneThreeSAT(num_variables, tuple(clauses))
+
+
+def planted_monotone_3sat(
+    num_variables: int,
+    num_clauses: int,
+    seed: int = 0,
+) -> MonotoneThreeSAT:
+    """A random monotone 3SAT instance with a planted satisfying assignment.
+
+    Used by benchmarks that need guaranteed-satisfiable instances: each
+    clause is re-sampled until the planted assignment satisfies it.
+    """
+    if num_variables < 3:
+        raise ReductionError("need at least 3 variables for 3-clauses")
+    rng = random.Random(seed)
+    planted = {v: rng.random() < 0.5 for v in range(1, num_variables + 1)}
+    clauses = []
+    while len(clauses) < num_clauses:
+        variables = tuple(sorted(rng.sample(range(1, num_variables + 1), 3)))
+        clause = MonotoneClause(rng.random() < 0.5, variables)
+        if clause.satisfied_by(planted):
+            clauses.append(clause)
+    return MonotoneThreeSAT(num_variables, tuple(clauses))
+
+
+def random_3sat(
+    num_variables: int,
+    num_clauses: int,
+    seed: int = 0,
+    require_connected: bool = True,
+) -> ThreeSAT:
+    """A random general 3SAT instance, optionally variable-connected.
+
+    Connectivity (see :meth:`ThreeSAT.is_variable_connected`) is required by
+    the Theorem 3.2 reduction; when requested, clauses are chained so that
+    consecutive clauses share a variable.
+    """
+    if num_variables < 3:
+        raise ReductionError("need at least 3 variables for 3-clauses")
+    rng = random.Random(seed)
+    clauses: List[Tuple[int, int, int]] = []
+    previous: Optional[Tuple[int, int, int]] = None
+    for _ in range(num_clauses):
+        if require_connected and previous is not None:
+            shared = rng.choice(previous)
+            others = rng.sample(
+                [v for v in range(1, num_variables + 1) if v != abs(shared)], 2
+            )
+            variables = [abs(shared)] + others
+        else:
+            variables = rng.sample(range(1, num_variables + 1), 3)
+        literals = tuple(
+            v if rng.random() < 0.5 else -v for v in sorted(variables)
+        )
+        clauses.append(literals)  # type: ignore[arg-type]
+        previous = tuple(abs(l) for l in literals)  # type: ignore[assignment]
+    instance = ThreeSAT(num_variables, tuple(clauses))
+    if require_connected and not instance.is_variable_connected():
+        raise ReductionError("generator failed to produce a connected instance")
+    return instance
+
+
+def unsatisfiable_monotone_3sat() -> MonotoneThreeSAT:
+    """A canonical *unsatisfiable* monotone 3SAT instance.
+
+    Over five variables, take every triple as an all-positive clause and
+    every triple as an all-negative clause (20 clauses).  The positive
+    clauses force at most two false variables (so at least three true); the
+    negative clauses force at most two true — contradiction.  Used to
+    exercise the "unsatisfiable ⟹ no side-effect-free deletion" direction
+    of Theorems 2.1/2.2 deterministically (random monotone instances are
+    almost always satisfiable).
+    """
+    from itertools import combinations
+
+    clauses = []
+    for triple in combinations(range(1, 6), 3):
+        clauses.append(MonotoneClause(True, triple))
+        clauses.append(MonotoneClause(False, triple))
+    return MonotoneThreeSAT(5, tuple(clauses))
+
+
+def figure_instance() -> MonotoneThreeSAT:
+    """The example instance of Figures 1 and 2 of the paper.
+
+    The paper's running formula is
+    ``(¬x1 ∨ ¬x2 ∨ ¬x3)(x2 ∨ x4 ∨ x5)(¬x4 ∨ ¬x1 ∨ ¬x3)`` over five
+    variables: clause 1 and clause 3 are all-negative (they appear in
+    ``R2``/the primed relations), clause 2 is all-positive (it appears in
+    ``R1``/the unprimed relations) — this is the reading consistent with
+    both printed figures.
+    """
+    return MonotoneThreeSAT(
+        num_variables=5,
+        clauses=(
+            MonotoneClause(False, (1, 2, 3)),
+            MonotoneClause(True, (2, 4, 5)),
+            MonotoneClause(False, (1, 3, 4)),
+        ),
+    )

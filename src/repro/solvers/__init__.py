@@ -1,0 +1,40 @@
+"""Algorithmic substrates: SAT, max-flow, set cover / hitting set.
+
+These are the from-scratch building blocks the paper's algorithms and
+reductions rely on: a DPLL SAT solver (to verify reduction correctness),
+Dinic max-flow (Theorem 2.6's chain-join min cut), and greedy/exact set
+cover and hitting set solvers (the set-cover-hardness side of the dichotomy).
+"""
+
+from repro.solvers.sat import (
+    CNF,
+    assignment_satisfies,
+    enumerate_models,
+    solve,
+)
+from repro.solvers.maxflow import INF, FlowNetwork
+from repro.solvers.setcover import (
+    enumerate_minimal_hitting_sets,
+    exact_min_hitting_set,
+    greedy_hitting_set,
+    greedy_set_cover,
+    harmonic,
+    hitting_set_to_set_cover,
+    is_hitting_set,
+)
+
+__all__ = [
+    "CNF",
+    "solve",
+    "enumerate_models",
+    "assignment_satisfies",
+    "FlowNetwork",
+    "INF",
+    "greedy_set_cover",
+    "greedy_hitting_set",
+    "exact_min_hitting_set",
+    "enumerate_minimal_hitting_sets",
+    "is_hitting_set",
+    "harmonic",
+    "hitting_set_to_set_cover",
+]

@@ -1,0 +1,183 @@
+"""Max-flow / min-cut (Dinic's algorithm), built from scratch.
+
+Theorem 2.6 of the paper solves the minimum source deletion problem for
+chain-join PJ queries by an s–t min cut in a layered network with node
+capacities.  This module provides the flow substrate:
+
+* :class:`FlowNetwork` — a directed graph with integer/float capacities
+  (``float('inf')`` allowed) built incrementally;
+* :meth:`FlowNetwork.max_flow` — Dinic's blocking-flow algorithm;
+* :meth:`FlowNetwork.min_cut` — the cut edges and the source-side vertex set
+  derived from the final residual graph.
+
+Node capacities (needed by the paper's construction: each tuple-node can be
+"deleted" at cost 1) are expressed by the standard node-splitting transform,
+which :mod:`repro.deletion.chain_join` performs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["FlowNetwork", "INF"]
+
+#: Infinite capacity marker.
+INF = float("inf")
+
+
+class _Edge:
+    """Internal residual edge."""
+
+    __slots__ = ("target", "capacity", "flow", "reverse_index", "is_forward")
+
+    def __init__(self, target: int, capacity: float, reverse_index: int, is_forward: bool):
+        self.target = target
+        self.capacity = capacity
+        self.flow = 0.0
+        self.reverse_index = reverse_index
+        self.is_forward = is_forward
+
+    @property
+    def residual(self) -> float:
+        return self.capacity - self.flow
+
+
+class FlowNetwork:
+    """A capacitated directed graph over arbitrary hashable node labels.
+
+    >>> net = FlowNetwork()
+    >>> net.add_edge("s", "a", 3)
+    >>> net.add_edge("a", "t", 2)
+    >>> net.max_flow("s", "t")
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self._labels: List[Hashable] = []
+        self._adjacency: List[List[_Edge]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def node(self, label: Hashable) -> int:
+        """Intern a node label, creating the node if needed."""
+        if label not in self._index:
+            self._index[label] = len(self._labels)
+            self._labels.append(label)
+            self._adjacency.append([])
+        return self._index[label]
+
+    def add_edge(self, source: Hashable, target: Hashable, capacity: float) -> None:
+        """Add a directed edge with the given capacity.
+
+        Parallel edges are allowed and behave additively.
+        """
+        if capacity < 0:
+            raise ReproError(f"negative capacity {capacity!r}")
+        u = self.node(source)
+        v = self.node(target)
+        forward = _Edge(v, capacity, len(self._adjacency[v]), True)
+        backward = _Edge(u, 0.0, len(self._adjacency[u]), False)
+        self._adjacency[u].append(forward)
+        self._adjacency[v].append(backward)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of interned nodes."""
+        return len(self._labels)
+
+    def has_node(self, label: Hashable) -> bool:
+        """True if the label has been interned."""
+        return label in self._index
+
+    # ------------------------------------------------------------------
+    # Dinic's algorithm
+    # ------------------------------------------------------------------
+    def max_flow(self, source: Hashable, sink: Hashable) -> float:
+        """Compute the maximum s–t flow value.
+
+        Runs Dinic's algorithm: repeated BFS level graphs + DFS blocking
+        flows.  Subsequent calls continue from the current flow (the network
+        keeps its state), which is what min_cut relies on.
+        """
+        if source not in self._index or sink not in self._index:
+            raise ReproError("source or sink not present in the network")
+        s, t = self._index[source], self._index[sink]
+        if s == t:
+            raise ReproError("source and sink must differ")
+        total = 0.0
+        while True:
+            levels = self._bfs_levels(s, t)
+            if levels is None:
+                return total
+            iterators = [0] * len(self._labels)
+            while True:
+                pushed = self._dfs_push(s, t, INF, levels, iterators)
+                if pushed <= 0:
+                    break
+                total += pushed
+
+    def _bfs_levels(self, s: int, t: int) -> Optional[List[int]]:
+        levels = [-1] * len(self._labels)
+        levels[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for edge in self._adjacency[u]:
+                if edge.residual > 0 and levels[edge.target] < 0:
+                    levels[edge.target] = levels[u] + 1
+                    queue.append(edge.target)
+        return levels if levels[t] >= 0 else None
+
+    def _dfs_push(
+        self, u: int, t: int, limit: float, levels: List[int], iterators: List[int]
+    ) -> float:
+        if u == t:
+            return limit
+        while iterators[u] < len(self._adjacency[u]):
+            edge = self._adjacency[u][iterators[u]]
+            if edge.residual > 0 and levels[edge.target] == levels[u] + 1:
+                pushed = self._dfs_push(
+                    edge.target, t, min(limit, edge.residual), levels, iterators
+                )
+                if pushed > 0:
+                    edge.flow += pushed
+                    self._adjacency[edge.target][edge.reverse_index].flow -= pushed
+                    return pushed
+            iterators[u] += 1
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Min cut
+    # ------------------------------------------------------------------
+    def min_cut(
+        self, source: Hashable, sink: Hashable
+    ) -> Tuple[float, Set[Hashable], List[Tuple[Hashable, Hashable]]]:
+        """Compute a minimum s–t cut.
+
+        Returns ``(value, source_side, cut_edges)`` where ``source_side`` is
+        the set of node labels reachable from the source in the residual
+        graph after a max flow, and ``cut_edges`` are the saturated forward
+        edges crossing from the source side to the sink side.
+        """
+        value = self.max_flow(source, sink)
+        s = self._index[source]
+        reachable: Set[int] = {s}
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for edge in self._adjacency[u]:
+                if edge.residual > 0 and edge.target not in reachable:
+                    reachable.add(edge.target)
+                    queue.append(edge.target)
+        source_side = {self._labels[i] for i in reachable}
+        cut_edges: List[Tuple[Hashable, Hashable]] = []
+        for u in reachable:
+            for edge in self._adjacency[u]:
+                if edge.is_forward and edge.target not in reachable:
+                    cut_edges.append((self._labels[u], self._labels[edge.target]))
+        return value, source_side, cut_edges

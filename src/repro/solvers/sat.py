@@ -1,0 +1,255 @@
+"""A CNF representation and a DPLL SAT solver.
+
+The hardness reductions of the paper start from (monotone) 3SAT.  To verify
+both directions of every reduction — *satisfiable formula ⟺ side-effect-free
+solution* — the test suite and benchmarks need to actually decide
+satisfiability of the generated formulas.  This module provides:
+
+* :class:`CNF` — clauses over integer variables, positive literal ``v``,
+  negative literal ``-v`` (DIMACS convention);
+* :func:`solve` — complete DPLL search with unit propagation and pure-literal
+  elimination, returning a satisfying assignment or None;
+* :func:`enumerate_models` — all satisfying assignments (for small formulas);
+* helpers to build and inspect formulas programmatically.
+
+The solver is exponential in the worst case, as it must be (these are NP-hard
+instances); the reductions keep benchmark formulas small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["CNF", "Clause", "solve", "enumerate_models", "assignment_satisfies"]
+
+#: A clause: a tuple of non-zero integer literals.
+Clause = Tuple[int, ...]
+
+#: A (partial) assignment: variable -> bool.
+Assignment = Dict[int, bool]
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form.
+
+    Variables are positive integers; a literal is ``v`` or ``-v``.
+
+    >>> f = CNF([(1, 2), (-1, 2), (-2,)])
+    >>> f.num_variables
+    2
+    >>> solve(f) is None
+    True
+    """
+
+    __slots__ = ("_clauses", "_variables")
+
+    def __init__(self, clauses: Iterable[Sequence[int]]):
+        normalized: List[Clause] = []
+        variables: set = set()
+        for clause in clauses:
+            lits = tuple(clause)
+            if not lits:
+                # An empty clause is unsatisfiable; keep it, solve() handles it.
+                normalized.append(lits)
+                continue
+            for lit in lits:
+                if not isinstance(lit, int) or lit == 0:
+                    raise ReproError(f"invalid literal {lit!r} in clause {lits!r}")
+                variables.add(abs(lit))
+            normalized.append(lits)
+        self._clauses = tuple(normalized)
+        self._variables = frozenset(variables)
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        """The clauses, in input order."""
+        return self._clauses
+
+    @property
+    def variables(self) -> FrozenSet[int]:
+        """The set of variables that occur in some clause."""
+        return self._variables
+
+    @property
+    def num_variables(self) -> int:
+        """Number of distinct variables."""
+        return len(self._variables)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self._clauses)
+
+    def is_monotone_3sat(self) -> bool:
+        """True if every clause is all-positive or all-negative.
+
+        This is the *monotone 3SAT* restriction the paper reduces from
+        (Theorems 2.1 and 2.2); clause width is not checked here.
+        """
+        for clause in self._clauses:
+            if not clause:
+                return False
+            positive = sum(1 for lit in clause if lit > 0)
+            if positive not in (0, len(clause)):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CNF({self.num_variables} vars, {self.num_clauses} clauses)"
+
+
+def assignment_satisfies(cnf: CNF, assignment: Assignment) -> bool:
+    """True if the (total) assignment satisfies every clause."""
+    for clause in cnf.clauses:
+        if not any(
+            assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+        ):
+            return False
+    return True
+
+
+def _unit_propagate(
+    clauses: List[List[int]], assignment: Assignment
+) -> Optional[List[List[int]]]:
+    """Apply unit propagation; return simplified clauses or None on conflict."""
+    changed = True
+    while changed:
+        changed = False
+        units = [c[0] for c in clauses if len(c) == 1]
+        for lit in units:
+            var, value = abs(lit), lit > 0
+            if var in assignment:
+                if assignment[var] != value:
+                    return None
+                continue
+            assignment[var] = value
+            changed = True
+        if changed:
+            clauses = _simplify(clauses, assignment)
+            if clauses is None:
+                return None
+    return clauses
+
+
+def _simplify(
+    clauses: List[List[int]], assignment: Assignment
+) -> Optional[List[List[int]]]:
+    """Drop satisfied clauses and falsified literals; None on empty clause."""
+    out: List[List[int]] = []
+    for clause in clauses:
+        new_clause: List[int] = []
+        satisfied = False
+        for lit in clause:
+            var = abs(lit)
+            if var in assignment:
+                if assignment[var] == (lit > 0):
+                    satisfied = True
+                    break
+            else:
+                new_clause.append(lit)
+        if satisfied:
+            continue
+        if not new_clause:
+            return None
+        out.append(new_clause)
+    return out
+
+
+def _pure_literals(clauses: List[List[int]]) -> List[int]:
+    """Literals whose negation never occurs."""
+    seen: set = set()
+    for clause in clauses:
+        seen.update(clause)
+    return [lit for lit in seen if -lit not in seen]
+
+
+def _choose_branch_variable(clauses: List[List[int]]) -> int:
+    """Branch on a variable from a shortest clause (a cheap MOMS heuristic)."""
+    best = min(clauses, key=len)
+    return abs(best[0])
+
+
+def solve(cnf: CNF) -> Optional[Assignment]:
+    """Decide satisfiability; return a total satisfying assignment or None.
+
+    The returned assignment covers every variable of the formula (variables
+    unconstrained after simplification default to False).
+    """
+    assignment: Assignment = {}
+    clauses = _simplify([list(c) for c in cnf.clauses], assignment)
+    if clauses is None:
+        return None
+    result = _dpll(clauses, assignment)
+    if result is None:
+        return None
+    for var in cnf.variables:
+        result.setdefault(var, False)
+    return result
+
+
+def _dpll(clauses: List[List[int]], assignment: Assignment) -> Optional[Assignment]:
+    clauses = _unit_propagate(clauses, assignment)
+    if clauses is None:
+        return None
+    for lit in _pure_literals(clauses):
+        assignment[abs(lit)] = lit > 0
+    clauses = _simplify(clauses, assignment)
+    if clauses is None:
+        return None
+    if not clauses:
+        return assignment
+    var = _choose_branch_variable(clauses)
+    for value in (True, False):
+        trial = dict(assignment)
+        trial[var] = value
+        simplified = _simplify(clauses, trial)
+        if simplified is None:
+            continue
+        result = _dpll(simplified, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def enumerate_models(cnf: CNF, limit: Optional[int] = None) -> Iterator[Assignment]:
+    """Yield every total satisfying assignment (up to ``limit``).
+
+    Exponential; intended for the small formulas used in tests.
+    """
+    variables = sorted(cnf.variables)
+    count = 0
+
+    def backtrack(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        nonlocal count
+        if limit is not None and count >= limit:
+            return
+        if index == len(variables):
+            if assignment_satisfies(cnf, assignment):
+                count += 1
+                yield dict(assignment)
+            return
+        var = variables[index]
+        for value in (False, True):
+            assignment[var] = value
+            # Cheap pruning: stop if some clause is already fully falsified.
+            if not _falsified(cnf, assignment):
+                yield from backtrack(index + 1, assignment)
+            del assignment[var]
+
+    yield from backtrack(0, {})
+
+
+def _falsified(cnf: CNF, partial: Assignment) -> bool:
+    """True if some clause is falsified by the partial assignment."""
+    for clause in cnf.clauses:
+        ok = False
+        for lit in clause:
+            var = abs(lit)
+            if var not in partial or partial[var] == (lit > 0):
+                ok = True
+                break
+        if not ok:
+            return True
+    return False

@@ -1,0 +1,259 @@
+"""Set cover and hitting set: greedy approximation and exact search.
+
+The paper's source side-effect problem is *set-cover-hard* for the PJ and JU
+fragments (Theorems 2.5 and 2.7): the optimal source deletion corresponds to
+a minimum hitting set of the view tuple's witnesses.  This module provides
+the optimization substrate:
+
+* :func:`greedy_set_cover` — the classical H_n-approximation;
+* :func:`greedy_hitting_set` — its dual (pick the element hitting the most
+  currently-unhit sets);
+* :func:`exact_min_hitting_set` — optimal hitting set by branch and bound,
+  guarded by a node budget;
+* :func:`enumerate_minimal_hitting_sets` — all inclusion-minimal hitting
+  sets (the candidate space of the exact view side-effect solver);
+* :func:`harmonic` — H_n, the greedy guarantee the benchmarks compare
+  against.
+
+The hitting set problem: given a family of sets over a universe, find a
+smallest set of elements intersecting every member.  It is the dual of set
+cover and shares its approximability threshold (Feige 1998), which is why
+the paper phrases both hardness results through it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ExponentialGuardError, ReproError
+
+__all__ = [
+    "greedy_set_cover",
+    "greedy_hitting_set",
+    "exact_min_hitting_set",
+    "enumerate_minimal_hitting_sets",
+    "is_hitting_set",
+    "harmonic",
+    "hitting_set_to_set_cover",
+]
+
+#: Default branch-and-bound node budget for exact solvers.
+DEFAULT_NODE_BUDGET = 2_000_000
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number H_n = 1 + 1/2 + ... + 1/n.
+
+    Greedy set cover is an H_n-approximation where n is the universe size.
+    """
+    return sum(1.0 / k for k in range(1, n + 1))
+
+
+def greedy_set_cover(
+    universe: Iterable[Hashable], sets: Dict[Hashable, FrozenSet[Hashable]]
+) -> List[Hashable]:
+    """Greedy set cover: repeatedly take the set covering most new elements.
+
+    Returns the chosen set names in pick order.  Raises :class:`ReproError`
+    if the sets cannot cover the universe.
+    """
+    remaining = set(universe)
+    for name, members in sets.items():
+        if not isinstance(members, frozenset):
+            raise ReproError(f"set {name!r} must be a frozenset")
+    chosen: List[Hashable] = []
+    while remaining:
+        best_name = None
+        best_gain = 0
+        for name, members in sets.items():
+            gain = len(members & remaining)
+            if gain > best_gain:
+                best_gain = gain
+                best_name = name
+        if best_name is None:
+            raise ReproError("sets do not cover the universe")
+        chosen.append(best_name)
+        remaining -= sets[best_name]
+    return chosen
+
+
+def is_hitting_set(
+    sets: Sequence[FrozenSet[Hashable]], candidate: Iterable[Hashable]
+) -> bool:
+    """True if ``candidate`` intersects every set of the family."""
+    chosen = set(candidate)
+    return all(s & chosen for s in sets)
+
+
+def greedy_hitting_set(sets: Sequence[FrozenSet[Hashable]]) -> Set[Hashable]:
+    """Greedy hitting set: pick the element hitting the most unhit sets.
+
+    Equivalent to greedy set cover on the dual instance, hence an
+    H_m-approximation where m is the number of sets.  Raises
+    :class:`ReproError` when the family contains an empty set (unhittable).
+    """
+    for s in sets:
+        if not s:
+            raise ReproError("an empty set cannot be hit")
+    unhit: List[FrozenSet[Hashable]] = list(sets)
+    chosen: Set[Hashable] = set()
+    while unhit:
+        counts: Dict[Hashable, int] = {}
+        for s in unhit:
+            for element in s:
+                counts[element] = counts.get(element, 0) + 1
+        best = max(counts, key=lambda e: (counts[e], repr(e)))
+        chosen.add(best)
+        unhit = [s for s in unhit if best not in s]
+    return chosen
+
+
+def _disjoint_lower_bound(sets: Sequence[FrozenSet[Hashable]]) -> int:
+    """A cheap lower bound: a maximal collection of pairwise-disjoint sets.
+
+    Any hitting set needs one distinct element per disjoint set.
+    """
+    bound = 0
+    used: Set[Hashable] = set()
+    for s in sorted(sets, key=len):
+        if not (s & used):
+            bound += 1
+            used |= s
+    return bound
+
+
+def exact_min_hitting_set(
+    sets: Sequence[FrozenSet[Hashable]],
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> FrozenSet[Hashable]:
+    """An optimal (minimum-cardinality) hitting set by branch and bound.
+
+    Branches on the elements of a smallest currently-unhit set; prunes with
+    the greedy upper bound and the disjoint-set lower bound.  Exponential in
+    the worst case (the problem is NP-hard); raises
+    :class:`ExponentialGuardError` when more than ``node_budget`` search
+    nodes are expanded.
+    """
+    family = [frozenset(s) for s in sets]
+    for s in family:
+        if not s:
+            raise ReproError("an empty set cannot be hit")
+    if not family:
+        return frozenset()
+
+    best: Set[Hashable] = greedy_hitting_set(family)
+    nodes = 0
+
+    def search(unhit: List[FrozenSet[Hashable]], chosen: Set[Hashable]) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise ExponentialGuardError(
+                f"exact_min_hitting_set exceeded node budget {node_budget}"
+            )
+        if not unhit:
+            if len(chosen) < len(best):
+                best = set(chosen)
+            return
+        if len(chosen) + _disjoint_lower_bound(unhit) >= len(best):
+            return
+        pivot = min(unhit, key=len)
+        for element in sorted(pivot, key=repr):
+            chosen.add(element)
+            remaining = [s for s in unhit if element not in s]
+            search(remaining, chosen)
+            chosen.remove(element)
+
+    search(family, set())
+    return frozenset(best)
+
+
+def enumerate_minimal_hitting_sets(
+    sets: Sequence[FrozenSet[Hashable]],
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    max_results: Optional[int] = None,
+) -> Iterator[FrozenSet[Hashable]]:
+    """Yield every inclusion-minimal hitting set of the family.
+
+    The classical branching algorithm: pick an unhit set, branch on each of
+    its elements; a branch that selects element ``e`` forbids revisiting the
+    elements tried before ``e`` at the same node (avoiding duplicate
+    enumeration).  Results are checked for inclusion-minimality before being
+    yielded, because the branching tree can reach non-minimal candidates.
+
+    Exponential in general — the paper notes it is NP-hard even to find all
+    witnesses — so the search is guarded by ``node_budget``.
+    """
+    family = [frozenset(s) for s in sets]
+    for s in family:
+        if not s:
+            raise ReproError("an empty set cannot be hit")
+    if not family:
+        yield frozenset()
+        return
+
+    nodes = 0
+    produced = 0
+    seen: Set[FrozenSet[Hashable]] = set()
+
+    def minimal(candidate: FrozenSet[Hashable]) -> bool:
+        return all(
+            not is_hitting_set(family, candidate - {element}) for element in candidate
+        )
+
+    stack: List[Tuple[Set[Hashable], Set[Hashable]]] = [(set(), set())]
+    results: List[FrozenSet[Hashable]] = []
+    while stack:
+        nodes += 1
+        if nodes > node_budget:
+            raise ExponentialGuardError(
+                f"enumerate_minimal_hitting_sets exceeded node budget {node_budget}"
+            )
+        chosen, forbidden = stack.pop()
+        unhit = [s for s in family if not (s & chosen)]
+        if not unhit:
+            candidate = frozenset(chosen)
+            if candidate not in seen and minimal(candidate):
+                seen.add(candidate)
+                results.append(candidate)
+                produced += 1
+                yield candidate
+                if max_results is not None and produced >= max_results:
+                    return
+            continue
+        pivot = min(unhit, key=len)
+        tried: Set[Hashable] = set()
+        for element in sorted(pivot, key=repr):
+            if element in forbidden:
+                continue
+            stack.append((chosen | {element}, forbidden | tried))
+            tried.add(element)
+
+
+def hitting_set_to_set_cover(
+    sets: Sequence[FrozenSet[Hashable]],
+) -> Tuple[Set[int], Dict[Hashable, FrozenSet[int]]]:
+    """The dual set-cover instance of a hitting set instance.
+
+    Universe = set indices; for each element ``e``, the dual set is the set
+    of indices of family members containing ``e``.  A hitting set of the
+    family is exactly a set cover of the dual, which the tests exercise.
+    """
+    universe = set(range(len(sets)))
+    dual: Dict[Hashable, Set[int]] = {}
+    for index, s in enumerate(sets):
+        for element in s:
+            dual.setdefault(element, set()).add(index)
+    return universe, {e: frozenset(ix) for e, ix in dual.items()}

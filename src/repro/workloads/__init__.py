@@ -1,0 +1,30 @@
+"""Workload generators for tests and benchmarks.
+
+Random well-typed (database, query) pairs for property-based testing, and
+parameterized scalable workloads (SPU, SJ, chain join, star join, the
+UserGroup/GroupFile motivating example) for the benchmark sweeps.
+"""
+
+from repro.workloads.random_instances import (
+    random_database,
+    random_instance,
+    random_query,
+)
+from repro.workloads.scaling import (
+    chain_workload,
+    sj_workload,
+    spu_workload,
+    star_workload,
+    usergroup_workload,
+)
+
+__all__ = [
+    "random_database",
+    "random_query",
+    "random_instance",
+    "spu_workload",
+    "sj_workload",
+    "chain_workload",
+    "star_workload",
+    "usergroup_workload",
+]

@@ -1,0 +1,159 @@
+"""Random databases and random well-typed SPJRU queries.
+
+The property-based tests need a stream of diverse (database, query) pairs to
+check invariants like "normalization preserves the view and the annotation
+relation" and "the polynomial algorithms agree with brute force".  These
+generators are deterministic per seed and deliberately use small value
+domains and shared attribute names so joins and unions actually fire.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import AttributeRef, Comparison, Constant, Predicate
+from repro.algebra.relation import Database, Relation
+from repro.algebra.schema import Schema
+
+__all__ = ["random_database", "random_query", "random_instance"]
+
+#: Attribute name pool; sharing across relations makes natural joins likely.
+_ATTRIBUTE_POOL = ("A", "B", "C", "D", "E")
+
+#: Small value domain so selections/joins/unions hit often.
+_VALUE_POOL = (0, 1, 2, 3)
+
+
+def random_database(
+    seed: int = 0,
+    num_relations: int = 3,
+    max_arity: int = 3,
+    max_rows: int = 6,
+) -> Database:
+    """A small random database with overlapping attribute names.
+
+    Relation names are ``T1, T2, ...``; arities 1..max_arity; values from a
+    4-element integer domain.
+    """
+    rng = random.Random(seed)
+    relations: List[Relation] = []
+    for index in range(1, num_relations + 1):
+        arity = rng.randint(1, max_arity)
+        start = rng.randrange(len(_ATTRIBUTE_POOL))
+        attrs = [
+            _ATTRIBUTE_POOL[(start + k) % len(_ATTRIBUTE_POOL)] for k in range(arity)
+        ]
+        num_rows = rng.randint(1, max_rows)
+        rows = {
+            tuple(rng.choice(_VALUE_POOL) for _ in range(arity))
+            for _ in range(num_rows)
+        }
+        relations.append(Relation(f"T{index}", attrs, rows))
+    return Database(relations)
+
+
+def _random_predicate(rng: random.Random, schema: Schema) -> Predicate:
+    """A random comparison over the schema (attr-const or attr-attr)."""
+    attrs = schema.attributes
+    left = AttributeRef(rng.choice(attrs))
+    op = rng.choice(("=", "!=", "<", "<=", ">", ">="))
+    if len(attrs) > 1 and rng.random() < 0.3:
+        other = rng.choice([a for a in attrs if a != left.attribute])
+        return Comparison(left, op, AttributeRef(other))
+    return Comparison(left, op, Constant(rng.choice(_VALUE_POOL)))
+
+
+def _random_rename(rng: random.Random, schema: Schema) -> Optional[Dict[str, str]]:
+    """A random injective partial rename of the schema, or None."""
+    fresh_pool = [f"Z{i}" for i in range(1, 6)]
+    candidates = [a for a in schema.attributes]
+    rng.shuffle(candidates)
+    mapping: Dict[str, str] = {}
+    taken = set(schema.attributes)
+    for attr in candidates[: rng.randint(1, len(candidates))]:
+        target = rng.choice(fresh_pool)
+        if target in taken or target in mapping.values():
+            continue
+        mapping[attr] = target
+    return mapping or None
+
+
+def random_query(
+    seed: int,
+    catalog: Dict[str, Schema],
+    max_depth: int = 3,
+    operators: str = "SPJUR",
+) -> Query:
+    """A random well-typed query over the catalog.
+
+    ``operators`` restricts which letters may appear, so callers can sample
+    e.g. pure SPU or SJ queries.  Union operands are retried until
+    union-compatible (falling back to a selection over the left operand).
+    """
+    rng = random.Random(seed)
+    names = sorted(catalog)
+    if not names:
+        raise ReproError("catalog is empty")
+
+    def build(depth: int) -> Query:
+        if depth <= 0:
+            return RelationRef(rng.choice(names))
+        choices = ["leaf"]
+        choices.extend(op for op in operators if op in "SPJUR")
+        op = rng.choice(choices)
+        if op == "leaf":
+            return RelationRef(rng.choice(names))
+        if op == "S":
+            child = build(depth - 1)
+            schema = child.output_schema(catalog)
+            return Select(child, _random_predicate(rng, schema))
+        if op == "P":
+            child = build(depth - 1)
+            schema = child.output_schema(catalog)
+            count = rng.randint(1, schema.arity)
+            attrs = rng.sample(schema.attributes, count)
+            return Project(child, attrs)
+        if op == "J":
+            return Join(build(depth - 1), build(depth - 1))
+        if op == "R":
+            child = build(depth - 1)
+            schema = child.output_schema(catalog)
+            mapping = _random_rename(rng, schema)
+            return Rename(child, mapping) if mapping else child
+        if op == "U":
+            left = build(depth - 1)
+            left_attrs = set(left.output_schema(catalog).attributes)
+            for _ in range(8):
+                right = build(depth - 1)
+                if set(right.output_schema(catalog).attributes) == left_attrs:
+                    return Union(left, right)
+            # Fall back to a trivially compatible right operand.
+            return Union(left, Select(left, _random_predicate(
+                rng, left.output_schema(catalog))))
+        raise ReproError(f"unknown operator {op!r}")  # pragma: no cover
+
+    return build(max_depth)
+
+
+def random_instance(
+    seed: int,
+    max_depth: int = 3,
+    operators: str = "SPJUR",
+    num_relations: int = 3,
+) -> Tuple[Database, Query]:
+    """A matched random (database, query) pair."""
+    db = random_database(seed=seed, num_relations=num_relations)
+    catalog = {name: db[name].schema for name in db}
+    query = random_query(seed + 1, catalog, max_depth=max_depth, operators=operators)
+    return db, query

@@ -1,0 +1,174 @@
+"""Scalable workload builders for the benchmark harnesses.
+
+Each builder produces a (database, query, target) triple whose size is
+controlled by explicit parameters, so the benchmarks can sweep a size axis
+and report how each algorithm's cost grows — the empirical counterpart of
+the paper's P vs NP-hard dichotomy rows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.ast import Join, Project, Query, RelationRef, Select, Union
+from repro.algebra.evaluate import evaluate
+from repro.algebra.parser import parse_predicate
+from repro.algebra.relation import Database, Relation, Row
+
+__all__ = [
+    "spu_workload",
+    "sj_workload",
+    "chain_workload",
+    "usergroup_workload",
+    "star_workload",
+]
+
+
+class ReductionHint(ReproError):
+    """Raised for invalid workload parameters."""
+
+
+def spu_workload(num_rows: int, seed: int = 0) -> Tuple[Database, Query, Row]:
+    """An SPU workload: union of two select-project branches over one table.
+
+    ``R(A, B, C)`` with ``num_rows`` rows; the query is
+    ``Π_A(σ_{B<=1}(R)) ∪ Π_A(σ_{C>=1}(R))``; the target is a view row with
+    several derivations, exercising the "delete all of them" algorithm.
+    """
+    rng = random.Random(seed)
+    rows = set()
+    rows.add((0, 0, 1))  # guarantees the target (0,) is present
+    while len(rows) < num_rows:
+        rows.add((rng.randint(0, max(3, num_rows // 4)), rng.randint(0, 3), rng.randint(0, 3)))
+    db = Database([Relation("R", ["A", "B", "C"], rows)])
+    branch1 = Project(Select(RelationRef("R"), parse_predicate("B <= 1")), ["A"])
+    branch2 = Project(Select(RelationRef("R"), parse_predicate("C >= 1")), ["A"])
+    query: Query = Union(branch1, branch2)
+    return db, query, (0,)
+
+
+def sj_workload(
+    num_rows: int, seed: int = 0
+) -> Tuple[Database, Query, Row]:
+    """An SJ workload: a two-relation natural join under a selection.
+
+    ``R(A, B)`` and ``S(B, C)`` with ~``num_rows`` rows each; the query is
+    ``σ_{A != C}(R ⋈ S)``; the target is a guaranteed output row.
+    """
+    rng = random.Random(seed)
+    r_rows = {(0, 0)}
+    s_rows = {(0, 1)}
+    while len(r_rows) < num_rows:
+        r_rows.add((rng.randint(0, num_rows), rng.randint(0, max(2, num_rows // 3))))
+    while len(s_rows) < num_rows:
+        s_rows.add((rng.randint(0, max(2, num_rows // 3)), rng.randint(0, num_rows)))
+    db = Database([
+        Relation("R", ["A", "B"], r_rows),
+        Relation("S", ["B", "C"], s_rows),
+    ])
+    query: Query = Select(
+        Join(RelationRef("R"), RelationRef("S")), parse_predicate("A != C")
+    )
+    return db, query, (0, 0, 1)
+
+
+def chain_workload(
+    num_relations: int,
+    rows_per_relation: int,
+    seed: int = 0,
+) -> Tuple[Database, Query, Row]:
+    """A chain-join PJ workload (Theorem 2.6's shape).
+
+    Relations ``R1(A1, A2), R2(A2, A3), ..., Rk(Ak, Ak+1)`` with random rows
+    over a small domain plus a guaranteed path ``0 - 0 - ... - 0``; the query
+    projects the two endpoint attributes and the target is ``(0, 0)``.
+    """
+    if num_relations < 2:
+        raise ReductionHint("need at least two relations in the chain")
+    rng = random.Random(seed)
+    domain = max(2, rows_per_relation // 2)
+    relations: List[Relation] = []
+    for index in range(1, num_relations + 1):
+        rows = {(0, 0)}
+        while len(rows) < rows_per_relation:
+            rows.add((rng.randint(0, domain), rng.randint(0, domain)))
+        relations.append(
+            Relation(f"R{index}", [f"A{index}", f"A{index + 1}"], rows)
+        )
+    db = Database(relations)
+    join: Query = RelationRef("R1")
+    for index in range(2, num_relations + 1):
+        join = Join(join, RelationRef(f"R{index}"))
+    query = Project(join, ["A1", f"A{num_relations + 1}"])
+    return db, query, (0, 0)
+
+
+def usergroup_workload(
+    num_users: int,
+    num_groups: int,
+    num_files: int,
+    memberships_per_user: int = 2,
+    files_per_group: int = 2,
+    seed: int = 0,
+) -> Tuple[Database, Query, Row]:
+    """The paper's motivating example at scale: UserGroup ⋈ GroupFile.
+
+    ``Π_{user,file}(UserGroup ⋈ GroupFile)`` — the PJ query of Theorem 2.1's
+    discussion, with user 0 guaranteed to reach file 0 through group 0.
+    Target: ``("u0", "f0")``.
+    """
+    rng = random.Random(seed)
+    ug = {("u0", "g0")}
+    gf = {("g0", "f0")}
+    for u in range(num_users):
+        for _ in range(memberships_per_user):
+            ug.add((f"u{u}", f"g{rng.randrange(num_groups)}"))
+    for g in range(num_groups):
+        for _ in range(files_per_group):
+            gf.add((f"g{g}", f"f{rng.randrange(num_files)}"))
+    db = Database([
+        Relation("UserGroup", ["user", "group"], ug),
+        Relation("GroupFile", ["group", "file"], gf),
+    ])
+    query = Project(
+        Join(RelationRef("UserGroup"), RelationRef("GroupFile")), ["user", "file"]
+    )
+    return db, query, ("u0", "f0")
+
+
+def star_workload(
+    num_arms: int,
+    rows_per_relation: int,
+    seed: int = 0,
+) -> Tuple[Database, Query, Row]:
+    """A non-chain PJ workload: a star join (hub shares a key with each arm).
+
+    ``Hub(K1..Kn)`` joined with arms ``Armi(Ki, Vi)``, projecting the arm
+    values.  Star joins violate the chain condition for ``num_arms >= 3``,
+    exercising the dispatcher's fallback to exact search.
+    """
+    if num_arms < 2:
+        raise ReductionHint("need at least two arms")
+    rng = random.Random(seed)
+    hub_schema = [f"K{i}" for i in range(1, num_arms + 1)]
+    hub_rows = {tuple(0 for _ in range(num_arms))}
+    while len(hub_rows) < rows_per_relation:
+        hub_rows.add(tuple(rng.randint(0, 2) for _ in range(num_arms)))
+    relations = [Relation("Hub", hub_schema, hub_rows)]
+    for i in range(1, num_arms + 1):
+        rows = {(0, 0)}
+        while len(rows) < rows_per_relation:
+            rows.add((rng.randint(0, 2), rng.randint(0, 2)))
+        relations.append(Relation(f"Arm{i}", [f"K{i}", f"V{i}"], rows))
+    db = Database(relations)
+    join: Query = RelationRef("Hub")
+    for i in range(1, num_arms + 1):
+        join = Join(join, RelationRef(f"Arm{i}"))
+    query = Project(join, [f"V{i}" for i in range(1, num_arms + 1)])
+    target = tuple(0 for _ in range(num_arms))
+    view = evaluate(query, db)
+    if target not in view.rows:  # pragma: no cover - construction guarantees it
+        raise ReductionHint("star workload failed to produce the target")
+    return db, query, target

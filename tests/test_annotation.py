@@ -1,0 +1,213 @@
+"""Tests for annotation placement (Section 3.1, Theorems 3.3/3.4)."""
+
+import pytest
+
+from repro.algebra import Database, Relation, evaluate, parse_query
+from repro.annotation import (
+    exhaustive_placement,
+    place_annotation,
+    side_effect_free_annotation_exists,
+    sju_placement,
+    spu_placement,
+    verify_placement,
+)
+from repro.errors import InfeasibleError, QueryClassError, ReproError
+from repro.provenance.locations import Location
+from repro.workloads import random_instance
+from repro.algebra import view_rows
+
+
+class TestSPUPlacement:
+    def test_theorem_3_3_side_effect_free(self, single_db):
+        q = parse_query(
+            "PROJECT[age](People) UNION PROJECT[age](SELECT[age > 0](People))"
+        )
+        target = Location("V", (41,), "age")
+        placement = spu_placement(q, single_db, target)
+        verify_placement(q, single_db, placement)
+        assert placement.side_effect_free
+        assert placement.algorithm == "spu-branch-scan"
+
+    def test_random_spu_always_side_effect_free(self):
+        for seed in range(20):
+            db, query = random_instance(seed, max_depth=3, operators="SPU")
+            view = evaluate(query, db)
+            rows = sorted(view.rows, key=repr)
+            if not rows:
+                continue
+            target = Location("V", rows[0], view.schema.attributes[0])
+            placement = spu_placement(query, db, target)
+            verify_placement(query, db, placement)
+            assert placement.side_effect_free, (query, target)
+
+    def test_rejects_joins(self, tiny_db):
+        with pytest.raises(QueryClassError):
+            spu_placement(
+                parse_query("R JOIN S"), tiny_db, Location("V", (1, 2, 5), "A")
+            )
+
+
+class TestSJUPlacement:
+    def test_counts_cross_branch_effects(self, usergroup_db):
+        q = parse_query("UserGroup JOIN GroupFile")
+        target = Location("V", ("joe", "g1", "f1"), "file")
+        placement = sju_placement(q, usergroup_db, target)
+        verify_placement(q, usergroup_db, placement)
+        # g1 is shared by joe and ann: annotating (g1,f1).file hits both.
+        assert placement.num_side_effects == 1
+
+    def test_side_effect_free_when_unshared(self, usergroup_db):
+        q = parse_query("UserGroup JOIN GroupFile")
+        target = Location("V", ("bob", "g3", "f3"), "user")
+        placement = sju_placement(q, usergroup_db, target)
+        verify_placement(q, usergroup_db, placement)
+        assert placement.side_effect_free
+
+    def test_union_of_joins(self, usergroup_db):
+        q = parse_query(
+            "(UserGroup JOIN GroupFile) UNION (UserGroup JOIN GroupFile)"
+        )
+        target = Location("V", ("joe", "g2", "f2"), "file")
+        placement = sju_placement(q, usergroup_db, target)
+        verify_placement(q, usergroup_db, placement)
+
+    def test_matches_exhaustive_on_random_sju(self):
+        from repro.algebra import is_normal_form
+
+        checked = 0
+        for seed in range(40):
+            db, query = random_instance(seed, max_depth=2, operators="SJU")
+            if not is_normal_form(query):
+                continue
+            view = evaluate(query, db)
+            rows = sorted(view.rows, key=repr)
+            if not rows:
+                continue
+            target = Location("V", rows[0], view.schema.attributes[-1])
+            try:
+                fast = sju_placement(query, db, target)
+            except (QueryClassError, InfeasibleError):
+                continue
+            slow = exhaustive_placement(query, db, target)
+            verify_placement(query, db, fast)
+            assert fast.num_side_effects == slow.num_side_effects, (query, target)
+            checked += 1
+        assert checked >= 5
+
+    def test_rejects_projection(self, usergroup_db, usergroup_query):
+        with pytest.raises(QueryClassError):
+            sju_placement(
+                usergroup_query, usergroup_db, Location("V", ("joe", "f1"), "file")
+            )
+
+
+class TestExhaustivePlacement:
+    def test_pj_query(self, usergroup_db, usergroup_query):
+        target = Location("V", ("joe", "f1"), "file")
+        placement = exhaustive_placement(usergroup_query, usergroup_db, target)
+        verify_placement(usergroup_query, usergroup_db, placement)
+        # f1 is reachable via g1 (shared with ann) and via g2 (joe only):
+        # the optimum annotates (g2, f1).file, side-effect-free.
+        assert placement.side_effect_free
+        assert placement.source == Location("GroupFile", ("g2", "f1"), "file")
+
+    def test_no_feasible_source_raises(self, usergroup_db, usergroup_query):
+        with pytest.raises(InfeasibleError):
+            exhaustive_placement(
+                usergroup_query, usergroup_db, Location("V", ("nope", "f1"), "file")
+            )
+
+    def test_optimality_against_enumeration(self):
+        from repro.provenance.where import where_provenance
+
+        for seed in range(15):
+            db, query = random_instance(seed, max_depth=2, num_relations=2)
+            view = evaluate(query, db)
+            rows = sorted(view.rows, key=repr)
+            if not rows:
+                continue
+            target = Location("V", rows[0], view.schema.attributes[0])
+            prov = where_provenance(query, db)
+            try:
+                placement = exhaustive_placement(query, db, target)
+            except InfeasibleError:
+                continue
+            candidates = prov.backward(target.row, target.attribute)
+            best = min(len(prov.forward(c)) for c in candidates)
+            assert len(placement.propagated) == best
+
+
+class TestDispatcher:
+    def test_routes_spu(self, single_db):
+        q = parse_query("PROJECT[name](People)")
+        placement = place_annotation(q, single_db, Location("V", ("joe",), "name"))
+        assert placement.algorithm == "spu-branch-scan"
+
+    def test_routes_sju(self, usergroup_db):
+        q = parse_query("UserGroup JOIN GroupFile")
+        placement = place_annotation(
+            q, usergroup_db, Location("V", ("joe", "g1", "f1"), "user")
+        )
+        assert placement.algorithm == "sju-component-count"
+
+    def test_routes_pj_to_exhaustive(self, usergroup_db, usergroup_query):
+        placement = place_annotation(
+            usergroup_query, usergroup_db, Location("V", ("joe", "f1"), "user")
+        )
+        assert placement.algorithm == "exhaustive-where-provenance"
+
+    def test_refuses_pj_when_guarded(self, usergroup_db, usergroup_query):
+        with pytest.raises(QueryClassError, match="NP-hard"):
+            place_annotation(
+                usergroup_query,
+                usergroup_db,
+                Location("V", ("joe", "f1"), "user"),
+                allow_exponential=False,
+            )
+
+    def test_non_normal_form_sju_falls_back(self, usergroup_db):
+        # A selection over a union is SJU but not normal form; the dispatcher
+        # must still answer (via the exhaustive engine).
+        q = parse_query(
+            "SELECT[user = 'joe']((UserGroup JOIN GroupFile) UNION (UserGroup JOIN GroupFile))"
+        )
+        view = evaluate(q, usergroup_db)
+        row = sorted(view.rows, key=repr)[0]
+        placement = place_annotation(q, usergroup_db, Location("V", row, "file"))
+        verify_placement(q, usergroup_db, placement)
+
+
+class TestDecisionAndVerification:
+    def test_decision_positive(self, usergroup_db, usergroup_query):
+        assert side_effect_free_annotation_exists(
+            usergroup_query, usergroup_db, Location("V", ("joe", "f1"), "file")
+        )
+
+    def test_decision_negative(self, usergroup_db):
+        """ann reaches f1 only through g1, which joe shares: any annotation
+        on the user column of ann's row stays clean, but on (ann,f1).file the
+        only candidate is (g1,f1).file which also hits joe's row."""
+        q = parse_query("PROJECT[user, file](UserGroup JOIN GroupFile)")
+        assert not side_effect_free_annotation_exists(
+            q, usergroup_db, Location("V", ("ann", "f1"), "file")
+        )
+
+    def test_decision_false_for_missing_location(self, usergroup_db, usergroup_query):
+        assert not side_effect_free_annotation_exists(
+            usergroup_query, usergroup_db, Location("V", ("zz", "zz"), "file")
+        )
+
+    def test_verify_catches_lies(self, usergroup_db, usergroup_query):
+        from repro.annotation import AnnotationPlacement
+
+        target = Location("V", ("joe", "f1"), "file")
+        honest = exhaustive_placement(usergroup_query, usergroup_db, target)
+        lying = AnnotationPlacement(
+            target=target,
+            source=honest.source,
+            propagated=frozenset({target, Location("V", ("x",), "file")}),
+            algorithm="liar",
+            optimal=False,
+        )
+        with pytest.raises(ReproError):
+            verify_placement(usergroup_query, usergroup_db, lying)

@@ -1,0 +1,126 @@
+"""Tests for the annotation store (the paper's BioDAS/Annotea scenario)."""
+
+import pytest
+
+from repro.algebra import Database, Relation, parse_query
+from repro.annotation import AnnotationStore
+from repro.errors import ReproError, SchemaError
+from repro.provenance.locations import Location
+
+
+@pytest.fixture
+def store():
+    return AnnotationStore()
+
+
+class TestAuthoring:
+    def test_add_and_get(self, store, usergroup_db):
+        loc = Location("UserGroup", ("joe", "g1"), "user")
+        annotation = store.add(usergroup_db, loc, "verified 2002-06-01")
+        assert store.get(annotation.annotation_id).text == "verified 2002-06-01"
+        assert store.at(loc) == (annotation,)
+
+    def test_add_validates_location(self, store, usergroup_db):
+        with pytest.raises(SchemaError):
+            store.add(usergroup_db, Location("UserGroup", ("nope", "g9"), "user"), "x")
+        with pytest.raises(SchemaError):
+            store.add(usergroup_db, Location("UserGroup", ("joe", "g1"), "zzz"), "x")
+
+    def test_reply_builds_thread(self, store, usergroup_db):
+        loc = Location("UserGroup", ("joe", "g1"), "user")
+        root = store.add(usergroup_db, loc, "suspicious")
+        child = store.reply(root.annotation_id, "checked: fine")
+        grandchild = store.reply(child.annotation_id, "agreed")
+        thread = store.thread(grandchild.annotation_id)
+        assert [a.text for a in thread] == ["suspicious", "checked: fine", "agreed"]
+        assert child.location == loc  # replies live on the same location
+
+    def test_reply_to_missing_raises(self, store):
+        with pytest.raises(ReproError):
+            store.reply(99, "?")
+
+    def test_remove(self, store, usergroup_db):
+        loc = Location("UserGroup", ("joe", "g1"), "user")
+        annotation = store.add(usergroup_db, loc, "x")
+        store.remove(annotation.annotation_id)
+        assert store.at(loc) == ()
+        with pytest.raises(ReproError):
+            store.remove(annotation.annotation_id)
+
+    def test_len_and_locations(self, store, usergroup_db):
+        a = store.add(usergroup_db, Location("UserGroup", ("joe", "g1"), "user"), "1")
+        store.add(usergroup_db, Location("GroupFile", ("g1", "f1"), "file"), "2")
+        assert len(store) == 2
+        assert len(store.locations()) == 2
+        store.remove(a.annotation_id)
+        assert len(store.locations()) == 1
+
+
+class TestPropagation:
+    def test_annotated_view_carries_annotations(self, store, usergroup_db, usergroup_query):
+        store.add(
+            usergroup_db, Location("GroupFile", ("g1", "f1"), "file"), "stale link"
+        )
+        annotated = store.annotated_view(usergroup_query, usergroup_db)
+        # g1 has members joe and ann: both rows' file field shows the note.
+        joe = annotated.at(Location("V", ("joe", "f1"), "file"))
+        ann = annotated.at(Location("V", ("ann", "f1"), "file"))
+        assert [a.text for a in joe] == ["stale link"]
+        assert [a.text for a in ann] == ["stale link"]
+        # unrelated field untouched
+        assert annotated.at(Location("V", ("joe", "f2"), "file")) == ()
+
+    def test_annotated_locations_listing(self, store, usergroup_db, usergroup_query):
+        store.add(usergroup_db, Location("UserGroup", ("bob", "g3"), "user"), "n")
+        annotated = store.annotated_view(usergroup_query, usergroup_db)
+        assert annotated.annotated_locations() == (
+            Location("V", ("bob", "f3"), "user"),
+        )
+
+    def test_projected_away_annotation_invisible(self, store, usergroup_db, usergroup_query):
+        store.add(usergroup_db, Location("UserGroup", ("joe", "g1"), "group"), "n")
+        annotated = store.annotated_view(usergroup_query, usergroup_db)
+        assert annotated.annotated_locations() == ()
+
+    def test_replies_propagate_with_parent(self, store, usergroup_db, usergroup_query):
+        root = store.add(
+            usergroup_db, Location("GroupFile", ("g2", "f2"), "file"), "r"
+        )
+        store.reply(root.annotation_id, "re: r")
+        annotated = store.annotated_view(usergroup_query, usergroup_db)
+        texts = [a.text for a in annotated.at(Location("V", ("joe", "f2"), "file"))]
+        assert texts == ["r", "re: r"]
+
+
+class TestAnnotateViaView:
+    def test_round_trip(self, store, usergroup_db, usergroup_query):
+        target = Location("V", ("joe", "f1"), "file")
+        annotation, placement = store.annotate_view(
+            usergroup_query, usergroup_db, target, "needs review"
+        )
+        assert annotation.location == placement.source
+        # The annotated view now shows the note exactly at the placement's
+        # propagated locations.
+        annotated = store.annotated_view(usergroup_query, usergroup_db)
+        showing = {
+            loc
+            for loc in annotated.annotations
+            if any(a.annotation_id == annotation.annotation_id for a in annotated.at(loc))
+        }
+        assert showing == set(placement.propagated)
+
+    def test_side_effect_minimal_choice(self, store, usergroup_db, usergroup_query):
+        # (joe, f1).file is reachable side-effect-free via (g2, f1).
+        _, placement = store.annotate_view(
+            usergroup_query, usergroup_db, Location("V", ("joe", "f1"), "file"), "x"
+        )
+        assert placement.side_effect_free
+
+
+class TestOrphans:
+    def test_orphan_detection_after_source_deletion(self, store, usergroup_db):
+        loc = Location("UserGroup", ("joe", "g1"), "user")
+        annotation = store.add(usergroup_db, loc, "x")
+        smaller = usergroup_db.delete([("UserGroup", ("joe", "g1"))])
+        assert store.orphans(usergroup_db) == ()
+        assert store.orphans(smaller) == (annotation,)

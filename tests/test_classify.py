@@ -1,0 +1,177 @@
+"""Unit tests for the query classifier and normal-form/chain detection."""
+
+import pytest
+
+from repro.algebra import (
+    Database,
+    Relation,
+    chain_join_order,
+    flatten_join,
+    flatten_union,
+    involves_ju,
+    involves_pj,
+    is_normal_form,
+    is_sj,
+    is_sju,
+    is_sp,
+    is_spu,
+    parse_query,
+    query_class,
+)
+from repro.algebra.classify import assert_normal_form, branch_parts
+from repro.errors import QueryClassError
+
+
+def catalog_of(*specs):
+    from repro.algebra.schema import Schema
+
+    return {name: Schema(attrs) for name, attrs in specs}
+
+
+class TestQueryClass:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("R", ""),
+            ("SELECT[A = 1](R)", "S"),
+            ("PROJECT[A](R)", "P"),
+            ("R JOIN S", "J"),
+            ("R UNION R", "U"),
+            ("PROJECT[A](R JOIN S)", "PJ"),
+            ("SELECT[A=1](PROJECT[A](R JOIN S) UNION PROJECT[A](R))", "SPJU"),
+        ],
+    )
+    def test_class_string(self, text, expected):
+        assert query_class(parse_query(text)) == expected
+
+    def test_rename_letter_optional(self):
+        q = parse_query("RENAME[A -> Z](R)")
+        assert query_class(q) == ""
+        assert query_class(q, include_rename=True) == "R"
+
+    def test_fragment_membership(self):
+        assert is_sp(parse_query("SELECT[A=1](PROJECT[A](R))"))
+        assert is_sj(parse_query("SELECT[A=1](R JOIN S)"))
+        assert is_spu(parse_query("PROJECT[A](R) UNION PROJECT[A](R)"))
+        assert is_sju(parse_query("(R JOIN S) UNION (R JOIN S)"))
+        assert not is_spu(parse_query("R JOIN S"))
+        assert not is_sj(parse_query("PROJECT[A](R)"))
+
+    def test_rename_tolerated_in_fragments(self):
+        q = parse_query("RENAME[A -> Z](PROJECT[A](R))")
+        assert is_sp(q)
+        assert not is_sp(q, allow_rename=False)
+
+    def test_involves(self):
+        assert involves_pj(parse_query("PROJECT[A](R JOIN S)"))
+        assert not involves_pj(parse_query("PROJECT[A](R)"))
+        assert involves_ju(parse_query("(R JOIN S) UNION (R JOIN S)"))
+        assert not involves_ju(parse_query("R JOIN S"))
+
+
+class TestFlattening:
+    def test_flatten_union(self):
+        q = parse_query("R UNION S UNION T")
+        assert [repr(b) for b in flatten_union(q)] == ["R", "S", "T"]
+
+    def test_flatten_union_trivial(self):
+        assert len(flatten_union(parse_query("R"))) == 1
+
+    def test_flatten_join(self):
+        q = parse_query("R JOIN S JOIN T")
+        assert [repr(l) for l in flatten_join(q)] == ["R", "S", "T"]
+
+
+class TestNormalForm:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("R", True),
+            ("PROJECT[A](SELECT[A=1](R JOIN S))", True),
+            ("PROJECT[A](R) UNION PROJECT[A](S)", True),
+            ("RENAME[A->Z](R) JOIN S", True),
+            ("SELECT[A=1](PROJECT[A](R))", False),  # σ above Π
+            ("PROJECT[A](R UNION S)", False),  # union below projection
+            ("PROJECT[A](PROJECT[A, B](R))", False),  # stacked projections
+            ("(SELECT[A=1](R)) JOIN S", False),  # σ below join
+        ],
+    )
+    def test_is_normal_form(self, text, expected):
+        assert is_normal_form(parse_query(text)) is expected
+
+    def test_assert_normal_form_raises(self):
+        with pytest.raises(QueryClassError, match="normal form"):
+            assert_normal_form(parse_query("SELECT[A=1](PROJECT[A](R))"))
+
+    def test_branch_parts(self):
+        q = parse_query("PROJECT[A](SELECT[A=1](R JOIN S))")
+        project, select, leaves = branch_parts(q)
+        assert project.attributes == ("A",)
+        assert select is not None
+        assert [repr(l) for l in leaves] == ["R", "S"]
+
+    def test_branch_parts_no_select(self):
+        project, select, leaves = branch_parts(parse_query("PROJECT[A](R)"))
+        assert select is None and len(leaves) == 1
+
+    def test_branch_parts_rejects_bad_shape(self):
+        with pytest.raises(QueryClassError):
+            branch_parts(parse_query("PROJECT[A](R UNION S)"))
+
+
+class TestChainJoin:
+    def test_simple_chain_detected(self):
+        catalog = catalog_of(
+            ("R1", ["A", "B"]), ("R2", ["B", "C"]), ("R3", ["C", "D"])
+        )
+        q = parse_query("PROJECT[A, D](R1 JOIN R2 JOIN R3)")
+        chain = chain_join_order(q, catalog)
+        assert [repr(l) for l in chain] == ["R1", "R2", "R3"]
+
+    def test_out_of_order_chain_recovered(self):
+        catalog = catalog_of(
+            ("R1", ["A", "B"]), ("R2", ["B", "C"]), ("R3", ["C", "D"])
+        )
+        q = parse_query("PROJECT[A, D](R2 JOIN R1 JOIN R3)")
+        chain = chain_join_order(q, catalog)
+        assert chain is not None
+        names = [repr(l) for l in chain]
+        assert names in (["R1", "R2", "R3"], ["R3", "R2", "R1"])
+
+    def test_star_join_is_not_chain(self):
+        catalog = catalog_of(
+            ("Hub", ["K1", "K2", "K3"]),
+            ("A1", ["K1", "V1"]),
+            ("A2", ["K2", "V2"]),
+            ("A3", ["K3", "V3"]),
+        )
+        q = parse_query("PROJECT[V1, V2, V3](Hub JOIN A1 JOIN A2 JOIN A3)")
+        assert chain_join_order(q, catalog) is None
+
+    def test_skipping_chain_violation(self):
+        # R1 and R3 share an attribute: not a chain.
+        catalog = catalog_of(
+            ("R1", ["A", "B"]), ("R2", ["B", "C"]), ("R3", ["C", "A"])
+        )
+        q = parse_query("PROJECT[A, C](R1 JOIN R2 JOIN R3)")
+        assert chain_join_order(q, catalog) is None
+
+    def test_repeated_relation_rejected(self):
+        catalog = catalog_of(("R1", ["A", "B"]))
+        q = parse_query("PROJECT[A](R1 JOIN R1)")
+        assert chain_join_order(q, catalog) is None
+
+    def test_union_not_chain(self):
+        catalog = catalog_of(("R1", ["A", "B"]), ("R2", ["B", "C"]))
+        q = parse_query("PROJECT[A](R1 JOIN R2) UNION PROJECT[A](R1 JOIN R2)")
+        assert chain_join_order(q, catalog) is None
+
+    def test_two_relation_chain(self):
+        catalog = catalog_of(("R1", ["A", "B"]), ("R2", ["B", "C"]))
+        q = parse_query("PROJECT[A, C](R1 JOIN R2)")
+        assert chain_join_order(q, catalog) is not None
+
+    def test_single_relation_chain(self):
+        catalog = catalog_of(("R1", ["A", "B"]))
+        q = parse_query("PROJECT[A](R1)")
+        assert chain_join_order(q, catalog) is not None

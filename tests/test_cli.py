@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_database, main
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    payload = {
+        "relations": [
+            {
+                "name": "UserGroup",
+                "schema": ["user", "group"],
+                "rows": [["joe", "g1"], ["joe", "g2"], ["ann", "g1"]],
+            },
+            {
+                "name": "GroupFile",
+                "schema": ["group", "file"],
+                "rows": [["g1", "f1"], ["g2", "f1"], ["g2", "f2"]],
+            },
+        ]
+    }
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+QUERY = "PROJECT[user, file](UserGroup JOIN GroupFile)"
+
+
+class TestLoadDatabase:
+    def test_loads_relations(self, db_file):
+        db = load_database(db_file)
+        assert set(db.names()) == {"UserGroup", "GroupFile"}
+        assert ("joe", "g1") in db["UserGroup"]
+
+    def test_missing_relations_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ReproError, match="relations"):
+            load_database(str(path))
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"relations": [{"name": "R"}]}))
+        with pytest.raises(ReproError, match="missing key"):
+            load_database(str(path))
+
+
+class TestCommands:
+    def test_show(self, db_file, capsys):
+        assert main(["show", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "UserGroup" in out and "GroupFile" in out
+
+    def test_eval(self, db_file, capsys):
+        assert main(["eval", db_file, QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "| joe" in out and "f1" in out
+
+    def test_classify(self, capsys):
+        assert main(["classify", QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "operators: PJ" in out
+        assert "normal form: True" in out
+
+    def test_normalize(self, db_file, capsys):
+        assert main(["normalize", db_file, f"SELECT[user = 'joe']({QUERY})"]) == 0
+        out = capsys.readouterr().out
+        assert "PROJECT" in out
+
+    def test_witnesses(self, db_file, capsys):
+        assert main(["witnesses", db_file, QUERY, '["joe", "f1"]']) == 0
+        out = capsys.readouterr().out
+        assert out.count("witness ") == 2
+
+    def test_delete_view_objective(self, db_file, capsys):
+        assert main(["delete", db_file, QUERY, '["joe", "f1"]']) == 0
+        out = capsys.readouterr().out
+        assert "side effects: none" in out
+        assert "delete:" in out
+
+    def test_delete_source_objective(self, db_file, capsys):
+        code = main(
+            ["delete", db_file, QUERY, '["joe", "f1"]', "--objective", "source"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm:" in out
+
+    def test_delete_guarded_refuses_hard_class(self, db_file, capsys):
+        code = main(
+            ["delete", db_file, QUERY, '["joe", "f1"]', "--no-exponential"]
+        )
+        assert code == 1
+        assert "NP-hard" in capsys.readouterr().err
+
+    def test_annotate(self, db_file, capsys):
+        assert main(["annotate", db_file, QUERY, '["joe", "f1"]', "file"]) == 0
+        out = capsys.readouterr().out
+        assert "annotate: (GroupFile" in out
+        assert "side effects: 0" in out
+
+
+class TestErrorHandling:
+    def test_missing_file(self, capsys):
+        assert main(["show", "/nonexistent/db.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_row_json(self, db_file, capsys):
+        assert main(["witnesses", db_file, QUERY, "not-json"]) == 1
+        assert "invalid row" in capsys.readouterr().err
+
+    def test_row_not_array(self, db_file, capsys):
+        assert main(["witnesses", db_file, QUERY, '{"a": 1}']) == 1
+        assert "JSON array" in capsys.readouterr().err
+
+    def test_missing_view_row(self, db_file, capsys):
+        assert main(["witnesses", db_file, QUERY, '["zz", "zz"]']) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,127 @@
+"""Tests for the deletion dispatchers: routing mirrors the dichotomy tables."""
+
+import pytest
+
+from repro.algebra import parse_query, view_rows
+from repro.deletion import (
+    DeletionPlan,
+    delete_view_tuple,
+    minimum_source_deletion,
+    verify_plan,
+)
+from repro.deletion.plan import apply_deletions
+from repro.errors import QueryClassError, ReproError
+from repro.workloads import (
+    chain_workload,
+    sj_workload,
+    spu_workload,
+    star_workload,
+    usergroup_workload,
+)
+
+
+class TestViewDispatcher:
+    def test_routes_spu(self):
+        db, query, target = spu_workload(12, seed=0)
+        plan = delete_view_tuple(query, db, target)
+        assert plan.algorithm == "spu-unique"
+        verify_plan(query, db, plan)
+
+    def test_routes_sj(self):
+        db, query, target = sj_workload(8, seed=0)
+        plan = delete_view_tuple(query, db, target)
+        assert plan.algorithm == "sj-component-scan"
+        verify_plan(query, db, plan)
+
+    def test_routes_hard_class_to_exact(self, usergroup_db, usergroup_query):
+        plan = delete_view_tuple(usergroup_query, usergroup_db, ("joe", "f1"))
+        assert plan.algorithm == "exact-minimal-hitting-sets"
+        verify_plan(usergroup_query, usergroup_db, plan)
+
+    def test_refuses_hard_class_when_guarded(self, usergroup_db, usergroup_query):
+        with pytest.raises(QueryClassError, match="NP-hard"):
+            delete_view_tuple(
+                usergroup_query, usergroup_db, ("joe", "f1"), allow_exponential=False
+            )
+
+
+class TestSourceDispatcher:
+    def test_routes_spu(self):
+        db, query, target = spu_workload(12, seed=1)
+        plan = minimum_source_deletion(query, db, target)
+        assert plan.algorithm == "spu-unique"
+        verify_plan(query, db, plan)
+
+    def test_routes_sj(self):
+        db, query, target = sj_workload(8, seed=1)
+        plan = minimum_source_deletion(query, db, target)
+        assert plan.algorithm == "sj-single-component"
+        verify_plan(query, db, plan)
+
+    def test_routes_chain_join_to_min_cut(self):
+        db, query, target = chain_workload(3, 5, seed=2)
+        plan = minimum_source_deletion(query, db, target)
+        assert plan.algorithm == "chain-join-min-cut"
+        verify_plan(query, db, plan)
+
+    def test_routes_star_join_to_exact(self):
+        db, query, target = star_workload(3, 4, seed=2)
+        plan = minimum_source_deletion(query, db, target)
+        assert plan.algorithm == "exact-min-hitting-set"
+        verify_plan(query, db, plan)
+
+    def test_greedy_fallback_when_guarded(self):
+        db, query, target = star_workload(3, 4, seed=2)
+        plan = minimum_source_deletion(query, db, target, allow_exponential=False)
+        assert plan.algorithm == "greedy-hitting-set"
+        assert not plan.optimal
+        verify_plan(query, db, plan)
+
+    def test_greedy_fallback_on_budget_exhaustion(self):
+        db, query, target = usergroup_workload(12, 6, 6, seed=4)
+        plan = minimum_source_deletion(query, db, target, node_budget=1)
+        assert plan.algorithm in ("greedy-hitting-set", "chain-join-min-cut")
+        verify_plan(query, db, plan)
+
+
+class TestPlanType:
+    def test_describe_and_accessors(self):
+        db, query, target = spu_workload(8, seed=5)
+        plan = delete_view_tuple(query, db, target)
+        text = plan.describe()
+        assert "view objective" in text
+        assert plan.num_deletions == len(plan.deletions)
+        assert plan.sorted_deletions() == tuple(sorted(plan.deletions, key=repr))
+
+    def test_verify_catches_wrong_side_effects(self):
+        db, query, target = spu_workload(8, seed=6)
+        plan = delete_view_tuple(query, db, target)
+        lying = DeletionPlan(
+            target=plan.target,
+            deletions=plan.deletions,
+            side_effects=frozenset({("bogus",)}),
+            algorithm="liar",
+            objective="view",
+            optimal=False,
+        )
+        with pytest.raises(ReproError, match="side effects"):
+            verify_plan(query, db, lying)
+
+    def test_verify_catches_non_deleting_plan(self):
+        db, query, target = spu_workload(8, seed=7)
+        lying = DeletionPlan(
+            target=target,
+            deletions=frozenset(),
+            side_effects=frozenset(),
+            algorithm="liar",
+            objective="view",
+            optimal=False,
+        )
+        with pytest.raises(ReproError, match="does not delete"):
+            verify_plan(query, db, lying)
+
+    def test_apply_deletions(self):
+        db, query, target = spu_workload(8, seed=8)
+        plan = delete_view_tuple(query, db, target)
+        after = apply_deletions(db, plan.deletions)
+        assert target not in view_rows(query, after)

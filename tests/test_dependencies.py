@@ -1,0 +1,118 @@
+"""Unit tests for functional dependencies and key detection."""
+
+import pytest
+
+from repro.algebra import Relation, Schema
+from repro.algebra.dependencies import (
+    FunctionalDependency,
+    candidate_keys,
+    closure,
+    implies,
+    is_key,
+    is_superkey,
+    satisfies,
+    violations,
+)
+from repro.errors import SchemaError
+
+FD = FunctionalDependency
+
+
+class TestFunctionalDependency:
+    def test_normalizes_and_dedupes(self):
+        fd = FD(["B", "A", "A"], ["C"])
+        assert fd.determinant == ("A", "B")
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(SchemaError):
+            FD([], ["A"])
+        with pytest.raises(SchemaError):
+            FD(["A"], [])
+
+    def test_attributes(self):
+        assert FD(["A"], ["B", "C"]).attributes() == frozenset({"A", "B", "C"})
+
+    def test_validate(self):
+        with pytest.raises(SchemaError):
+            FD(["Z"], ["A"]).validate(Schema(["A", "B"]))
+
+    def test_repr(self):
+        assert "->" in repr(FD(["A"], ["B"]))
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert closure(["A"], []) == frozenset({"A"})
+
+    def test_single_step(self):
+        assert closure(["A"], [FD(["A"], ["B"])]) == frozenset({"A", "B"})
+
+    def test_transitive_chain(self):
+        fds = [FD(["A"], ["B"]), FD(["B"], ["C"]), FD(["C"], ["D"])]
+        assert closure(["A"], fds) == frozenset({"A", "B", "C", "D"})
+
+    def test_composite_determinant(self):
+        fds = [FD(["A", "B"], ["C"])]
+        assert "C" not in closure(["A"], fds)
+        assert "C" in closure(["A", "B"], fds)
+
+    def test_implies(self):
+        fds = [FD(["A"], ["B"]), FD(["B"], ["C"])]
+        assert implies(fds, FD(["A"], ["C"]))
+        assert not implies(fds, FD(["C"], ["A"]))
+
+
+class TestKeys:
+    SCHEMA = Schema(["A", "B", "C"])
+
+    def test_superkey(self):
+        fds = [FD(["A"], ["B", "C"])]
+        assert is_superkey(["A"], self.SCHEMA, fds)
+        assert is_superkey(["A", "B"], self.SCHEMA, fds)
+        assert not is_superkey(["B"], self.SCHEMA, fds)
+
+    def test_key_minimality(self):
+        fds = [FD(["A"], ["B", "C"])]
+        assert is_key(["A"], self.SCHEMA, fds)
+        assert not is_key(["A", "B"], self.SCHEMA, fds)  # not minimal
+
+    def test_candidate_keys_single(self):
+        fds = [FD(["A"], ["B", "C"])]
+        assert candidate_keys(self.SCHEMA, fds) == [frozenset({"A"})]
+
+    def test_candidate_keys_multiple(self):
+        # A -> B, B -> A, {A,C} and {B,C} both keys.
+        fds = [FD(["A"], ["B"]), FD(["B"], ["A"]), FD(["A", "C"], ["B"])]
+        keys = candidate_keys(self.SCHEMA, fds)
+        assert frozenset({"A", "C"}) in keys
+        assert frozenset({"B", "C"}) in keys
+
+    def test_no_fds_whole_schema_is_key(self):
+        assert candidate_keys(self.SCHEMA, []) == [frozenset({"A", "B", "C"})]
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            candidate_keys(self.SCHEMA, [FD(["Z"], ["A"])])
+
+
+class TestDataChecks:
+    def test_satisfying_relation(self):
+        rel = Relation("R", ["A", "B"], [(1, "x"), (2, "y"), (1, "x")])
+        assert satisfies(rel, [FD(["A"], ["B"])])
+
+    def test_violation_detected(self):
+        rel = Relation("R", ["A", "B"], [(1, "x"), (1, "y")])
+        fd = FD(["A"], ["B"])
+        assert not satisfies(rel, [fd])
+        bad = violations(rel, fd)
+        assert len(bad) == 1
+        assert {bad[0][0][0], bad[0][1][0]} == {1}
+
+    def test_composite_determinant_violation(self):
+        rel = Relation("R", ["A", "B", "C"], [(1, 2, 3), (1, 2, 4)])
+        assert violations(rel, FD(["A", "B"], ["C"]))
+        assert not violations(rel, FD(["A", "C"], ["B"]))
+
+    def test_empty_relation_satisfies_everything(self):
+        rel = Relation("R", ["A", "B"], [])
+        assert satisfies(rel, [FD(["A"], ["B"])])

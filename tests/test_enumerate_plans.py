@@ -1,0 +1,80 @@
+"""Tests for deletion-translation enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import view_rows
+from repro.deletion import verify_plan
+from repro.deletion.enumerate import (
+    count_minimal_translations,
+    enumerate_deletion_plans,
+)
+from repro.deletion.view_side_effect import exact_view_deletion
+from repro.errors import ExponentialGuardError, InfeasibleError
+from repro.workloads import random_instance, spu_workload
+
+
+class TestEnumeration:
+    def test_usergroup_ambiguity(self, usergroup_db, usergroup_query):
+        plans = enumerate_deletion_plans(usergroup_query, usergroup_db, ("joe", "f1"))
+        assert len(plans) > 1  # the translation is genuinely ambiguous
+        for plan in plans:
+            verify_plan(usergroup_query, usergroup_db, plan)
+
+    def test_clean_translations_first(self, usergroup_db, usergroup_query):
+        plans = enumerate_deletion_plans(usergroup_query, usergroup_db, ("joe", "f1"))
+        effects = [p.num_side_effects for p in plans]
+        assert effects == sorted(effects)
+        assert plans[0].side_effect_free
+
+    def test_best_matches_exact_solver(self, usergroup_db, usergroup_query):
+        plans = enumerate_deletion_plans(usergroup_query, usergroup_db, ("joe", "f1"))
+        exact = exact_view_deletion(usergroup_query, usergroup_db, ("joe", "f1"))
+        assert plans[0].num_side_effects == exact.num_side_effects
+
+    def test_prefer_size_ordering(self, usergroup_db, usergroup_query):
+        plans = enumerate_deletion_plans(
+            usergroup_query, usergroup_db, ("joe", "f1"), prefer_clean=False
+        )
+        sizes = [p.num_deletions for p in plans]
+        assert sizes == sorted(sizes)
+
+    def test_limit_truncates_after_sorting(self, usergroup_db, usergroup_query):
+        best = enumerate_deletion_plans(
+            usergroup_query, usergroup_db, ("joe", "f1"), limit=1
+        )
+        assert len(best) == 1
+        assert best[0].side_effect_free
+
+    def test_missing_target(self, usergroup_db, usergroup_query):
+        with pytest.raises(InfeasibleError):
+            enumerate_deletion_plans(usergroup_query, usergroup_db, ("zz", "zz"))
+
+    def test_budget_guard(self, usergroup_db, usergroup_query):
+        with pytest.raises(ExponentialGuardError):
+            enumerate_deletion_plans(
+                usergroup_query, usergroup_db, ("joe", "f1"), node_budget=1
+            )
+
+
+class TestCounting:
+    def test_spu_unambiguous(self):
+        db, query, target = spu_workload(15, seed=1)
+        assert count_minimal_translations(query, db, target) == 1
+
+    def test_count_matches_enumeration(self, usergroup_db, usergroup_query):
+        count = count_minimal_translations(usergroup_query, usergroup_db, ("joe", "f1"))
+        plans = enumerate_deletion_plans(usergroup_query, usergroup_db, ("joe", "f1"))
+        assert count == len(plans)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_every_translation_deletes_target(self, seed):
+        db, query = random_instance(seed, max_depth=2, num_relations=2)
+        rows = sorted(view_rows(query, db), key=repr)
+        if not rows:
+            return
+        target = rows[0]
+        for plan in enumerate_deletion_plans(query, db, target, limit=20):
+            verify_plan(query, db, plan)
+            assert target not in view_rows(query, db.delete(plan.deletions))

@@ -1,0 +1,160 @@
+"""Unit tests for the query evaluator (and AST schema inference)."""
+
+import pytest
+
+from repro.algebra import (
+    Database,
+    Join,
+    Project,
+    Relation,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    evaluate,
+    output_schema,
+    parse_predicate,
+    view_rows,
+)
+from repro.algebra.evaluate import join_components
+from repro.algebra.schema import Schema
+from repro.errors import EvaluationError, SchemaError
+
+
+class TestBaseAndSelect:
+    def test_relation_ref(self, tiny_db):
+        result = evaluate(RelationRef("R"), tiny_db)
+        assert set(result.rows) == set(tiny_db["R"].rows)
+
+    def test_missing_relation(self, tiny_db):
+        with pytest.raises(EvaluationError):
+            evaluate(RelationRef("Nope"), tiny_db)
+
+    def test_select_filters(self, single_db):
+        q = Select(RelationRef("People"), parse_predicate("age = 41"))
+        result = evaluate(q, single_db)
+        assert set(result.rows) == {("joe", 41), ("bob", 41)}
+
+    def test_select_unknown_attribute(self, single_db):
+        q = Select(RelationRef("People"), parse_predicate("salary = 1"))
+        with pytest.raises(SchemaError):
+            evaluate(q, single_db)
+
+    def test_select_keeps_schema(self, single_db):
+        q = Select(RelationRef("People"), parse_predicate("age > 0"))
+        assert evaluate(q, single_db).schema.attributes == ("name", "age")
+
+
+class TestProject:
+    def test_project_collapses_duplicates(self, single_db):
+        q = Project(RelationRef("People"), ["age"])
+        assert set(evaluate(q, single_db).rows) == {(41,), (30,)}
+
+    def test_project_reorders(self, single_db):
+        q = Project(RelationRef("People"), ["age", "name"])
+        assert ("41", "joe") not in evaluate(q, single_db).rows
+        assert (41, "joe") in evaluate(q, single_db).rows
+
+    def test_project_empty_attrs_rejected(self):
+        with pytest.raises(SchemaError):
+            Project(RelationRef("R"), [])
+
+    def test_project_duplicate_attrs_rejected(self):
+        with pytest.raises(SchemaError):
+            Project(RelationRef("R"), ["A", "A"])
+
+
+class TestJoin:
+    def test_natural_join(self, tiny_db):
+        q = Join(RelationRef("R"), RelationRef("S"))
+        result = evaluate(q, tiny_db)
+        assert result.schema.attributes == ("A", "B", "C")
+        assert set(result.rows) == {(1, 2, 5), (1, 3, 6), (4, 2, 5)}
+
+    def test_cross_product_when_disjoint(self):
+        db = Database(
+            [Relation("X", ["A"], [(1,), (2,)]), Relation("Y", ["B"], [(9,)])]
+        )
+        q = Join(RelationRef("X"), RelationRef("Y"))
+        assert set(evaluate(q, db).rows) == {(1, 9), (2, 9)}
+
+    def test_join_empty_side(self, tiny_db):
+        db = tiny_db.with_relation(Relation("S", ["B", "C"], []))
+        q = Join(RelationRef("R"), RelationRef("S"))
+        assert len(evaluate(q, db)) == 0
+
+    def test_join_components_roundtrip(self):
+        left, right = Schema(["A", "B"]), Schema(["B", "C"])
+        l, r = join_components(left, right, (1, 2, 3))
+        assert l == (1, 2) and r == (2, 3)
+
+    def test_self_join_idempotent(self, tiny_db):
+        q = Join(RelationRef("R"), RelationRef("R"))
+        assert set(evaluate(q, tiny_db).rows) == set(tiny_db["R"].rows)
+
+
+class TestUnion:
+    def test_union_merges(self):
+        db = Database(
+            [Relation("X", ["A"], [(1,)]), Relation("Y", ["A"], [(2,), (1,)])]
+        )
+        q = Union(RelationRef("X"), RelationRef("Y"))
+        assert set(evaluate(q, db).rows) == {(1,), (2,)}
+
+    def test_union_canonicalizes_order(self):
+        db = Database(
+            [
+                Relation("X", ["A", "B"], [(1, 2)]),
+                Relation("Y", ["B", "A"], [(2, 1), (9, 8)]),
+            ]
+        )
+        q = Union(RelationRef("X"), RelationRef("Y"))
+        result = evaluate(q, db)
+        assert result.schema.attributes == ("A", "B")
+        assert set(result.rows) == {(1, 2), (8, 9)}
+
+    def test_incompatible_union_rejected(self):
+        db = Database([Relation("X", ["A"], []), Relation("Y", ["B"], [])])
+        q = Union(RelationRef("X"), RelationRef("Y"))
+        with pytest.raises((EvaluationError, SchemaError)):
+            evaluate(q, db)
+
+
+class TestRename:
+    def test_rename_relabels(self, tiny_db):
+        q = Rename(RelationRef("R"), {"A": "X"})
+        result = evaluate(q, tiny_db)
+        assert result.schema.attributes == ("X", "B")
+        assert set(result.rows) == set(tiny_db["R"].rows)
+
+    def test_rename_changes_join_behaviour(self, tiny_db):
+        # R(A,B) ⋈ δ_{B→Z}(S) has no shared attribute: cross product.
+        q = Join(RelationRef("R"), Rename(RelationRef("S"), {"B": "Z"}))
+        result = evaluate(q, tiny_db)
+        assert len(result) == len(tiny_db["R"]) * len(tiny_db["S"])
+
+    def test_rename_collision_rejected(self, tiny_db):
+        q = Rename(RelationRef("R"), {"A": "B"})
+        with pytest.raises(SchemaError):
+            evaluate(q, tiny_db)
+
+
+class TestHelpers:
+    def test_output_schema_matches_evaluation(self, tiny_db):
+        q = Project(Join(RelationRef("R"), RelationRef("S")), ["A", "C"])
+        assert output_schema(q, tiny_db) == evaluate(q, tiny_db).schema
+
+    def test_view_rows_matches_evaluate(self, tiny_db):
+        q = Join(RelationRef("R"), RelationRef("S"))
+        assert view_rows(q, tiny_db) == frozenset(evaluate(q, tiny_db).rows)
+
+    def test_view_name_default_and_custom(self, tiny_db):
+        assert evaluate(RelationRef("R"), tiny_db).name == "V"
+        assert evaluate(RelationRef("R"), tiny_db, name="W").name == "W"
+
+    def test_monotonicity_under_deletion(self, tiny_db):
+        # Monotone queries: removing source tuples never adds view tuples.
+        q = Project(Join(RelationRef("R"), RelationRef("S")), ["A", "C"])
+        before = view_rows(q, tiny_db)
+        after = view_rows(q, tiny_db.delete([("R", (1, 2))]))
+        assert after <= before

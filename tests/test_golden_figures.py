@@ -1,0 +1,129 @@
+"""Golden tests: the paper's figures, pinned byte-for-byte.
+
+These lock the rendered form of the reproduction's central artifacts so any
+regression in the encoders, the evaluator, or the renderer is caught as a
+diff against the paper's printed tables.
+"""
+
+from repro.algebra import evaluate, render_relation
+from repro.reductions import figure1, figure2, figure3
+
+
+FIG1_R1 = """\
+R1
++----+----+
+| A  | B  |
++----+----+
+| a  | x1 |
+| a  | x2 |
+| a  | x3 |
+| a  | x4 |
+| a  | x5 |
+| a2 | x2 |
+| a2 | x4 |
+| a2 | x5 |
++----+----+"""
+
+FIG1_R2 = """\
+R2
++----+----+
+| B  | C  |
++----+----+
+| x1 | c  |
+| x1 | c1 |
+| x1 | c3 |
+| x2 | c  |
+| x2 | c1 |
+| x3 | c  |
+| x3 | c1 |
+| x3 | c3 |
+| x4 | c  |
+| x4 | c3 |
+| x5 | c  |
++----+----+"""
+
+FIG1_VIEW = """\
+V
++----+----+
+| A  | C  |
++----+----+
+| a  | c  |
+| a  | c1 |
+| a  | c3 |
+| a2 | c  |
+| a2 | c1 |
+| a2 | c3 |
++----+----+"""
+
+FIG2_VIEW = """\
+V
++----+----+
+| A1 | A2 |
++----+----+
+| T  | F  |
+| T  | c2 |
+| c1 | F  |
+| c3 | F  |
++----+----+"""
+
+FIG3_R0 = """\
+R0
++----+----+----+----+
+| S  | A1 | A2 | A3 |
++----+----+----+----+
+| s1 | x1 | d  | x3 |
+| s2 | d  | x2 | x3 |
++----+----+----+----+"""
+
+FIG3_R1 = """\
+R1
++----+--------+---+
+| A1 | B1     | C |
++----+--------+---+
+| d  | alpha1 | c |
+| d  | alpha2 | c |
+| d  | alpha3 | c |
+| x1 | alpha0 | c |
++----+--------+---+"""
+
+FIG3_VIEW = """\
+V
++---+
+| C |
++---+
+| c |
++---+"""
+
+
+class TestFigure1Golden:
+    def test_r1(self):
+        assert render_relation(figure1().db["R1"]) == FIG1_R1
+
+    def test_r2(self):
+        assert render_relation(figure1().db["R2"]) == FIG1_R2
+
+    def test_view(self):
+        red = figure1()
+        assert render_relation(evaluate(red.query, red.db)) == FIG1_VIEW
+
+
+class TestFigure2Golden:
+    def test_view(self):
+        red = figure2()
+        assert render_relation(evaluate(red.query, red.db)) == FIG2_VIEW
+
+    def test_every_relation_is_a_singleton(self):
+        red = figure2()
+        assert sorted(len(red.db[name]) for name in red.db) == [1] * 16
+
+
+class TestFigure3Golden:
+    def test_r0(self):
+        assert render_relation(figure3().db["R0"]) == FIG3_R0
+
+    def test_r1(self):
+        assert render_relation(figure3().db["R1"]) == FIG3_R1
+
+    def test_view(self):
+        red = figure3()
+        assert render_relation(evaluate(red.query, red.db)) == FIG3_VIEW

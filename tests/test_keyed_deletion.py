@@ -1,0 +1,172 @@
+"""Tests for key-based PJ deletion (the paper's §2.1.1 remark)."""
+
+import pytest
+
+from repro.algebra import Database, FunctionalDependency, Relation, parse_query
+from repro.deletion import (
+    exact_source_deletion,
+    exact_view_deletion,
+    is_key_based,
+    key_based_source_deletion,
+    key_based_view_deletion,
+    verify_plan,
+)
+from repro.errors import QueryClassError, ReproError
+
+FD = FunctionalDependency
+
+
+@pytest.fixture
+def fk_db():
+    """Employees referencing departments by a foreign key; dept is a key."""
+    return Database(
+        [
+            Relation(
+                "Emp",
+                ["emp", "dept"],
+                [("e1", "d1"), ("e2", "d1"), ("e3", "d2")],
+            ),
+            Relation(
+                "Dept",
+                ["dept", "mgr"],
+                [("d1", "m1"), ("d2", "m2")],
+            ),
+        ]
+    )
+
+
+FK_FDS = {
+    "Emp": [FD(["emp"], ["dept"])],
+    "Dept": [FD(["dept"], ["mgr"])],
+}
+
+FK_QUERY = parse_query("PROJECT[emp, mgr](Emp JOIN Dept)")
+
+
+def catalog(db):
+    return {name: db[name].schema for name in db}
+
+
+class TestIsKeyBased:
+    def test_fk_join_is_key_based(self, fk_db):
+        assert is_key_based(FK_QUERY, catalog(fk_db), FK_FDS)
+
+    def test_without_fds_not_key_based(self, fk_db):
+        assert not is_key_based(FK_QUERY, catalog(fk_db), {})
+
+    def test_usergroup_not_key_based(self, usergroup_db, usergroup_query):
+        # Many-to-many memberships: no FDs make (user, file) a key.
+        assert not is_key_based(usergroup_query, catalog(usergroup_db), {})
+
+    def test_union_not_key_based(self, fk_db):
+        q = parse_query(
+            "PROJECT[emp, mgr](Emp JOIN Dept) UNION PROJECT[emp, mgr](Emp JOIN Dept)"
+        )
+        assert not is_key_based(q, catalog(fk_db), FK_FDS)
+
+    def test_no_projection_is_trivially_key_based(self, fk_db):
+        assert is_key_based(parse_query("Emp JOIN Dept"), catalog(fk_db), {})
+
+    def test_cross_product_rejected(self, fk_db):
+        db = fk_db.with_relation(Relation("Other", ["x"], [(1,)]))
+        q = parse_query("PROJECT[emp, x](Emp JOIN Other)")
+        assert not is_key_based(q, catalog(db), FK_FDS)
+
+    def test_projection_must_preserve_key(self, fk_db):
+        # Projecting only mgr loses the key: many emps share a manager.
+        q = parse_query("PROJECT[mgr](Emp JOIN Dept)")
+        assert not is_key_based(q, catalog(fk_db), FK_FDS)
+
+
+class TestKeyBasedViewDeletion:
+    def test_unique_witness_and_optimality(self, fk_db):
+        plan = key_based_view_deletion(FK_QUERY, fk_db, ("e3", "m2"), FK_FDS)
+        verify_plan(FK_QUERY, fk_db, plan)
+        assert plan.num_deletions == 1
+        # e3 is the only employee of d2: deleting either component is clean.
+        assert plan.side_effect_free
+        exact = exact_view_deletion(FK_QUERY, fk_db, ("e3", "m2"))
+        assert plan.num_side_effects == exact.num_side_effects
+
+    def test_shared_component_side_effect(self, fk_db):
+        # d1 has two employees: deleting Dept(d1, m1) would kill both view
+        # tuples, but deleting Emp(e1, d1) is side-effect-free.
+        plan = key_based_view_deletion(FK_QUERY, fk_db, ("e1", "m1"), FK_FDS)
+        verify_plan(FK_QUERY, fk_db, plan)
+        assert plan.side_effect_free
+        assert plan.deletions == frozenset({("Emp", ("e1", "d1"))})
+
+    def test_rejects_non_key_based(self, usergroup_db, usergroup_query):
+        with pytest.raises(QueryClassError, match="key-based"):
+            key_based_view_deletion(
+                usergroup_query, usergroup_db, ("joe", "f1"), {}
+            )
+
+    def test_rejects_violated_fds(self, fk_db):
+        # Declare an FD the data violates: mgr -> dept fails if a manager
+        # ran two departments.
+        db = fk_db.with_relation(
+            Relation("Dept", ["dept", "mgr"], [("d1", "m1"), ("d2", "m1")])
+        )
+        fds = {
+            "Emp": [FD(["emp"], ["dept"])],
+            "Dept": [FD(["dept"], ["mgr"]), FD(["mgr"], ["dept"])],
+        }
+        with pytest.raises(ReproError, match="violates"):
+            key_based_view_deletion(
+                parse_query("PROJECT[emp, mgr](Emp JOIN Dept)"),
+                db,
+                ("e1", "m1"),
+                fds,
+            )
+
+
+class TestKeyBasedSourceDeletion:
+    def test_single_deletion(self, fk_db):
+        plan = key_based_source_deletion(FK_QUERY, fk_db, ("e2", "m1"), FK_FDS)
+        verify_plan(FK_QUERY, fk_db, plan)
+        assert plan.num_deletions == 1
+        exact = exact_source_deletion(FK_QUERY, fk_db, ("e2", "m1"))
+        assert plan.num_deletions == exact.num_deletions
+
+    def test_matches_exact_on_larger_fk_instance(self):
+        import random
+
+        rng = random.Random(5)
+        emps = {(f"e{i}", f"d{rng.randrange(4)}") for i in range(12)}
+        depts = {(f"d{j}", f"m{j}") for j in range(4)}
+        db = Database(
+            [
+                Relation("Emp", ["emp", "dept"], emps),
+                Relation("Dept", ["dept", "mgr"], depts),
+            ]
+        )
+        q = FK_QUERY
+        view = sorted(
+            __import__("repro.algebra", fromlist=["view_rows"]).view_rows(q, db),
+            key=repr,
+        )
+        for target in view[:4]:
+            fast = key_based_source_deletion(q, db, target, FK_FDS)
+            slow = exact_source_deletion(q, db, target)
+            verify_plan(q, db, fast)
+            assert fast.num_deletions == slow.num_deletions
+
+
+class TestRenamedLeaves:
+    def test_fds_travel_through_renames(self):
+        db = Database(
+            [
+                Relation("Emp", ["emp", "dept"], [("e1", "d1")]),
+                Relation("Dept", ["d", "mgr"], [("d1", "m1")]),
+            ]
+        )
+        fds = {
+            "Emp": [FD(["emp"], ["dept"])],
+            "Dept": [FD(["d"], ["mgr"])],
+        }
+        q = parse_query("PROJECT[emp, mgr](Emp JOIN RENAME[d -> dept](Dept))")
+        assert is_key_based(q, {n: db[n].schema for n in db}, fds)
+        plan = key_based_view_deletion(q, db, ("e1", "m1"), fds)
+        verify_plan(q, db, plan)
+        assert plan.side_effect_free

@@ -1,0 +1,113 @@
+"""Tests for the Cui–Widom lineage baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import Database, Relation, parse_query, view_rows
+from repro.deletion.plan import apply_deletions
+from repro.errors import InfeasibleError
+from repro.provenance.lineage import cui_widom_translation, lineage, lineage_of
+from repro.provenance.why import why_provenance
+from repro.workloads import random_instance
+
+
+class TestLineage:
+    def test_base_relation(self, tiny_db):
+        table = lineage(parse_query("R"), tiny_db)
+        assert table[(1, 2)] == {"R": frozenset({(1, 2)})}
+
+    def test_projection_collects_contributors(self, tiny_db):
+        lin = lineage_of(parse_query("PROJECT[A](R)"), tiny_db, (1,))
+        assert lin == {"R": frozenset({(1, 2), (1, 3)})}
+
+    def test_join_collects_both_sides(self, tiny_db):
+        lin = lineage_of(parse_query("R JOIN S"), tiny_db, (1, 2, 5))
+        assert lin == {"R": frozenset({(1, 2)}), "S": frozenset({(2, 5)})}
+
+    def test_select_filters(self, tiny_db):
+        table = lineage(parse_query("SELECT[A = 1](R)"), tiny_db)
+        assert (4, 2) not in table
+
+    def test_union_merges(self):
+        db = Database(
+            [Relation("X", ["A"], [(1,)]), Relation("Y", ["A"], [(1,)])]
+        )
+        lin = lineage_of(parse_query("X UNION Y"), db, (1,))
+        assert lin == {"X": frozenset({(1,)}), "Y": frozenset({(1,)})}
+
+    def test_rename_transparent(self, tiny_db):
+        lin = lineage_of(parse_query("RENAME[A -> Z](R)"), tiny_db, (1, 2))
+        assert lin == {"R": frozenset({(1, 2)})}
+
+    def test_missing_row_raises(self, tiny_db):
+        with pytest.raises(InfeasibleError):
+            lineage_of(parse_query("R"), tiny_db, (9, 9))
+
+    def test_lineage_includes_absorbed_contributors(self):
+        """Lineage ⊋ union of minimal witnesses when a branch is absorbed.
+
+        In ``X ∪ (X ⋈ Y)`` the joint witness {x, y} is absorbed by {x}, so
+        y is in no minimal witness — but Cui–Widom lineage includes it.
+        """
+        db = Database(
+            [Relation("X", ["A"], [(1,)]), Relation("Y", ["A"], [(1,)])]
+        )
+        query = parse_query("X UNION (X JOIN Y)")
+        lin = lineage_of(query, db, (1,))
+        assert lin.get("Y") == frozenset({(1,)})
+        prov = why_provenance(query, db)
+        universe = prov.witness_universe((1,))
+        assert ("Y", (1,)) not in universe
+
+
+class TestLineageContainsWitnesses:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_lineage_superset_of_minimal_witnesses(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        prov = why_provenance(query, db)
+        table = lineage(query, db)
+        for row in prov.rows:
+            lin = table[row]
+            for relation, source_row in prov.witness_universe(row):
+                assert source_row in lin.get(relation, frozenset()), (
+                    row,
+                    relation,
+                    source_row,
+                )
+
+
+class TestCuiWidomTranslation:
+    def test_exact_translation_found(self, usergroup_db, usergroup_query):
+        deletions = cui_widom_translation(
+            usergroup_query, usergroup_db, ("joe", "f1")
+        )
+        assert deletions is not None
+        before = view_rows(usergroup_query, usergroup_db)
+        after = view_rows(
+            usergroup_query, apply_deletions(usergroup_db, deletions)
+        )
+        assert before - after == {("joe", "f1")}
+
+    def test_no_exact_translation(self):
+        """When every witness-destroying deletion hurts another tuple,
+        the translation must report failure (None)."""
+        db = Database(
+            [
+                Relation("R", ["A", "B"], [(1, 2)]),
+                Relation("S", ["B", "C"], [(2, 3)]),
+            ]
+        )
+        # Both view tuples share the single witness pair.
+        query = parse_query(
+            "PROJECT[A](R JOIN S) UNION RENAME[C -> A](PROJECT[C](R JOIN S))"
+        )
+        # Two projections of the same join share all their sources, so
+        # deleting (1,) necessarily deletes (3,) as well.
+        view = view_rows(query, db)
+        assert len(view) >= 2
+        assert cui_widom_translation(query, db, (1,)) is None
+
+    def test_missing_target_raises(self, usergroup_db, usergroup_query):
+        with pytest.raises(InfeasibleError):
+            cui_widom_translation(usergroup_query, usergroup_db, ("nope", "f9"))

@@ -1,0 +1,110 @@
+"""Unit tests for locations and the query AST's structural helpers."""
+
+import pytest
+
+from repro.algebra import Database, Join, Project, Relation, RelationRef, Select, parse_query
+from repro.algebra.predicates import Comparison
+from repro.errors import SchemaError
+from repro.provenance.locations import (
+    Location,
+    locations_of_relation,
+    validate_location,
+)
+
+
+class TestLocation:
+    def test_fields(self):
+        loc = Location("R", (1, 2), "A")
+        assert loc.relation == "R" and loc.row == (1, 2) and loc.attribute == "A"
+
+    def test_str(self):
+        assert str(Location("R", (1, "x"), "A")) == "(R, (1, x), A)"
+
+    def test_source_tuple(self):
+        assert Location("R", (1,), "A").source_tuple == ("R", (1,))
+
+    def test_hashable_and_comparable(self):
+        a = Location("R", (1,), "A")
+        b = Location("R", (1,), "A")
+        assert a == b and len({a, b}) == 1
+
+
+class TestLocationsOfRelation:
+    def test_enumeration(self):
+        rel = Relation("R", ["A", "B"], [(1, 2), (3, 4)])
+        locs = locations_of_relation(rel)
+        assert len(locs) == 4
+        assert Location("R", (1, 2), "A") in locs
+        assert Location("R", (3, 4), "B") in locs
+
+    def test_deterministic_order(self):
+        rel = Relation("R", ["A"], [(2,), (1,)])
+        assert locations_of_relation(rel) == (
+            Location("R", (1,), "A"),
+            Location("R", (2,), "A"),
+        )
+
+
+class TestValidateLocation:
+    DB = Database([Relation("R", ["A", "B"], [(1, 2)])])
+
+    def test_valid(self):
+        validate_location(self.DB, Location("R", (1, 2), "A"))
+
+    def test_missing_row(self):
+        with pytest.raises(SchemaError, match="not in relation"):
+            validate_location(self.DB, Location("R", (9, 9), "A"))
+
+    def test_missing_attribute(self):
+        with pytest.raises(SchemaError):
+            validate_location(self.DB, Location("R", (1, 2), "Z"))
+
+    def test_missing_relation(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            validate_location(self.DB, Location("Z", (1,), "A"))
+
+
+class TestAstStructure:
+    def test_relation_names(self):
+        q = parse_query("PROJECT[A]((R JOIN S) UNION (R JOIN T))")
+        assert q.relation_names() == frozenset({"R", "S", "T"})
+
+    def test_subqueries_preorder(self):
+        q = parse_query("PROJECT[A](R JOIN S)")
+        kinds = [type(node).__name__ for node in q.subqueries()]
+        assert kinds == ["Project", "Join", "RelationRef", "RelationRef"]
+
+    def test_size(self):
+        assert parse_query("R").size() == 1
+        assert parse_query("PROJECT[A](R JOIN S)").size() == 4
+
+    def test_with_children_rebuilds(self):
+        q = Select(RelationRef("R"), Comparison("A", "=", 1))
+        rebuilt = q.with_children([RelationRef("S")])
+        assert rebuilt.child == RelationRef("S")
+        assert rebuilt.predicate == q.predicate
+
+    def test_with_children_arity_checked(self):
+        with pytest.raises((ValueError, SchemaError)):
+            RelationRef("R").with_children([RelationRef("S")])
+
+    def test_fluent_constructors(self):
+        q = (
+            RelationRef("R")
+            .join(RelationRef("S"))
+            .select(Comparison("A", "=", 1))
+            .project(["A"])
+            .rename({"A": "Z"})
+            .union(RelationRef("T").project(["B"]).rename({"B": "Z"}))
+        )
+        assert q.operators() == frozenset({"S", "P", "J", "U", "R"})
+
+    def test_node_type_validation(self):
+        with pytest.raises(SchemaError):
+            Select("not a query", Comparison("A", "=", 1))
+        with pytest.raises(SchemaError):
+            Project(RelationRef("R"), ["A", "A"])
+        with pytest.raises(SchemaError):
+            Join(RelationRef("R"), "nope")

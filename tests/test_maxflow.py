@@ -1,0 +1,132 @@
+"""Unit and property tests for the Dinic max-flow / min-cut solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.solvers.maxflow import INF, FlowNetwork
+
+
+def build(edges):
+    net = FlowNetwork()
+    for u, v, c in edges:
+        net.add_edge(u, v, c)
+    return net
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        assert build([("s", "t", 4)]).max_flow("s", "t") == 4
+
+    def test_series_bottleneck(self):
+        net = build([("s", "a", 5), ("a", "t", 2)])
+        assert net.max_flow("s", "t") == 2
+
+    def test_parallel_paths(self):
+        net = build([("s", "a", 1), ("a", "t", 1), ("s", "b", 2), ("b", "t", 2)])
+        assert net.max_flow("s", "t") == 3
+
+    def test_classic_diamond(self):
+        net = build(
+            [
+                ("s", "a", 10),
+                ("s", "b", 10),
+                ("a", "b", 1),
+                ("a", "t", 8),
+                ("b", "t", 10),
+            ]
+        )
+        assert net.max_flow("s", "t") == 18
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.node("t")
+        assert net.max_flow("s", "t") == 0
+
+    def test_infinite_capacity_path(self):
+        net = build([("s", "a", INF), ("a", "t", 3)])
+        assert net.max_flow("s", "t") == 3
+
+    def test_parallel_edges_additive(self):
+        net = build([("s", "t", 1), ("s", "t", 2)])
+        assert net.max_flow("s", "t") == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            build([("s", "t", -1)])
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(ReproError):
+            FlowNetwork().max_flow("s", "t")
+
+    def test_same_source_sink_rejected(self):
+        net = build([("s", "t", 1)])
+        with pytest.raises(ReproError):
+            net.max_flow("s", "s")
+
+
+class TestMinCut:
+    def test_cut_value_equals_flow(self):
+        net = build([("s", "a", 3), ("a", "t", 2), ("s", "t", 1)])
+        value, source_side, cut_edges = net.min_cut("s", "t")
+        assert value == 3
+        assert "s" in source_side and "t" not in source_side
+        assert sum(1 for _ in cut_edges) >= 1
+
+    def test_cut_separates(self):
+        net = build(
+            [("s", "a", 1), ("s", "b", 1), ("a", "t", 1), ("b", "t", 1)]
+        )
+        value, source_side, cut_edges = net.min_cut("s", "t")
+        assert value == 2
+        # Removing the cut edges must disconnect s from t.
+        removed = set(cut_edges)
+        remaining = [
+            e for e in [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")]
+            if e not in removed
+        ]
+        reachable = {"s"}
+        changed = True
+        while changed:
+            changed = False
+            for u, v in remaining:
+                if u in reachable and v not in reachable:
+                    reachable.add(v)
+                    changed = True
+        assert "t" not in reachable
+
+
+def _brute_force_min_cut(nodes, edges):
+    """Minimum s-t cut by trying all source-side subsets (small graphs)."""
+    inner = [n for n in nodes if n not in ("s", "t")]
+    best = float("inf")
+    for size in range(len(inner) + 1):
+        for subset in itertools.combinations(inner, size):
+            side = {"s"} | set(subset)
+            value = sum(c for u, v, c in edges if u in side and v not in side)
+            best = min(best, value)
+    return best
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        inner = [f"v{i}" for i in range(rng.randint(1, 5))]
+        nodes = ["s", "t"] + inner
+        edges = []
+        for u in nodes:
+            for v in nodes:
+                if u != v and v != "s" and u != "t" and rng.random() < 0.5:
+                    edges.append((u, v, rng.randint(1, 4)))
+        if not edges:
+            edges = [("s", "t", 1)]
+        net = build(edges)
+        net.node("s"), net.node("t")
+        flow = net.max_flow("s", "t")
+        assert flow == _brute_force_min_cut(nodes, edges)

@@ -1,0 +1,154 @@
+"""Tests for normalization (Theorem 3.1): shape, semantics, and R-preservation.
+
+The load-bearing properties:
+
+1. the result is in normal form (union of Π?σ?(join-of-leaves) branches);
+2. the view is unchanged on every database;
+3. the annotation relation R(Q, S) — the full source-location → view-location
+   propagation map — is unchanged (the theorem's distinctive claim).
+
+Properties 2 and 3 are checked both on hand-written queries and on random
+(database, query) pairs via hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import (
+    evaluate,
+    is_normal_form,
+    normalize,
+    parse_query,
+    simplify,
+    view_rows,
+)
+from repro.algebra.relation import Database, Relation
+from repro.provenance.where import where_provenance
+from repro.workloads import random_instance
+
+
+def catalog(db):
+    return {name: db[name].schema for name in db}
+
+
+def assert_preserves(query, db):
+    """Normalization keeps the view, its schema, and the relation R."""
+    cat = catalog(db)
+    normalized = normalize(query, cat)
+    assert is_normal_form(normalized), repr(normalized)
+    original_view = evaluate(query, db)
+    new_view = evaluate(normalized, db)
+    assert set(original_view.rows) == {
+        _reorder(r, new_view.schema, original_view.schema) for r in new_view.rows
+    }
+    # R-preservation: compare backward images per (row, attribute).
+    before = where_provenance(query, db).as_dict()
+    after_prov = where_provenance(normalized, db)
+    after = {}
+    for (row, attr), sources in after_prov.as_dict().items():
+        key = (_reorder(row, after_prov.schema, original_view.schema), attr)
+        after[key] = sources
+    assert before == after
+    return normalized
+
+
+def _reorder(row, from_schema, to_schema):
+    return tuple(row[from_schema.index_of(a)] for a in to_schema.attributes)
+
+
+FIXED_DB = Database(
+    [
+        Relation("R", ["A", "B"], [(1, 2), (1, 3), (2, 2), (3, 1)]),
+        Relation("S", ["B", "C"], [(2, 5), (3, 6), (1, 5)]),
+        Relation("T", ["A", "B"], [(1, 3), (9, 9), (2, 2)]),
+    ]
+)
+
+
+class TestFixedQueries:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R",
+            "SELECT[A = 1](R)",
+            "SELECT[A = 1](SELECT[B = 3](R))",
+            "PROJECT[A](PROJECT[A, B](R))",
+            "SELECT[A = 1](PROJECT[A](R))",
+            "PROJECT[A](R UNION T)",
+            "SELECT[A = 1](R UNION T)",
+            "(R UNION T) JOIN S",
+            "PROJECT[A](R) JOIN S",
+            "PROJECT[B](R) JOIN PROJECT[B](S)",
+            "RENAME[A -> Z](SELECT[A = 1](R))",
+            "RENAME[C -> Z](PROJECT[B, C](R JOIN S))",
+            "RENAME[A -> Z](R JOIN S)",
+            "RENAME[A -> Z](R UNION T)",
+            "RENAME[Z -> W](RENAME[A -> Z](R))",
+            "SELECT[A = 1](PROJECT[A, B](R) UNION T)",
+            "PROJECT[A](SELECT[B = 2](R)) JOIN RENAME[A -> D](T)",
+            "(R UNION T) JOIN (R UNION T)",
+        ],
+    )
+    def test_normalization_preserves_everything(self, text):
+        assert_preserves(parse_query(text), FIXED_DB)
+
+    def test_hidden_attribute_collision_is_freshened(self):
+        # Π_B(R)'s hidden attribute A collides with T(A, B): the normalizer
+        # must freshen it so the combined join does not join on A.
+        query = parse_query("PROJECT[B](R) JOIN T")
+        normalized = assert_preserves(query, FIXED_DB)
+        assert is_normal_form(normalized)
+
+    def test_union_branch_count(self):
+        cat = catalog(FIXED_DB)
+        normalized = normalize(parse_query("(R UNION T) JOIN (R UNION T)"), cat)
+        from repro.algebra import flatten_union
+
+        assert len(flatten_union(normalized)) == 4
+
+    def test_normal_form_is_fixpoint(self):
+        cat = catalog(FIXED_DB)
+        once = normalize(parse_query("SELECT[A=1](PROJECT[A](R UNION T))"), cat)
+        twice = normalize(once, cat)
+        assert view_rows(once, FIXED_DB) == view_rows(twice, FIXED_DB)
+        assert is_normal_form(twice)
+
+
+class TestSimplify:
+    def test_true_select_removed(self):
+        cat = catalog(FIXED_DB)
+        q = parse_query("SELECT[TRUE](R)")
+        assert repr(simplify(q, cat)) == "R"
+
+    def test_identity_projection_removed(self):
+        cat = catalog(FIXED_DB)
+        q = parse_query("PROJECT[A, B](R)")
+        assert repr(simplify(q, cat)) == "R"
+
+    def test_reordering_projection_kept(self):
+        cat = catalog(FIXED_DB)
+        q = parse_query("PROJECT[B, A](R)")
+        assert repr(simplify(q, cat)) != "R"
+
+    def test_identity_rename_removed(self):
+        from repro.algebra import Rename, RelationRef
+
+        cat = catalog(FIXED_DB)
+        q = Rename(RelationRef("R"), {"A": "A"})
+        assert repr(simplify(q, cat)) == "R"
+
+
+class TestRandomized:
+    """Property-based: normalization is sound on random instances."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_spjru_queries(self, seed):
+        db, query = random_instance(seed, max_depth=3, operators="SPJUR")
+        assert_preserves(query, db)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_deep_queries(self, seed):
+        db, query = random_instance(seed, max_depth=4, operators="SPJU")
+        assert_preserves(query, db)

@@ -1,0 +1,138 @@
+"""Unit tests for the query DSL parser."""
+
+import pytest
+
+from repro.algebra import (
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    parse_predicate,
+    parse_query,
+)
+from repro.algebra.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.errors import ParseError
+
+
+class TestQueryParsing:
+    def test_bare_relation(self):
+        assert parse_query("R") == RelationRef("R")
+
+    def test_project(self):
+        q = parse_query("PROJECT[A, B](R)")
+        assert isinstance(q, Project) and q.attributes == ("A", "B")
+
+    def test_select(self):
+        q = parse_query("SELECT[A = 1](R)")
+        assert isinstance(q, Select)
+        assert q.predicate == Comparison(AttributeRef("A"), "=", Constant(1))
+
+    def test_rename(self):
+        q = parse_query("RENAME[A -> X, B -> Y](R)")
+        assert isinstance(q, Rename)
+        assert q.mapping_dict == {"A": "X", "B": "Y"}
+
+    def test_join_left_associative(self):
+        q = parse_query("R JOIN S JOIN T")
+        assert isinstance(q, Join) and isinstance(q.left, Join)
+
+    def test_union_binds_looser_than_join(self):
+        q = parse_query("R JOIN S UNION T")
+        assert isinstance(q, Union)
+        assert isinstance(q.left, Join)
+
+    def test_parentheses_override(self):
+        q = parse_query("R JOIN (S UNION T)")
+        assert isinstance(q, Join) and isinstance(q.right, Union)
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query("project[A](r join s)")
+        assert isinstance(q, Project)
+        # relation names keep their case
+        assert {repr(l) for l in (q.child.left, q.child.right)} == {"r", "s"}
+
+    def test_nested(self):
+        q = parse_query("PROJECT[A](SELECT[A = 1](R JOIN S)) UNION PROJECT[A](T)")
+        assert isinstance(q, Union)
+
+    def test_roundtrip_through_repr(self):
+        text = "PROJECT[A, C](SELECT[A = 1](R JOIN RENAME[B->Z](S)))"
+        q = parse_query(text)
+        assert parse_query(repr(q)) == q
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "PROJECT[](R)",
+            "PROJECT[A](R",
+            "R JOIN",
+            "SELECT[A=](R)",
+            "RENAME[A](R)",
+            "R extra",
+            "(R",
+            "PROJECT[A] R",
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse_query("R JOIN !")
+        except ParseError as err:
+            assert err.position == 7
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestPredicateParsing:
+    def test_constants_types(self):
+        assert parse_predicate("A = 1") == Comparison("A", "=", 1)
+        assert parse_predicate("A = 1.5") == Comparison("A", "=", 1.5)
+        assert parse_predicate("A = 'joe'") == Comparison("A", "=", "joe")
+        assert parse_predicate("A = -2") == Comparison("A", "=", -2)
+
+    def test_string_escapes(self):
+        assert parse_predicate(r"A = 'it\'s'") == Comparison("A", "=", "it's")
+
+    def test_attribute_comparison(self):
+        assert parse_predicate("A = B") == Comparison(
+            AttributeRef("A"), "=", AttributeRef("B")
+        )
+
+    def test_and_or_precedence(self):
+        pred = parse_predicate("A = 1 OR B = 2 AND A = 3")
+        assert isinstance(pred, Or)
+        assert isinstance(pred.right, And)
+
+    def test_not(self):
+        pred = parse_predicate("NOT A = 1")
+        assert isinstance(pred, Not)
+
+    def test_true(self):
+        assert isinstance(parse_predicate("TRUE"), TruePredicate)
+
+    def test_parenthesized(self):
+        pred = parse_predicate("(A = 1 OR B = 2) AND A = 3")
+        assert isinstance(pred, And)
+        assert isinstance(pred.left, Or)
+
+    def test_all_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert parse_predicate(f"A {op} 1").op == op
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("A = 1 B")

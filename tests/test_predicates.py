@@ -1,0 +1,128 @@
+"""Unit tests for repro.algebra.predicates."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    TruePredicate,
+    conjoin,
+)
+from repro.algebra.schema import Schema
+from repro.errors import EvaluationError, SchemaError
+
+SCHEMA = Schema(["A", "B"])
+
+
+class TestComparison:
+    def test_attribute_constant_equality(self):
+        pred = Comparison("A", "=", 1)
+        assert pred.evaluate(SCHEMA, (1, 2))
+        assert not pred.evaluate(SCHEMA, (0, 2))
+
+    def test_attribute_attribute(self):
+        pred = Comparison(AttributeRef("A"), "=", AttributeRef("B"))
+        assert pred.evaluate(SCHEMA, (3, 3))
+        assert not pred.evaluate(SCHEMA, (3, 4))
+
+    @pytest.mark.parametrize(
+        "op,row,expected",
+        [
+            ("!=", (1, 0), True),
+            ("<", (1, 0), True),
+            ("<=", (2, 0), True),
+            (">", (3, 0), True),
+            (">=", (2, 0), True),
+            ("<", (5, 0), False),
+        ],
+    )
+    def test_operators(self, op, row, expected):
+        pred = Comparison("A", op, 2)
+        assert pred.evaluate(SCHEMA, row) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SchemaError, match="unknown comparison"):
+            Comparison("A", "~", 1)
+
+    def test_incomparable_types_raise(self):
+        pred = Comparison("A", "<", 1)
+        with pytest.raises(EvaluationError, match="cannot compare"):
+            pred.evaluate(SCHEMA, ("text", 0))
+
+    def test_attributes(self):
+        pred = Comparison(AttributeRef("A"), "=", AttributeRef("B"))
+        assert pred.attributes() == frozenset({"A", "B"})
+
+    def test_rename(self):
+        pred = Comparison("A", "=", 1).rename({"A": "X"})
+        assert pred.attributes() == frozenset({"X"})
+
+    def test_validate_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Comparison("Z", "=", 1).validate(SCHEMA)
+
+    def test_equality_and_hash(self):
+        assert Comparison("A", "=", 1) == Comparison("A", "=", 1)
+        assert len({Comparison("A", "=", 1), Comparison("A", "=", 1)}) == 1
+
+    def test_unhashable_constant_rejected(self):
+        with pytest.raises(SchemaError):
+            Constant([1])
+
+
+class TestBooleanConnectives:
+    def test_and(self):
+        pred = And(Comparison("A", "=", 1), Comparison("B", "=", 2))
+        assert pred.evaluate(SCHEMA, (1, 2))
+        assert not pred.evaluate(SCHEMA, (1, 3))
+
+    def test_or(self):
+        pred = Or(Comparison("A", "=", 1), Comparison("B", "=", 2))
+        assert pred.evaluate(SCHEMA, (0, 2))
+        assert not pred.evaluate(SCHEMA, (0, 0))
+
+    def test_not(self):
+        pred = Not(Comparison("A", "=", 1))
+        assert pred.evaluate(SCHEMA, (0, 0))
+        assert not pred.evaluate(SCHEMA, (1, 0))
+
+    def test_operator_overloads(self):
+        pred = Comparison("A", "=", 1) & ~Comparison("B", "=", 2)
+        assert pred.evaluate(SCHEMA, (1, 3))
+        pred2 = Comparison("A", "=", 1) | Comparison("A", "=", 2)
+        assert pred2.evaluate(SCHEMA, (2, 0))
+
+    def test_nested_attributes(self):
+        pred = And(Comparison("A", "=", 1), Not(Comparison("B", "=", 2)))
+        assert pred.attributes() == frozenset({"A", "B"})
+
+    def test_rename_recurses(self):
+        pred = Or(Comparison("A", "=", 1), Comparison("B", "=", 2))
+        assert pred.rename({"A": "X"}).attributes() == frozenset({"X", "B"})
+
+    def test_equality(self):
+        a = And(Comparison("A", "=", 1), Comparison("B", "=", 2))
+        b = And(Comparison("A", "=", 1), Comparison("B", "=", 2))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestTrueAndConjoin:
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(SCHEMA, (0, 0))
+        assert TruePredicate().attributes() == frozenset()
+
+    def test_conjoin_empty_is_true(self):
+        assert isinstance(conjoin(), TruePredicate)
+
+    def test_conjoin_drops_true(self):
+        pred = conjoin(TruePredicate(), Comparison("A", "=", 1))
+        assert pred == Comparison("A", "=", 1)
+
+    def test_conjoin_two(self):
+        pred = conjoin(Comparison("A", "=", 1), Comparison("B", "=", 2))
+        assert pred.evaluate(SCHEMA, (1, 2))
+        assert not pred.evaluate(SCHEMA, (1, 0))

@@ -1,0 +1,182 @@
+"""Cross-module property-based tests (hypothesis).
+
+These are the library-wide invariants that tie the layers together; every
+oracle here is *independent re-evaluation of the query*, never the machinery
+under test.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import (
+    evaluate,
+    normalize,
+    parse_query,
+    view_rows,
+)
+from repro.annotation import exhaustive_placement, verify_placement
+from repro.deletion import delete_view_tuple, minimum_source_deletion, verify_plan
+from repro.errors import InfeasibleError
+from repro.provenance import Location, where_provenance, why_provenance
+from repro.workloads import random_instance
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class TestWhyProvenanceSurvival:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_survives_matches_reevaluation(self, seed):
+        """prov.survives(row, T) ⟺ row ∈ Q(S \\ T) for random deletion sets."""
+        db, query = random_instance(seed, max_depth=3)
+        prov = why_provenance(query, db)
+        if not prov.rows:
+            return
+        rng = random.Random(seed)
+        tuples = list(db.all_source_tuples())
+        for _ in range(4):
+            deletions = frozenset(
+                rng.sample(tuples, rng.randint(0, min(4, len(tuples))))
+            )
+            after = view_rows(query, db.delete(deletions))
+            for row in prov.rows:
+                assert prov.survives(row, deletions) == (row in after), (
+                    query,
+                    row,
+                    deletions,
+                )
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_side_effects_match_reevaluation(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        prov = why_provenance(query, db)
+        if not prov.rows:
+            return
+        rng = random.Random(seed + 1)
+        tuples = list(db.all_source_tuples())
+        target = prov.rows[0]
+        deletions = frozenset(
+            rng.sample(tuples, rng.randint(1, min(4, len(tuples))))
+        )
+        before = view_rows(query, db)
+        after = view_rows(query, db.delete(deletions))
+        expected = frozenset(before - after - {target})
+        assert prov.side_effects(target, deletions) == expected
+
+
+class TestWhereProvenanceDuality:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_forward_backward_inverse(self, seed):
+        """ℓ ∈ backward(v) ⟺ v ∈ forward(ℓ): the relation R both ways."""
+        db, query = random_instance(seed, max_depth=3)
+        prov = where_provenance(query, db)
+        closure = prov.forward_closure()
+        for (row, attr), sources in prov.as_dict().items():
+            view_loc = Location("V", row, attr)
+            for source in sources:
+                assert view_loc in closure[source]
+        for source, image in closure.items():
+            for view_loc in image:
+                assert source in prov.backward(view_loc.row, view_loc.attribute)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_view_matches_plain_evaluation(self, seed):
+        """Both annotated evaluators agree with the plain one on the rows."""
+        db, query = random_instance(seed, max_depth=3)
+        plain = view_rows(query, db)
+        assert frozenset(why_provenance(query, db).rows) == plain
+        assert frozenset(where_provenance(query, db).rows) == plain
+
+
+class TestDispatcherPlansAlwaysVerify:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_view_objective(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        rows = sorted(view_rows(query, db), key=repr)
+        if not rows:
+            return
+        plan = delete_view_tuple(query, db, rows[0])
+        verify_plan(query, db, plan)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_source_objective(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        rows = sorted(view_rows(query, db), key=repr)
+        if not rows:
+            return
+        plan = minimum_source_deletion(query, db, rows[0])
+        verify_plan(query, db, plan)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_view_optimum_never_worse_than_source_plan(self, seed):
+        """The view-optimal plan has ≤ side effects of the source-optimal."""
+        db, query = random_instance(seed, max_depth=2, num_relations=2)
+        rows = sorted(view_rows(query, db), key=repr)
+        if not rows:
+            return
+        view_plan = delete_view_tuple(query, db, rows[0])
+        source_plan = minimum_source_deletion(query, db, rows[0])
+        assert view_plan.num_side_effects <= source_plan.num_side_effects
+        assert source_plan.num_deletions <= view_plan.num_deletions
+
+
+class TestPlacementAlwaysVerifies:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_exhaustive_placement_verifies(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        view = evaluate(query, db)
+        rows = sorted(view.rows, key=repr)
+        if not rows:
+            return
+        target = Location("V", rows[0], view.schema.attributes[0])
+        try:
+            placement = exhaustive_placement(query, db, target)
+        except InfeasibleError:
+            return
+        verify_placement(query, db, placement)
+        assert target in placement.propagated
+
+
+class TestNormalizeIdempotence:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_second_normalization_is_stable(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        catalog = {name: db[name].schema for name in db}
+        once = normalize(query, catalog)
+        twice = normalize(once, catalog)
+        assert view_rows(once, db) == view_rows(twice, db)
+        # R stable across the second pass too.
+        assert (
+            where_provenance(once, db).as_dict()
+            == where_provenance(twice, db).as_dict()
+        )
+
+
+class TestParserRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds)
+    def test_repr_reparses_to_equal_query(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        assert parse_query(repr(query)) == query
+
+
+class TestMonotonicity:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_deletion_never_adds_view_rows(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        rng = random.Random(seed)
+        tuples = list(db.all_source_tuples())
+        before = view_rows(query, db)
+        deletions = rng.sample(tuples, rng.randint(0, min(5, len(tuples))))
+        after = view_rows(query, db.delete(deletions))
+        assert after <= before

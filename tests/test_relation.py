@@ -1,0 +1,140 @@
+"""Unit tests for repro.algebra.relation."""
+
+import pytest
+
+from repro.algebra.relation import Database, Relation
+from repro.algebra.schema import Schema
+from repro.errors import EvaluationError, SchemaError
+
+
+class TestRelation:
+    def test_rows_deduplicated(self):
+        rel = Relation("R", ["A"], [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_schema_from_list(self):
+        rel = Relation("R", ["A", "B"], [])
+        assert rel.schema == Schema(["A", "B"])
+
+    def test_schema_object_accepted(self):
+        rel = Relation("R", Schema(["A"]), [(1,)])
+        assert rel.schema.attributes == ("A",)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="arity"):
+            Relation("R", ["A", "B"], [(1,)])
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(SchemaError, match="unhashable"):
+            Relation("R", ["A"], [([1],)])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", ["A"], [])
+
+    def test_contains_and_iter(self):
+        rel = Relation("R", ["A"], [(1,), (2,)])
+        assert (1,) in rel
+        assert sorted(rel) == [(1,), (2,)]
+
+    def test_value_of(self):
+        rel = Relation("R", ["A", "B"], [(1, 2)])
+        assert rel.value_of((1, 2), "B") == 2
+
+    def test_value_of_bad_arity(self):
+        rel = Relation("R", ["A", "B"], [(1, 2)])
+        with pytest.raises(SchemaError):
+            rel.value_of((1,), "A")
+
+    def test_sorted_rows_deterministic(self):
+        rel = Relation("R", ["A"], [(3,), (1,), (2,)])
+        assert rel.sorted_rows() == ((1,), (2,), (3,))
+
+    def test_sorted_rows_mixed_types(self):
+        rel = Relation("R", ["A"], [("x",), (1,)])
+        # Must not raise despite heterogeneous values.
+        assert len(rel.sorted_rows()) == 2
+
+    def test_delete_rows(self):
+        rel = Relation("R", ["A"], [(1,), (2,)])
+        assert (1,) not in rel.delete_rows([(1,)])
+
+    def test_delete_missing_row_is_noop(self):
+        rel = Relation("R", ["A"], [(1,)])
+        assert len(rel.delete_rows([(9,)])) == 1
+
+    def test_insert_rows(self):
+        rel = Relation("R", ["A"], [(1,)]).insert_rows([(2,)])
+        assert (2,) in rel
+
+    def test_with_rows_replaces(self):
+        rel = Relation("R", ["A"], [(1,)]).with_rows([(5,)])
+        assert set(rel.rows) == {(5,)}
+
+    def test_renamed_keeps_rows(self):
+        rel = Relation("R", ["A"], [(1,)]).renamed("Q")
+        assert rel.name == "Q" and (1,) in rel
+
+    def test_equality_and_hash(self):
+        a = Relation("R", ["A"], [(1,)])
+        b = Relation("R", ["A"], [(1,)])
+        assert a == b and len({a, b}) == 1
+
+    def test_immutability_of_source(self):
+        rel = Relation("R", ["A"], [(1,)])
+        rel.delete_rows([(1,)])
+        assert (1,) in rel  # original untouched
+
+
+class TestDatabase:
+    def test_lookup(self):
+        db = Database([Relation("R", ["A"], [(1,)])])
+        assert db["R"].name == "R"
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(EvaluationError, match="no relation"):
+            Database([])["R"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Database([Relation("R", ["A"], []), Relation("R", ["B"], [])])
+
+    def test_mapping_input(self):
+        rel = Relation("R", ["A"], [])
+        assert "R" in Database({"R": rel})
+
+    def test_iteration_sorted(self):
+        db = Database([Relation("B", ["A"], []), Relation("A", ["A"], [])])
+        assert list(db) == ["A", "B"]
+
+    def test_total_rows(self):
+        db = Database(
+            [Relation("R", ["A"], [(1,), (2,)]), Relation("S", ["A"], [(1,)])]
+        )
+        assert db.total_rows() == 3
+
+    def test_delete_across_relations(self):
+        db = Database(
+            [Relation("R", ["A"], [(1,), (2,)]), Relation("S", ["A"], [(1,)])]
+        )
+        updated = db.delete([("R", (1,)), ("S", (1,))])
+        assert set(updated["R"].rows) == {(2,)}
+        assert len(updated["S"]) == 0
+        # original untouched
+        assert db.total_rows() == 3
+
+    def test_delete_unknown_relation_raises(self):
+        db = Database([Relation("R", ["A"], [(1,)])])
+        with pytest.raises(EvaluationError):
+            db.delete([("Z", (1,))])
+
+    def test_with_relation_replaces(self):
+        db = Database([Relation("R", ["A"], [(1,)])])
+        updated = db.with_relation(Relation("R", ["A"], [(9,)]))
+        assert set(updated["R"].rows) == {(9,)}
+
+    def test_all_source_tuples_sorted(self):
+        db = Database(
+            [Relation("R", ["A"], [(2,), (1,)]), Relation("Q", ["A"], [(5,)])]
+        )
+        assert db.all_source_tuples() == (("Q", (5,)), ("R", (1,)), ("R", (2,)))

@@ -1,0 +1,72 @@
+"""Unit tests for the ASCII renderers."""
+
+from repro.algebra import (
+    Database,
+    Relation,
+    parse_query,
+    render_database,
+    render_query_tree,
+    render_relation,
+    render_rows,
+)
+
+
+class TestRenderRelation:
+    def test_basic_table(self):
+        rel = Relation("R", ["A", "B"], [(1, "x"), (2, "y")])
+        text = render_relation(rel)
+        lines = text.splitlines()
+        assert lines[0] == "R"
+        assert "| A | B |" in text
+        assert "| 1 | x |" in text
+        assert "| 2 | y |" in text
+
+    def test_rows_sorted_deterministically(self):
+        rel = Relation("R", ["A"], [(3,), (1,), (2,)])
+        text = render_relation(rel)
+        assert text.index("| 1 |") < text.index("| 2 |") < text.index("| 3 |")
+
+    def test_title_override(self):
+        rel = Relation("R", ["A"], [(1,)])
+        assert render_relation(rel, title="Custom").startswith("Custom")
+
+    def test_column_width_adapts(self):
+        rel = Relation("R", ["A"], [("a-long-value",)])
+        assert "| a-long-value |" in render_relation(rel)
+
+    def test_empty_relation(self):
+        rel = Relation("R", ["A", "B"], [])
+        text = render_relation(rel)
+        assert "| A | B |" in text
+
+
+class TestRenderDatabase:
+    def test_all_relations_rendered(self):
+        db = Database(
+            [Relation("R", ["A"], [(1,)]), Relation("S", ["B"], [(2,)])]
+        )
+        text = render_database(db)
+        assert "R\n" in text and "S\n" in text
+
+
+class TestRenderRows:
+    def test_no_title(self):
+        text = render_rows(["X"], [(1,)])
+        assert text.startswith("+")
+
+
+class TestRenderQueryTree:
+    def test_structure(self):
+        q = parse_query("PROJECT[A](SELECT[A = 1](R JOIN S))")
+        text = render_query_tree(q)
+        lines = text.splitlines()
+        assert lines[0] == "PROJECT[A]"
+        assert lines[1].strip().startswith("SELECT")
+        assert lines[2].strip() == "JOIN"
+        assert {lines[3].strip(), lines[4].strip()} == {"R", "S"}
+
+    def test_union_and_rename(self):
+        q = parse_query("RENAME[A -> Z](R) UNION RENAME[A -> Z](S)")
+        text = render_query_tree(q)
+        assert text.splitlines()[0] == "UNION"
+        assert "RENAME[A->Z]" in text

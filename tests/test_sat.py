@@ -1,0 +1,128 @@
+"""Unit and property tests for the DPLL SAT solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.solvers.sat import CNF, assignment_satisfies, enumerate_models, solve
+
+
+class TestCNF:
+    def test_variables_collected(self):
+        f = CNF([(1, -3), (2,)])
+        assert f.variables == frozenset({1, 2, 3})
+        assert f.num_variables == 3
+        assert f.num_clauses == 2
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ReproError):
+            CNF([(0,)])
+
+    def test_non_integer_literal_rejected(self):
+        with pytest.raises(ReproError):
+            CNF([("x",)])
+
+    def test_monotone_detection(self):
+        assert CNF([(1, 2, 3), (-1, -2, -3)]).is_monotone_3sat()
+        assert not CNF([(1, -2, 3)]).is_monotone_3sat()
+        assert not CNF([()]).is_monotone_3sat()
+
+
+class TestSolve:
+    def test_trivially_sat(self):
+        assert solve(CNF([])) == {}
+
+    def test_single_unit(self):
+        assert solve(CNF([(1,)])) == {1: True}
+
+    def test_contradiction(self):
+        assert solve(CNF([(1,), (-1,)])) is None
+
+    def test_empty_clause_unsat(self):
+        assert solve(CNF([(), (1,)])) is None
+
+    def test_model_is_total(self):
+        model = solve(CNF([(1, 2)]))
+        assert set(model) == {1, 2}
+
+    def test_model_satisfies(self):
+        f = CNF([(1, 2), (-1, 3), (-2, -3), (2, 3)])
+        model = solve(f)
+        assert model is not None
+        assert assignment_satisfies(f, model)
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: p1 in hole, p2 in hole, not both.
+        f = CNF([(1,), (2,), (-1, -2)])
+        assert solve(f) is None
+
+    def test_exhaustive_agreement_small(self):
+        """DPLL agrees with truth-table enumeration on all 3-var formulas
+        drawn from a fixed clause pool."""
+        pool = [(1, 2), (-1, 3), (-2, -3), (2, 3), (1, -3), (-1, -2)]
+        for size in (2, 3, 4):
+            for clauses in itertools.combinations(pool, size):
+                f = CNF(clauses)
+                brute = any(
+                    assignment_satisfies(f, dict(zip((1, 2, 3), bits)))
+                    for bits in itertools.product((False, True), repeat=3)
+                )
+                assert (solve(f) is not None) == brute, clauses
+
+
+class TestEnumerateModels:
+    def test_all_models_found(self):
+        f = CNF([(1, 2)])
+        models = list(enumerate_models(f))
+        assert len(models) == 3  # TT, TF, FT
+
+    def test_limit_respected(self):
+        f = CNF([(1, 2)])
+        assert len(list(enumerate_models(f, limit=2))) == 2
+
+    def test_unsat_enumerates_nothing(self):
+        assert list(enumerate_models(CNF([(1,), (-1,)]))) == []
+
+    def test_models_are_models(self):
+        f = CNF([(1, 2), (-1, -2)])
+        for model in enumerate_models(f):
+            assert assignment_satisfies(f, model)
+
+
+@st.composite
+def cnf_formulas(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    num_clauses = draw(st.integers(min_value=1, max_value=10))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        clause = tuple(
+            v if draw(st.booleans()) else -v for v in variables
+        )
+        clauses.append(clause)
+    return CNF(clauses)
+
+
+class TestSolveProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(cnf_formulas())
+    def test_dpll_matches_brute_force(self, f):
+        variables = sorted(f.variables)
+        brute = any(
+            assignment_satisfies(f, dict(zip(variables, bits)))
+            for bits in itertools.product((False, True), repeat=len(variables))
+        )
+        model = solve(f)
+        assert (model is not None) == brute
+        if model is not None:
+            assert assignment_satisfies(f, model)

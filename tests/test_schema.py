@@ -1,0 +1,107 @@
+"""Unit tests for repro.algebra.schema."""
+
+import pytest
+
+from repro.algebra.schema import Schema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_attributes_preserved_in_order(self):
+        assert Schema(["B", "A", "C"]).attributes == ("B", "A", "C")
+
+    def test_arity(self):
+        assert Schema(["A", "B"]).arity == 2
+
+    def test_empty_schema_allowed(self):
+        assert Schema([]).arity == 0
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["A", "A"])
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([1])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+
+
+class TestAccessors:
+    def test_index_of(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.index_of("B") == 1
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(SchemaError, match="not in schema"):
+            Schema(["A"]).index_of("Z")
+
+    def test_contains(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_iteration_and_len(self):
+        schema = Schema(["A", "B"])
+        assert list(schema) == ["A", "B"]
+        assert len(schema) == 2
+
+    def test_positions(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.positions(["C", "A"]) == (2, 0)
+
+
+class TestEquality:
+    def test_equal_schemas(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+
+    def test_order_matters(self):
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+
+    def test_hashable(self):
+        assert len({Schema(["A"]), Schema(["A"])}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Schema(["A"]) != ("A",)
+
+
+class TestDerivedSchemas:
+    def test_project(self):
+        assert Schema(["A", "B", "C"]).project(["C", "A"]).attributes == ("C", "A")
+
+    def test_project_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).project(["B"])
+
+    def test_rename_partial(self):
+        renamed = Schema(["A", "B"]).rename({"A": "X"})
+        assert renamed.attributes == ("X", "B")
+
+    def test_rename_unknown_source_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).rename({"Z": "X"})
+
+    def test_rename_collision_raises(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["A", "B"]).rename({"A": "B"})
+
+    def test_rename_swap_allowed(self):
+        swapped = Schema(["A", "B"]).rename({"A": "B", "B": "A"})
+        assert swapped.attributes == ("B", "A")
+
+    def test_join_shares_attributes(self):
+        joined = Schema(["A", "B"]).join(Schema(["B", "C"]))
+        assert joined.attributes == ("A", "B", "C")
+
+    def test_join_disjoint_is_concatenation(self):
+        joined = Schema(["A"]).join(Schema(["B"]))
+        assert joined.attributes == ("A", "B")
+
+    def test_common(self):
+        assert Schema(["A", "B", "C"]).common(Schema(["C", "B"])) == ("B", "C")
+
+    def test_union_compatibility_ignores_order(self):
+        assert Schema(["A", "B"]).is_union_compatible(Schema(["B", "A"]))
+        assert not Schema(["A"]).is_union_compatible(Schema(["B"]))

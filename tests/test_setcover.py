@@ -1,0 +1,195 @@
+"""Unit and property tests for set cover / hitting set solvers."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExponentialGuardError, ReproError
+from repro.reductions.hitting_set_instances import greedy_gap_instance
+from repro.solvers.setcover import (
+    enumerate_minimal_hitting_sets,
+    exact_min_hitting_set,
+    greedy_hitting_set,
+    greedy_set_cover,
+    harmonic,
+    hitting_set_to_set_cover,
+    is_hitting_set,
+)
+
+
+class TestGreedySetCover:
+    def test_simple_cover(self):
+        sets = {"a": frozenset({1, 2}), "b": frozenset({2, 3}), "c": frozenset({3})}
+        chosen = greedy_set_cover({1, 2, 3}, sets)
+        covered = set().union(*(sets[n] for n in chosen))
+        assert covered >= {1, 2, 3}
+
+    def test_prefers_larger_set(self):
+        sets = {"big": frozenset({1, 2, 3}), "s1": frozenset({1})}
+        assert greedy_set_cover({1, 2, 3}, sets) == ["big"]
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ReproError, match="cover"):
+            greedy_set_cover({1, 2}, {"a": frozenset({1})})
+
+    def test_non_frozenset_rejected(self):
+        with pytest.raises(ReproError):
+            greedy_set_cover({1}, {"a": {1}})
+
+
+class TestGreedyHittingSet:
+    def test_hits_everything(self):
+        family = [frozenset({1, 2}), frozenset({2, 3}), frozenset({4})]
+        hs = greedy_hitting_set(family)
+        assert is_hitting_set(family, hs)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ReproError):
+            greedy_hitting_set([frozenset()])
+
+    def test_empty_family(self):
+        assert greedy_hitting_set([]) == set()
+
+    def test_greedy_gap_family(self):
+        """On the gap family greedy pays `levels` while the optimum is 2."""
+        for levels in (2, 3, 4):
+            sets, _ = greedy_gap_instance(levels)
+            greedy = greedy_hitting_set(list(sets))
+            exact = exact_min_hitting_set(list(sets))
+            assert len(exact) == 2
+            assert len(greedy) == levels
+            assert is_hitting_set(sets, greedy)
+
+
+class TestExact:
+    def test_optimal_on_small_instance(self):
+        family = [frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})]
+        assert len(exact_min_hitting_set(family)) == 2
+
+    def test_single_common_element(self):
+        family = [frozenset({7, i}) for i in range(10)]
+        assert exact_min_hitting_set(family) == frozenset({7})
+
+    def test_empty_family(self):
+        assert exact_min_hitting_set([]) == frozenset()
+
+    def test_budget_enforced(self):
+        rng = random.Random(0)
+        family = [
+            frozenset(rng.sample(range(30), 6)) for _ in range(40)
+        ]
+        with pytest.raises(ExponentialGuardError):
+            exact_min_hitting_set(family, node_budget=5)
+
+
+class TestEnumerateMinimal:
+    def test_all_minimal_sets(self):
+        family = [frozenset({1, 2}), frozenset({2, 3})]
+        results = set(enumerate_minimal_hitting_sets(family))
+        assert results == {
+            frozenset({2}),
+            frozenset({1, 3}),
+        }
+
+    def test_minimality(self):
+        family = [frozenset({1, 2}), frozenset({2, 3}), frozenset({4})]
+        for hs in enumerate_minimal_hitting_sets(family):
+            for element in hs:
+                assert not is_hitting_set(family, hs - {element})
+
+    def test_max_results(self):
+        family = [frozenset({1, 2, 3})]
+        results = list(enumerate_minimal_hitting_sets(family, max_results=2))
+        assert len(results) == 2
+
+    def test_empty_family_yields_empty_set(self):
+        assert list(enumerate_minimal_hitting_sets([])) == [frozenset()]
+
+    def test_contains_optimum(self):
+        family = [frozenset({1, 2}), frozenset({3, 4}), frozenset({2, 3})]
+        optimum = exact_min_hitting_set(family)
+        minimal = set(enumerate_minimal_hitting_sets(family))
+        assert any(len(m) == len(optimum) for m in minimal)
+
+
+class TestDuality:
+    def test_hitting_set_to_set_cover_roundtrip(self):
+        family = [frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})]
+        universe, dual = hitting_set_to_set_cover(family)
+        cover = greedy_set_cover(universe, dual)
+        # The chosen elements form a hitting set of the original family.
+        assert is_hitting_set(family, cover)
+
+
+class TestHarmonic:
+    def test_values(self):
+        assert harmonic(1) == 1.0
+        assert abs(harmonic(2) - 1.5) < 1e-12
+        assert abs(harmonic(4) - (1 + 0.5 + 1 / 3 + 0.25)) < 1e-12
+
+    def test_monotone(self):
+        assert harmonic(10) < harmonic(11)
+
+
+def _brute_force_min_hitting_set(family):
+    universe = sorted(set().union(*family)) if family else []
+    for size in range(len(universe) + 1):
+        for subset in itertools.combinations(universe, size):
+            if is_hitting_set(family, subset):
+                return set(subset)
+    raise AssertionError("unreachable")
+
+
+@st.composite
+def families(draw):
+    universe = draw(st.integers(min_value=1, max_value=7))
+    count = draw(st.integers(min_value=1, max_value=6))
+    family = []
+    for _ in range(count):
+        size = draw(st.integers(min_value=1, max_value=min(3, universe)))
+        family.append(
+            frozenset(
+                draw(
+                    st.lists(
+                        st.integers(min_value=1, max_value=universe),
+                        min_size=size,
+                        max_size=size,
+                        unique=True,
+                    )
+                )
+            )
+        )
+    return family
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(families())
+    def test_exact_matches_brute_force(self, family):
+        exact = exact_min_hitting_set(family)
+        assert is_hitting_set(family, exact)
+        assert len(exact) == len(_brute_force_min_hitting_set(family))
+
+    @settings(max_examples=100, deadline=None)
+    @given(families())
+    def test_greedy_within_harmonic_bound(self, family):
+        greedy = greedy_hitting_set(family)
+        exact = exact_min_hitting_set(family)
+        assert is_hitting_set(family, greedy)
+        assert len(greedy) <= max(1, round(harmonic(len(family)) * len(exact) + 1e-9))
+
+    @settings(max_examples=60, deadline=None)
+    @given(families())
+    def test_enumeration_is_complete(self, family):
+        """Every brute-force minimal hitting set is enumerated."""
+        enumerated = set(enumerate_minimal_hitting_sets(family))
+        universe = sorted(set().union(*family))
+        for size in range(len(universe) + 1):
+            for subset in itertools.combinations(universe, size):
+                candidate = frozenset(subset)
+                if is_hitting_set(family, candidate) and all(
+                    not is_hitting_set(family, candidate - {e}) for e in candidate
+                ):
+                    assert candidate in enumerated

@@ -1,0 +1,114 @@
+"""Tests for the source side-effect problem (Section 2.2, Theorems 2.5–2.9)."""
+
+import itertools
+
+import pytest
+
+from repro.algebra import Database, Relation, parse_query, view_rows
+from repro.deletion import (
+    exact_source_deletion,
+    greedy_source_deletion,
+    sj_source_deletion,
+    spu_source_deletion,
+    verify_plan,
+)
+from repro.errors import QueryClassError
+from repro.workloads import random_instance, sj_workload, spu_workload
+
+
+def brute_force_minimum(query, db, target):
+    """Smallest deletion set removing the target, by exhaustive search."""
+    tuples = db.all_source_tuples()
+    for size in range(len(tuples) + 1):
+        for subset in itertools.combinations(tuples, size):
+            if target not in view_rows(query, db.delete(subset)):
+                return size
+    raise AssertionError("target cannot be deleted?")
+
+
+class TestSPU:
+    def test_unique_minimum(self, single_db):
+        q = parse_query("PROJECT[age](People)")
+        plan = spu_source_deletion(q, single_db, (41,))
+        verify_plan(q, single_db, plan)
+        assert plan.deletions == frozenset(
+            {("People", ("joe", 41)), ("People", ("bob", 41))}
+        )
+
+    def test_rejects_joins(self, tiny_db):
+        with pytest.raises(QueryClassError):
+            spu_source_deletion(parse_query("R JOIN S"), tiny_db, (1, 2, 5))
+
+    def test_theorem_2_8_optimal(self):
+        for seed in range(10):
+            db, query, target = spu_workload(10, seed=seed)
+            plan = spu_source_deletion(query, db, target)
+            verify_plan(query, db, plan)
+            assert plan.num_deletions == brute_force_minimum(query, db, target)
+
+
+class TestSJ:
+    def test_single_component_suffices(self, tiny_db):
+        q = parse_query("R JOIN S")
+        plan = sj_source_deletion(q, tiny_db, (1, 2, 5))
+        verify_plan(q, tiny_db, plan)
+        assert plan.num_deletions == 1
+
+    def test_rejects_projection(self, tiny_db):
+        with pytest.raises(QueryClassError):
+            sj_source_deletion(parse_query("PROJECT[A](R)"), tiny_db, (1,))
+
+    def test_theorem_2_9_optimal(self):
+        for seed in range(10):
+            db, query, target = sj_workload(8, seed=seed)
+            if target not in view_rows(query, db):
+                continue
+            plan = sj_source_deletion(query, db, target)
+            verify_plan(query, db, plan)
+            assert plan.num_deletions == 1
+
+
+class TestExactAndGreedy:
+    def test_exact_optimal_on_usergroup(self, usergroup_db, usergroup_query):
+        plan = exact_source_deletion(usergroup_query, usergroup_db, ("joe", "f1"))
+        verify_plan(usergroup_query, usergroup_db, plan)
+        assert plan.num_deletions == brute_force_minimum(
+            usergroup_query, usergroup_db, ("joe", "f1")
+        )
+
+    def test_exact_optimal_on_random_instances(self):
+        for seed in range(15):
+            db, query = random_instance(seed, max_depth=2, num_relations=2)
+            tuples = db.all_source_tuples()
+            if len(tuples) > 8:
+                continue
+            view = sorted(view_rows(query, db), key=repr)
+            if not view:
+                continue
+            target = view[0]
+            plan = exact_source_deletion(query, db, target)
+            verify_plan(query, db, plan)
+            assert plan.num_deletions == brute_force_minimum(query, db, target)
+
+    def test_greedy_valid_but_possibly_suboptimal(self, usergroup_db, usergroup_query):
+        plan = greedy_source_deletion(usergroup_query, usergroup_db, ("joe", "f1"))
+        verify_plan(usergroup_query, usergroup_db, plan)
+        assert not plan.optimal
+        exact = exact_source_deletion(usergroup_query, usergroup_db, ("joe", "f1"))
+        assert plan.num_deletions >= exact.num_deletions
+
+    def test_greedy_vs_exact_gap_bounded(self):
+        from repro.solvers.setcover import harmonic
+
+        for seed in range(10):
+            db, query = random_instance(seed, max_depth=3, num_relations=2)
+            view = sorted(view_rows(query, db), key=repr)
+            if not view:
+                continue
+            target = view[0]
+            greedy = greedy_source_deletion(query, db, target)
+            exact = exact_source_deletion(query, db, target)
+            from repro.provenance.why import why_provenance
+
+            m = len(why_provenance(query, db).witnesses(target))
+            assert greedy.num_deletions <= harmonic(max(1, m)) * exact.num_deletions + 1e-9

@@ -1,0 +1,162 @@
+"""Tests for the view side-effect problem (Section 2.1, Theorems 2.3/2.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import Database, Relation, evaluate, parse_query, view_rows
+from repro.deletion import (
+    exact_view_deletion,
+    side_effect_free_exists,
+    sj_view_deletion,
+    spu_view_deletion,
+    verify_plan,
+)
+from repro.errors import InfeasibleError, QueryClassError
+from repro.workloads import random_instance, sj_workload, spu_workload
+
+
+class TestSPU:
+    def test_unique_solution_and_no_side_effects(self, single_db):
+        q = parse_query("PROJECT[age](People) UNION PROJECT[age](SELECT[age > 0](People))")
+        plan = spu_view_deletion(q, single_db, (41,))
+        verify_plan(q, single_db, plan)
+        assert plan.side_effect_free
+        # Both 41-year-olds must go.
+        assert plan.deletions == frozenset(
+            {("People", ("joe", 41)), ("People", ("bob", 41))}
+        )
+
+    def test_rejects_join_queries(self, tiny_db):
+        with pytest.raises(QueryClassError):
+            spu_view_deletion(parse_query("R JOIN S"), tiny_db, (1, 2, 5))
+
+    def test_missing_target_raises(self, single_db):
+        with pytest.raises(InfeasibleError):
+            spu_view_deletion(parse_query("PROJECT[age](People)"), single_db, (99,))
+
+    def test_theorem_2_3_always_side_effect_free(self):
+        """Rename-free SPU: the unique deletion never disturbs the view."""
+        for seed in range(25):
+            db, query = random_instance(seed, max_depth=3, operators="SPU")
+            view = sorted(view_rows(query, db), key=repr)
+            if not view:
+                continue
+            target = view[0]
+            plan = spu_view_deletion(query, db, target)
+            verify_plan(query, db, plan)
+            assert plan.side_effect_free, (query, target)
+
+    def test_minimality(self):
+        """Removing any tuple from the plan leaves the target derivable."""
+        db, query, target = spu_workload(20, seed=3)
+        plan = spu_view_deletion(query, db, target)
+        for deletion in plan.deletions:
+            smaller = plan.deletions - {deletion}
+            remaining = view_rows(query, db.delete(smaller))
+            assert target in remaining
+
+
+class TestSJ:
+    def test_single_witness_components(self, tiny_db):
+        q = parse_query("R JOIN S")
+        plan = sj_view_deletion(q, tiny_db, (1, 3, 6))
+        verify_plan(q, tiny_db, plan)
+        assert plan.num_deletions == 1
+        # (1,3)/(3,6) are used by no other output tuple: side-effect-free.
+        assert plan.side_effect_free
+
+    def test_min_side_effect_choice(self):
+        """When every component is shared, the scan picks the least shared."""
+        db = Database(
+            [
+                Relation("R", ["A", "B"], [(1, 0), (2, 0)]),
+                Relation("S", ["B", "C"], [(0, 1), (0, 2), (0, 3)]),
+            ]
+        )
+        q = parse_query("R JOIN S")
+        # Deleting (1,0) from R kills 3 outputs (2 side effects); deleting
+        # (0,1) from S kills 2 outputs (1 side effect).
+        plan = sj_view_deletion(q, db, (1, 0, 1))
+        verify_plan(q, db, plan)
+        assert plan.deletions == frozenset({("S", (0, 1))})
+        assert plan.num_side_effects == 1
+
+    def test_rejects_projection(self, tiny_db):
+        with pytest.raises(QueryClassError):
+            sj_view_deletion(parse_query("PROJECT[A](R)"), tiny_db, (1,))
+
+    def test_matches_exact_on_random_sj(self):
+        for seed in range(20):
+            db, query, target = sj_workload(8, seed=seed)
+            if target not in view_rows(query, db):
+                continue
+            fast = sj_view_deletion(query, db, target)
+            slow = exact_view_deletion(query, db, target)
+            verify_plan(query, db, fast)
+            assert fast.num_side_effects == slow.num_side_effects
+
+
+class TestExact:
+    def test_usergroup_example(self, usergroup_db, usergroup_query):
+        plan = exact_view_deletion(usergroup_query, usergroup_db, ("joe", "f1"))
+        verify_plan(usergroup_query, usergroup_db, plan)
+        assert plan.side_effect_free  # deleting joe's two memberships works
+
+    def test_unavoidable_side_effect_detected(self):
+        """A view where deleting the target necessarily removes another."""
+        db = Database(
+            [
+                Relation("R", ["A", "B"], [(1, 2)]),
+                Relation("S", ["B", "C"], [(2, 3)]),
+            ]
+        )
+        q = parse_query(
+            "PROJECT[A](R JOIN S) UNION RENAME[C -> A](PROJECT[C](R JOIN S))"
+        )
+        plan = exact_view_deletion(q, db, (1,))
+        verify_plan(q, db, plan)
+        assert plan.num_side_effects == 1
+        assert not side_effect_free_exists(q, db, (1,))
+
+    def test_optimal_against_brute_force(self):
+        """Exact solver matches exhaustive search over all deletion subsets."""
+        import itertools
+
+        for seed in range(12):
+            db, query = random_instance(seed, max_depth=2, num_relations=2)
+            tuples = db.all_source_tuples()
+            if len(tuples) > 8:
+                continue
+            view = sorted(view_rows(query, db), key=repr)
+            if not view:
+                continue
+            target = view[0]
+            plan = exact_view_deletion(query, db, target)
+            verify_plan(query, db, plan)
+            best = None
+            before = view_rows(query, db)
+            for size in range(len(tuples) + 1):
+                for subset in itertools.combinations(tuples, size):
+                    after = view_rows(query, db.delete(subset))
+                    if target in after:
+                        continue
+                    effects = len(before - after - {target})
+                    if best is None or effects < best:
+                        best = effects
+            assert plan.num_side_effects == best, (query, target)
+
+
+class TestDecision:
+    def test_side_effect_free_exists_positive(self, usergroup_db, usergroup_query):
+        assert side_effect_free_exists(usergroup_query, usergroup_db, ("joe", "f1"))
+
+    def test_consistent_with_exact(self):
+        for seed in range(15):
+            db, query = random_instance(seed, max_depth=2, num_relations=2)
+            view = sorted(view_rows(query, db), key=repr)
+            if not view:
+                continue
+            target = view[0]
+            exists = side_effect_free_exists(query, db, target)
+            plan = exact_view_deletion(query, db, target)
+            assert exists == plan.side_effect_free

@@ -1,0 +1,87 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.algebra import is_sj, is_spu, view_rows
+from repro.algebra.classify import chain_join_order
+from repro.errors import ReproError
+from repro.workloads import (
+    chain_workload,
+    random_database,
+    random_instance,
+    random_query,
+    sj_workload,
+    spu_workload,
+    star_workload,
+    usergroup_workload,
+)
+
+
+class TestRandomGenerators:
+    def test_database_deterministic_per_seed(self):
+        assert random_database(seed=7) == random_database(seed=7)
+
+    def test_database_varies_with_seed(self):
+        assert random_database(seed=1) != random_database(seed=2)
+
+    def test_query_is_well_typed(self):
+        for seed in range(30):
+            db, query = random_instance(seed, max_depth=3)
+            catalog = {name: db[name].schema for name in db}
+            query.output_schema(catalog)  # must not raise
+            view_rows(query, db)  # must evaluate
+
+    def test_operator_restriction_respected(self):
+        for seed in range(20):
+            db, query = random_instance(seed, operators="SPU")
+            assert is_spu(query)
+        for seed in range(20):
+            db, query = random_instance(seed, operators="SJ")
+            assert is_sj(query)
+
+    def test_query_deterministic_per_seed(self):
+        db = random_database(seed=0)
+        catalog = {name: db[name].schema for name in db}
+        assert random_query(5, catalog) == random_query(5, catalog)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ReproError):
+            random_query(0, {})
+
+
+class TestScalingWorkloads:
+    def test_spu_target_present(self):
+        db, query, target = spu_workload(15, seed=2)
+        assert is_spu(query)
+        assert target in view_rows(query, db)
+
+    def test_sj_target_present(self):
+        db, query, target = sj_workload(10, seed=2)
+        assert is_sj(query)
+        assert target in view_rows(query, db)
+
+    def test_chain_is_a_chain(self):
+        db, query, target = chain_workload(4, 6, seed=2)
+        catalog = {name: db[name].schema for name in db}
+        assert chain_join_order(query, catalog) is not None
+        assert target in view_rows(query, db)
+
+    def test_chain_size_respected(self):
+        db, _, _ = chain_workload(3, 7, seed=1)
+        assert all(len(db[name]) == 7 for name in db)
+
+    def test_star_is_not_a_chain(self):
+        db, query, target = star_workload(3, 4, seed=1)
+        catalog = {name: db[name].schema for name in db}
+        assert chain_join_order(query, catalog) is None
+        assert target in view_rows(query, db)
+
+    def test_usergroup_target_present(self):
+        db, query, target = usergroup_workload(8, 4, 4, seed=3)
+        assert target in view_rows(query, db)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            chain_workload(1, 5)
+        with pytest.raises(ReproError):
+            star_workload(1, 5)
