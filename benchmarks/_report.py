@@ -12,7 +12,20 @@ import os
 import time
 from typing import Callable, List, Sequence
 
+import pytest
+
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def smoke(*values: object) -> object:
+    """Mark one parametrize entry as part of the bench-smoke subset.
+
+    Each harness tags its smallest size with this, so
+    ``benchmarks/run_all.py --smoke`` (pytest ``-m bench_smoke``) runs every
+    harness once at minimal cost — a seconds-long perf/correctness smoke
+    instead of the full sweep.
+    """
+    return pytest.param(*values, marks=pytest.mark.bench_smoke)
 
 
 def write_report(name: str, lines: Sequence[str]) -> str:

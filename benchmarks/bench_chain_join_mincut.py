@@ -15,10 +15,10 @@ from repro.deletion import (
 )
 from repro.workloads import chain_workload
 
-from _report import format_table, time_call, write_report
+from _report import format_table, smoke, time_call, write_report
 
 
-@pytest.mark.parametrize("rows", [10, 20, 40, 80])
+@pytest.mark.parametrize("rows", [smoke(10), 20, 40, 80])
 def test_min_cut_scaling(benchmark, rows):
     """Min cut on growing per-relation row counts (k = 4 fixed)."""
     db, query, target = chain_workload(4, rows, seed=5)
@@ -26,7 +26,7 @@ def test_min_cut_scaling(benchmark, rows):
     assert plan.optimal
 
 
-@pytest.mark.parametrize("k", [2, 3, 4, 5])
+@pytest.mark.parametrize("k", [smoke(2), 3, 4, 5])
 def test_min_cut_chain_length_scaling(benchmark, k):
     """Min cut on growing chain length (rows fixed)."""
     db, query, target = chain_workload(k, 12, seed=5)
@@ -34,7 +34,7 @@ def test_min_cut_chain_length_scaling(benchmark, k):
     assert plan.optimal
 
 
-@pytest.mark.parametrize("rows", [6, 9, 12])
+@pytest.mark.parametrize("rows", [smoke(6), 9, 12])
 def test_exact_baseline_scaling(benchmark, rows):
     """The generic exact search on the same chains (the loser)."""
     db, query, target = chain_workload(3, rows, seed=5)

@@ -13,7 +13,7 @@ from repro.deletion.plan import apply_deletions
 from repro.algebra import view_rows
 from repro.reductions import encode_pj_view, figure1, random_monotone_3sat
 
-from _report import write_report
+from _report import smoke, write_report
 
 
 EXPECTED_VIEW = {
@@ -47,7 +47,7 @@ def test_figure1_exact_reproduction(benchmark):
     write_report("figure1_pj_view_reduction", lines)
 
 
-@pytest.mark.parametrize("num_vars,num_clauses", [(5, 3), (8, 6), (12, 10)])
+@pytest.mark.parametrize("num_vars,num_clauses", [smoke(5, 3), (8, 6), (12, 10)])
 def test_encode_scaling(benchmark, num_vars, num_clauses):
     """Encoding is linear in the formula size."""
     instance = random_monotone_3sat(num_vars, num_clauses, seed=1)
@@ -55,7 +55,7 @@ def test_encode_scaling(benchmark, num_vars, num_clauses):
     assert len(red.db["R1"]) >= num_vars
 
 
-@pytest.mark.parametrize("num_vars", [4, 5, 6])
+@pytest.mark.parametrize("num_vars", [smoke(4), 5, 6])
 def test_decision_scaling(benchmark, num_vars):
     """The side-effect-free decision grows with the number of variables —
     the per-variable binary choice is the source of hardness."""

@@ -12,7 +12,7 @@ from repro.deletion import side_effect_free_exists
 from repro.deletion.plan import apply_deletions
 from repro.reductions import encode_ju_view, figure2, random_monotone_3sat
 
-from _report import write_report
+from _report import smoke, write_report
 
 
 EXPECTED_VIEW = {("c1", "F"), ("T", "c2"), ("c3", "F"), ("T", "F")}
@@ -49,7 +49,7 @@ def test_figure2_exact_reproduction(benchmark):
     write_report("figure2_ju_view_reduction", lines)
 
 
-@pytest.mark.parametrize("num_vars,num_clauses", [(5, 3), (8, 6), (12, 10)])
+@pytest.mark.parametrize("num_vars,num_clauses", [smoke(5, 3), (8, 6), (12, 10)])
 def test_encode_scaling(benchmark, num_vars, num_clauses):
     """Encoding is linear: 2(m+n) singleton relations, 3m+n branches."""
     instance = random_monotone_3sat(num_vars, num_clauses, seed=1)
@@ -57,7 +57,7 @@ def test_encode_scaling(benchmark, num_vars, num_clauses):
     assert len(red.db) == 2 * (num_clauses + num_vars)
 
 
-@pytest.mark.parametrize("num_vars", [4, 5, 6])
+@pytest.mark.parametrize("num_vars", [smoke(4), 5, 6])
 def test_decision_scaling(benchmark, num_vars):
     """Side-effect-free decision cost on growing JU encodings."""
     instance = random_monotone_3sat(num_vars, num_vars, seed=2)

@@ -14,7 +14,7 @@ from repro.provenance.why import why_provenance
 from repro.reductions import encode_pj_source, figure3, random_hitting_set
 from repro.solvers.setcover import exact_min_hitting_set
 
-from _report import format_table, write_report
+from _report import format_table, smoke, write_report
 
 
 def test_figure3_reproduction(benchmark):
@@ -42,7 +42,7 @@ def test_figure3_reproduction(benchmark):
     assert plan.num_deletions == len(optimum)
 
 
-@pytest.mark.parametrize("n", [3, 4, 5])
+@pytest.mark.parametrize("n", [smoke(3), 4, 5])
 def test_witness_blowup(benchmark, n):
     """The number of minimal witnesses grows like Σ n^(n-|Si|)."""
     sets, _ = random_hitting_set(n, n, 2, seed=n)

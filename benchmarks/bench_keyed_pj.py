@@ -19,7 +19,7 @@ from repro.deletion import (
     key_based_view_deletion,
 )
 
-from _report import format_table, time_call, write_report
+from _report import format_table, smoke, time_call, write_report
 
 FD = FunctionalDependency
 
@@ -45,7 +45,7 @@ def fk_instance(num_emps: int, num_depts: int, seed: int = 0):
     )
 
 
-@pytest.mark.parametrize("num_emps", [50, 100, 200])
+@pytest.mark.parametrize("num_emps", [smoke(50), 100, 200])
 def test_keyed_view_deletion_scaling(benchmark, num_emps):
     """Key-based deletion cost grows polynomially with the data."""
     db = fk_instance(num_emps, max(2, num_emps // 10), seed=1)
@@ -54,7 +54,7 @@ def test_keyed_view_deletion_scaling(benchmark, num_emps):
     assert plan.optimal
 
 
-@pytest.mark.parametrize("num_emps", [50, 100, 200])
+@pytest.mark.parametrize("num_emps", [smoke(50), 100, 200])
 def test_exact_baseline_scaling(benchmark, num_emps):
     """The generic exact solver on the same (easy) instances."""
     db = fk_instance(num_emps, max(2, num_emps // 10), seed=1)

@@ -11,10 +11,10 @@ from repro.algebra import is_normal_form, normalize
 from repro.provenance.where import where_provenance
 from repro.workloads import random_instance
 
-from _report import format_table, write_report
+from _report import format_table, smoke, write_report
 
 
-@pytest.mark.parametrize("depth", [2, 3, 4])
+@pytest.mark.parametrize("depth", [smoke(2), 3, 4])
 def test_normalization_scaling(benchmark, depth):
     """Normalization cost vs query depth."""
     db, query = random_instance(17, max_depth=depth)

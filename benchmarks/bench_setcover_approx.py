@@ -22,10 +22,10 @@ from repro.solvers.setcover import (
     harmonic,
 )
 
-from _report import format_table, write_report
+from _report import format_table, smoke, write_report
 
 
-@pytest.mark.parametrize("levels", [3, 5, 7])
+@pytest.mark.parametrize("levels", [smoke(3), 5, 7])
 def test_greedy_on_gap_family(benchmark, levels):
     """Greedy hitting set on the worst-case family."""
     sets, _ = greedy_gap_instance(levels)
@@ -33,7 +33,7 @@ def test_greedy_on_gap_family(benchmark, levels):
     assert len(result) == levels
 
 
-@pytest.mark.parametrize("num_sets", [20, 40, 80])
+@pytest.mark.parametrize("num_sets", [smoke(20), 40, 80])
 def test_exact_on_random_instances(benchmark, num_sets):
     """Exact hitting set on random instances (branch and bound)."""
     sets, _ = random_coverable(12, num_sets, 3, 3, seed=num_sets)

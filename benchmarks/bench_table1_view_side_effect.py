@@ -29,14 +29,14 @@ from repro.reductions import encode_ju_view, encode_pj_view, random_monotone_3sa
 from repro.reductions.threesat import unsatisfiable_monotone_3sat, MonotoneThreeSAT
 from repro.workloads import sj_workload, spu_workload
 
-from _report import format_table, time_call, write_report
+from _report import format_table, smoke, time_call, write_report
 
 
 # ----------------------------------------------------------------------
 # Timing benchmarks (pytest-benchmark)
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("rows", [50, 100, 200])
+@pytest.mark.parametrize("rows", [smoke(50), 100, 200])
 def test_spu_view_deletion_scaling(benchmark, rows):
     """P row: SPU deletion cost grows polynomially with |S|."""
     db, query, target = spu_workload(rows, seed=1)
@@ -44,7 +44,7 @@ def test_spu_view_deletion_scaling(benchmark, rows):
     assert plan.side_effect_free
 
 
-@pytest.mark.parametrize("rows", [25, 50, 100])
+@pytest.mark.parametrize("rows", [smoke(25), 50, 100])
 def test_sj_view_deletion_scaling(benchmark, rows):
     """P row: SJ deletion cost grows polynomially with |S|."""
     db, query, target = sj_workload(rows, seed=1)
@@ -52,7 +52,7 @@ def test_sj_view_deletion_scaling(benchmark, rows):
     assert plan.num_deletions == 1
 
 
-@pytest.mark.parametrize("num_vars,num_clauses", [(4, 4), (5, 6), (6, 8)])
+@pytest.mark.parametrize("num_vars,num_clauses", [smoke(4, 4), (5, 6), (6, 8)])
 def test_pj_side_effect_free_decision_scaling(benchmark, num_vars, num_clauses):
     """NP-hard row: the exact decision on encoded PJ instances."""
     instance = random_monotone_3sat(num_vars, num_clauses, seed=7)
@@ -63,7 +63,7 @@ def test_pj_side_effect_free_decision_scaling(benchmark, num_vars, num_clauses):
     assert result == (instance.solve() is not None)
 
 
-@pytest.mark.parametrize("num_vars,num_clauses", [(4, 4), (5, 6), (6, 8)])
+@pytest.mark.parametrize("num_vars,num_clauses", [smoke(4, 4), (5, 6), (6, 8)])
 def test_ju_side_effect_free_decision_scaling(benchmark, num_vars, num_clauses):
     """NP-hard row: the exact decision on encoded JU instances."""
     instance = random_monotone_3sat(num_vars, num_clauses, seed=7)

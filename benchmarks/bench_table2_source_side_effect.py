@@ -34,14 +34,14 @@ from repro.reductions import (
 from repro.solvers.setcover import exact_min_hitting_set
 from repro.workloads import chain_workload, sj_workload, spu_workload, star_workload
 
-from _report import format_table, time_call, write_report
+from _report import format_table, smoke, time_call, write_report
 
 
 # ----------------------------------------------------------------------
 # Timing benchmarks
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("rows", [50, 100, 200])
+@pytest.mark.parametrize("rows", [smoke(50), 100, 200])
 def test_spu_source_deletion_scaling(benchmark, rows):
     """P row: the unique SPU solution, polynomial in |S|."""
     db, query, target = spu_workload(rows, seed=2)
@@ -49,7 +49,7 @@ def test_spu_source_deletion_scaling(benchmark, rows):
     assert plan.optimal
 
 
-@pytest.mark.parametrize("rows", [25, 50, 100])
+@pytest.mark.parametrize("rows", [smoke(25), 50, 100])
 def test_sj_source_deletion_scaling(benchmark, rows):
     """P row: SJ single-component deletion, polynomial in |S|."""
     db, query, target = sj_workload(rows, seed=2)
@@ -57,7 +57,7 @@ def test_sj_source_deletion_scaling(benchmark, rows):
     assert plan.num_deletions == 1
 
 
-@pytest.mark.parametrize("n", [3, 4, 5])
+@pytest.mark.parametrize("n", [smoke(3), 4, 5])
 def test_pj_source_exact_on_encoded_hitting_set(benchmark, n):
     """NP-hard row: exact minimum deletions on the Theorem 2.5 encoding.
 
@@ -69,7 +69,7 @@ def test_pj_source_exact_on_encoded_hitting_set(benchmark, n):
     assert plan.num_deletions == len(exact_min_hitting_set(list(sets)))
 
 
-@pytest.mark.parametrize("num_sets", [4, 8, 16])
+@pytest.mark.parametrize("num_sets", [smoke(4), 8, 16])
 def test_ju_source_exact_on_encoded_hitting_set(benchmark, num_sets):
     """NP-hard row: exact minimum deletions on the Theorem 2.7 encoding."""
     sets, n = random_hitting_set(8, num_sets, 3, seed=num_sets)
@@ -78,7 +78,7 @@ def test_ju_source_exact_on_encoded_hitting_set(benchmark, num_sets):
     assert plan.num_deletions == len(exact_min_hitting_set(list(red.sets)))
 
 
-@pytest.mark.parametrize("rows", [10, 20, 40])
+@pytest.mark.parametrize("rows", [smoke(10), 20, 40])
 def test_chain_join_min_cut_scaling(benchmark, rows):
     """Theorem 2.6: chain joins stay polynomial via min cut."""
     db, query, target = chain_workload(4, rows, seed=3)
@@ -86,7 +86,7 @@ def test_chain_join_min_cut_scaling(benchmark, rows):
     assert plan.optimal
 
 
-@pytest.mark.parametrize("rows", [4, 5, 6])
+@pytest.mark.parametrize("rows", [smoke(4), 5, 6])
 def test_star_join_exact_scaling(benchmark, rows):
     """Non-chain PJ: the exact solver's cost on star joins."""
     db, query, target = star_workload(3, rows, seed=3)

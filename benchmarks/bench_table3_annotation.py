@@ -27,7 +27,7 @@ from repro.provenance.locations import Location
 from repro.reductions import encode_pj_annotation, random_3sat
 from repro.workloads import spu_workload, usergroup_workload
 
-from _report import format_table, time_call, write_report
+from _report import format_table, smoke, time_call, write_report
 
 
 def _sju_instance(num_users, num_groups, num_files, seed=0):
@@ -45,7 +45,7 @@ def _sju_instance(num_users, num_groups, num_files, seed=0):
 # Timing benchmarks
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("rows", [50, 100, 200])
+@pytest.mark.parametrize("rows", [smoke(50), 100, 200])
 def test_spu_placement_scaling(benchmark, rows):
     """P row: SPU placement, polynomial in |S|."""
     db, query, target_row = spu_workload(rows, seed=4)
@@ -54,7 +54,7 @@ def test_spu_placement_scaling(benchmark, rows):
     assert placement.side_effect_free
 
 
-@pytest.mark.parametrize("users", [10, 20, 40])
+@pytest.mark.parametrize("users", [smoke(10), 20, 40])
 def test_sju_placement_scaling(benchmark, users):
     """P row: SJU placement via component counting."""
     db, query, target = _sju_instance(users, users // 2, users // 2, seed=4)
@@ -62,7 +62,7 @@ def test_sju_placement_scaling(benchmark, users):
     assert placement.optimal
 
 
-@pytest.mark.parametrize("num_clauses", [2, 3, 4])
+@pytest.mark.parametrize("num_clauses", [smoke(2), 3, 4])
 def test_pj_annotation_decision_scaling(benchmark, num_clauses):
     """NP-hard row: the exhaustive engine on Theorem 3.2 encodings.
 

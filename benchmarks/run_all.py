@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Run the benchmark harnesses.
+
+Two modes:
+
+* ``python benchmarks/run_all.py`` — the full sweep: every harness at every
+  size, with pytest-benchmark timing enabled.  Slow; regenerates all the
+  paper tables/figures plus the kernel comparison.
+* ``python benchmarks/run_all.py --smoke`` — the ``bench_smoke`` subset:
+  each harness once at its smallest size, timing collection disabled.
+  Finishes in seconds, so kernel regressions (correctness or a gross perf
+  cliff tripping an assertion) surface without paying full benchmark cost.
+
+Extra arguments are forwarded to pytest, e.g.::
+
+    python benchmarks/run_all.py --smoke -k provenance
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the bench_smoke subset (smallest sizes, no timing)",
+    )
+    args, passthrough = parser.parse_known_args(argv)
+
+    cmd = [sys.executable, "-m", "pytest", BENCH_DIR, "-q"]
+    if args.smoke:
+        cmd += ["-m", "bench_smoke", "--benchmark-disable"]
+    cmd += passthrough
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,8 +57,9 @@ from repro.algebra.classify import (
 from repro.algebra.evaluate import evaluate
 from repro.algebra.relation import Database, Row
 from repro.algebra.schema import Schema
+from repro.provenance.cache import cached_where_provenance
 from repro.provenance.locations import Location
-from repro.provenance.where import WhereProvenance, where_provenance
+from repro.provenance.where import WhereProvenance
 
 __all__ = [
     "AnnotationPlacement",
@@ -134,7 +135,12 @@ def _leaf_attribute_maps(
     return node.name, base_to_leaf, leaf_to_base
 
 
-def spu_placement(query: Query, db: Database, target: Location) -> AnnotationPlacement:
+def spu_placement(
+    query: Query,
+    db: Database,
+    target: Location,
+    prov: Optional[WhereProvenance] = None,
+) -> AnnotationPlacement:
     """Theorem 3.3: side-effect-free placement for SPU queries.
 
     Scans each SP branch for a source tuple whose selection and projection
@@ -147,11 +153,14 @@ def spu_placement(query: Query, db: Database, target: Location) -> AnnotationPla
         raise QueryClassError(
             f"spu_placement requires an SPU query, got class {query.operators()!r}"
         )
-    return _best_placement(query, db, target, "spu-branch-scan")
+    return _best_placement(query, db, target, "spu-branch-scan", prov)
 
 
 def exhaustive_placement(
-    query: Query, db: Database, target: Location
+    query: Query,
+    db: Database,
+    target: Location,
+    prov: Optional[WhereProvenance] = None,
 ) -> AnnotationPlacement:
     """Optimal placement for any SPJRU query via full where-provenance.
 
@@ -159,13 +168,18 @@ def exhaustive_placement(
     minimizes the forward image size.  Worst-case exponential in query size
     (Theorem 3.2 says this cannot be avoided for PJ queries) but exact.
     """
-    return _best_placement(query, db, target, "exhaustive-where-provenance")
+    return _best_placement(query, db, target, "exhaustive-where-provenance", prov)
 
 
 def _best_placement(
-    query: Query, db: Database, target: Location, algorithm: str
+    query: Query,
+    db: Database,
+    target: Location,
+    algorithm: str,
+    prov: Optional[WhereProvenance] = None,
 ) -> AnnotationPlacement:
-    prov = where_provenance(query, db, view_name=target.relation)
+    if prov is None:
+        prov = cached_where_provenance(query, db, view_name=target.relation)
     candidates = prov.backward(target.row, target.attribute)
     if not candidates:
         raise InfeasibleError(
@@ -292,6 +306,7 @@ def place_annotation(
     db: Database,
     target: Location,
     allow_exponential: bool = True,
+    prov: Optional[WhereProvenance] = None,
 ) -> AnnotationPlacement:
     """Dispatcher realizing the paper's third dichotomy table.
 
@@ -301,7 +316,7 @@ def place_annotation(
     ``allow_exponential=False``.
     """
     if is_spu(query):
-        return spu_placement(query, db, target)
+        return spu_placement(query, db, target, prov=prov)
     if is_sju(query):
         try:
             return sju_placement(query, db, target)
@@ -313,11 +328,14 @@ def place_annotation(
             "problem is NP-hard for this class (Theorem 3.2) — pass "
             "allow_exponential=True to run the exhaustive search"
         )
-    return exhaustive_placement(query, db, target)
+    return exhaustive_placement(query, db, target, prov=prov)
 
 
 def side_effect_free_annotation_exists(
-    query: Query, db: Database, target: Location
+    query: Query,
+    db: Database,
+    target: Location,
+    prov: Optional[WhereProvenance] = None,
 ) -> bool:
     """Decide whether some source annotation reaches only ``target``.
 
@@ -325,22 +343,32 @@ def side_effect_free_annotation_exists(
     (Theorem 3.2).
     """
     try:
-        placement = exhaustive_placement(query, db, target)
+        placement = exhaustive_placement(query, db, target, prov=prov)
     except InfeasibleError:
         return False
     return placement.side_effect_free
 
 
 def verify_placement(
-    query: Query, db: Database, placement: AnnotationPlacement
+    query: Query,
+    db: Database,
+    placement: AnnotationPlacement,
+    prov: Optional[WhereProvenance] = None,
 ) -> None:
     """Check a placement against the ground-truth propagation relation.
 
     Recomputes the forward image of the chosen source location with the
     where-provenance engine and compares; raises :class:`ReproError` on any
     disagreement or if the target is not reached.
+
+    ``prov`` shares a where-provenance computation with the placement that
+    produced the plan; the shared cache supplies it by default, so the
+    verify step reuses the propagation relation instead of rebuilding it.
     """
-    prov = where_provenance(query, db, view_name=placement.target.relation)
+    if prov is None:
+        prov = cached_where_provenance(
+            query, db, view_name=placement.target.relation
+        )
     actual = prov.forward(placement.source)
     if actual != placement.propagated:
         raise ReproError(

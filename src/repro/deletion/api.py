@@ -13,14 +13,22 @@ query's class and route to the algorithm the paper's tables promise:
 
 Each returned plan records the algorithm used, so callers can see which side
 of the dichotomy their query landed on.
+
+Both dispatchers obtain the why-provenance once — through the shared
+:mod:`repro.provenance.cache` — and hand the same object to whichever solver
+they route to, so dispatch never costs an extra annotated evaluation.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.errors import ExponentialGuardError, QueryClassError
 from repro.algebra.ast import Query
 from repro.algebra.classify import chain_join_order, is_sj, is_spu
 from repro.algebra.relation import Database, Row
+from repro.provenance.cache import cached_why_provenance
+from repro.provenance.why import WhyProvenance
 from repro.deletion.plan import DeletionPlan
 from repro.deletion.source_side_effect import (
     chain_join_source_deletion,
@@ -44,6 +52,7 @@ def delete_view_tuple(
     target: Row,
     allow_exponential: bool = True,
     node_budget: int = 200_000,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
     """Delete ``target`` from the view minimizing view side effects.
 
@@ -54,16 +63,25 @@ def delete_view_tuple(
     (:class:`QueryClassError`).
     """
     if is_spu(query):
-        return spu_view_deletion(query, db, target)
+        if prov is None:
+            prov = cached_why_provenance(query, db)
+        return spu_view_deletion(query, db, target, prov=prov)
     if is_sj(query):
-        return sj_view_deletion(query, db, target)
+        if prov is None:
+            prov = cached_why_provenance(query, db)
+        return sj_view_deletion(query, db, target, prov=prov)
     if not allow_exponential:
+        # Refuse before computing provenance: on the hard fragments the
+        # annotated evaluation is itself the worst-case-exponential cost
+        # this flag exists to avoid.
         raise QueryClassError(
             "query involves projection+join or join+union; the view "
             "side-effect problem is NP-hard for this class (Theorems 2.1, "
             "2.2) — pass allow_exponential=True to run the exact search"
         )
-    return exact_view_deletion(query, db, target, node_budget=node_budget)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
+    return exact_view_deletion(query, db, target, node_budget=node_budget, prov=prov)
 
 
 def minimum_source_deletion(
@@ -72,6 +90,7 @@ def minimum_source_deletion(
     target: Row,
     allow_exponential: bool = True,
     node_budget: int = 2_000_000,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
     """Delete ``target`` from the view with the fewest source deletions.
 
@@ -82,18 +101,26 @@ def minimum_source_deletion(
     non-optimal).
     """
     if is_spu(query):
-        return spu_source_deletion(query, db, target)
+        if prov is None:
+            prov = cached_why_provenance(query, db)
+        return spu_source_deletion(query, db, target, prov=prov)
     if is_sj(query):
-        return sj_source_deletion(query, db, target)
+        if prov is None:
+            prov = cached_why_provenance(query, db)
+        return sj_source_deletion(query, db, target, prov=prov)
     catalog = {name: db[name].schema for name in db}
     try:
         if chain_join_order(query, catalog) is not None:
             return chain_join_source_deletion(query, db, target)
     except QueryClassError:
         pass  # e.g. a selection inside the branch: fall through to search
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     if not allow_exponential:
-        return greedy_source_deletion(query, db, target)
+        return greedy_source_deletion(query, db, target, prov=prov)
     try:
-        return exact_source_deletion(query, db, target, node_budget=node_budget)
+        return exact_source_deletion(
+            query, db, target, node_budget=node_budget, prov=prov
+        )
     except ExponentialGuardError:
-        return greedy_source_deletion(query, db, target)
+        return greedy_source_deletion(query, db, target, prov=prov)

@@ -26,7 +26,8 @@ from typing import Iterator, List, Optional
 from repro.algebra.ast import Query
 from repro.algebra.relation import Database, Row
 from repro.deletion.plan import DeletionPlan
-from repro.provenance.why import why_provenance
+from repro.provenance.cache import cached_why_provenance
+from repro.provenance.why import WhyProvenance
 from repro.solvers.setcover import enumerate_minimal_hitting_sets
 
 __all__ = ["enumerate_deletion_plans", "count_minimal_translations"]
@@ -39,6 +40,7 @@ def enumerate_deletion_plans(
     limit: Optional[int] = None,
     prefer_clean: bool = True,
     node_budget: int = 200_000,
+    prov: Optional[WhyProvenance] = None,
 ) -> List[DeletionPlan]:
     """Every inclusion-minimal deletion translation for ``target``.
 
@@ -49,11 +51,16 @@ def enumerate_deletion_plans(
     side effects, repr).  ``limit`` truncates *after* sorting, so the best
     translations are always retained.
 
+    ``prov`` lets callers share one provenance computation across several
+    calls; by default the shared cache supplies it, so back-to-back calls
+    on the same ``(query, db)`` pair pay for the annotated evaluation once.
+
     Raises :class:`~repro.errors.InfeasibleError` when the target is not in
     the view and :class:`~repro.errors.ExponentialGuardError` when the
     enumeration exceeds ``node_budget``.
     """
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     target = tuple(target)
     monomials = list(prov.witnesses(target))
     plans: List[DeletionPlan] = []
@@ -89,14 +96,18 @@ def count_minimal_translations(
     db: Database,
     target: Row,
     node_budget: int = 200_000,
+    prov: Optional[WhyProvenance] = None,
 ) -> int:
     """The number of inclusion-minimal deletion translations for ``target``.
 
     A direct measure of the ambiguity the paper's related-work section
     describes; 1 means the translation is unambiguous (e.g. SPU queries,
-    Theorem 2.8's unique solution).
+    Theorem 2.8's unique solution).  ``prov`` shares a provenance
+    computation with other calls, as in :func:`enumerate_deletion_plans`;
+    the shared cache supplies it by default.
     """
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     monomials = list(prov.witnesses(tuple(target)))
     return sum(
         1

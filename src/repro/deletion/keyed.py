@@ -40,7 +40,8 @@ from repro.algebra.dependencies import FunctionalDependency, closure, satisfies
 from repro.algebra.relation import Database, Row
 from repro.algebra.schema import Schema
 from repro.deletion.plan import DeletionPlan
-from repro.provenance.why import why_provenance
+from repro.provenance.cache import cached_why_provenance
+from repro.provenance.why import WhyProvenance
 
 __all__ = [
     "is_key_based",
@@ -144,6 +145,7 @@ def _unique_witness_plan(
     fds: FDMap,
     objective: str,
     algorithm: str,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
     catalog = {name: db[name].schema for name in db}
     if not is_key_based(query, catalog, fds):
@@ -153,7 +155,8 @@ def _unique_witness_plan(
         )
     _check_data(db, fds, sorted(query.relation_names()))
 
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     witnesses = prov.witnesses(target)
     if len(witnesses) != 1:
         raise ReproError(
@@ -182,7 +185,11 @@ def _unique_witness_plan(
 
 
 def key_based_view_deletion(
-    query: Query, db: Database, target: Row, fds: FDMap
+    query: Query,
+    db: Database,
+    target: Row,
+    fds: FDMap,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
     """Polynomial minimum-side-effect deletion for key-based PJ queries.
 
@@ -191,12 +198,16 @@ def key_based_view_deletion(
     no other view tuple's witness.
     """
     return _unique_witness_plan(
-        query, db, target, fds, "view", "keyed-pj-component-scan"
+        query, db, target, fds, "view", "keyed-pj-component-scan", prov
     )
 
 
 def key_based_source_deletion(
-    query: Query, db: Database, target: Row, fds: FDMap
+    query: Query,
+    db: Database,
+    target: Row,
+    fds: FDMap,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
     """Polynomial minimum source deletion for key-based PJ queries.
 
@@ -204,5 +215,5 @@ def key_based_source_deletion(
     argument); the plan deletes exactly one tuple.
     """
     return _unique_witness_plan(
-        query, db, target, fds, "source", "keyed-pj-single-component"
+        query, db, target, fds, "source", "keyed-pj-single-component", prov
     )

@@ -37,15 +37,16 @@ that is the defining difference from Section 2.1.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable
+from typing import FrozenSet, Iterable, Optional
 
 from repro.errors import QueryClassError
 from repro.algebra.ast import Query
 from repro.algebra.classify import is_sj, is_spu
 from repro.algebra.evaluate import view_rows
 from repro.algebra.relation import Database, Row
+from repro.provenance.cache import cached_why_provenance
 from repro.provenance.locations import SourceTuple
-from repro.provenance.why import why_provenance
+from repro.provenance.why import WhyProvenance
 from repro.deletion.chain_join import chain_join_source_deletion
 from repro.deletion.plan import DeletionPlan, apply_deletions
 from repro.solvers.setcover import exact_min_hitting_set, greedy_hitting_set
@@ -85,7 +86,12 @@ def _finish(
     )
 
 
-def spu_source_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
+def spu_source_deletion(
+    query: Query,
+    db: Database,
+    target: Row,
+    prov: Optional[WhyProvenance] = None,
+) -> DeletionPlan:
     """Theorem 2.8: the unique minimum source deletion for SPU queries.
 
     Every minimal witness of an SPU view tuple is a single source tuple, and
@@ -97,12 +103,18 @@ def spu_source_deletion(query: Query, db: Database, target: Row) -> DeletionPlan
             f"spu_source_deletion requires an SPU query, got class "
             f"{query.operators()!r}"
         )
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     deletions = prov.witness_universe(target)
     return _finish(query, db, target, deletions, "spu-unique", optimal=True)
 
 
-def sj_source_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
+def sj_source_deletion(
+    query: Query,
+    db: Database,
+    target: Row,
+    prov: Optional[WhyProvenance] = None,
+) -> DeletionPlan:
     """Theorem 2.9: minimum source deletion for SJ queries.
 
     The target has exactly one witness; deleting any single component
@@ -114,7 +126,8 @@ def sj_source_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
             f"sj_source_deletion requires an SJ query, got class "
             f"{query.operators()!r}"
         )
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     witnesses = prov.witnesses(target)
     if len(witnesses) != 1:
         raise QueryClassError(
@@ -128,7 +141,12 @@ def sj_source_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
     )
 
 
-def greedy_source_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
+def greedy_source_deletion(
+    query: Query,
+    db: Database,
+    target: Row,
+    prov: Optional[WhyProvenance] = None,
+) -> DeletionPlan:
     """Greedy hitting set over the target's witnesses.
 
     The classical H_m-approximation (m = number of minimal witnesses); by
@@ -136,7 +154,8 @@ def greedy_source_deletion(query: Query, db: Database, target: Row) -> DeletionP
     algorithm does asymptotically better on the hard fragments unless
     NP ⊆ DTIME(n^{log log n}).  The returned plan is *not* marked optimal.
     """
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     monomials = list(prov.witnesses(target))
     deletions = greedy_hitting_set(monomials)
     return _finish(
@@ -149,13 +168,15 @@ def exact_source_deletion(
     db: Database,
     target: Row,
     node_budget: int = DEFAULT_NODE_BUDGET,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
     """Optimal minimum source deletion by branch and bound.
 
     Exponential in the worst case (set-cover-hard for PJ/JU queries), so
     guarded by ``node_budget``.
     """
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     monomials = list(prov.witnesses(target))
     deletions = exact_min_hitting_set(monomials, node_budget=node_budget)
     return _finish(

@@ -42,8 +42,9 @@ from repro.errors import QueryClassError
 from repro.algebra.ast import Query
 from repro.algebra.classify import is_sj, is_spu
 from repro.algebra.relation import Database, Row
+from repro.provenance.cache import cached_why_provenance
 from repro.provenance.locations import SourceTuple
-from repro.provenance.why import WhyProvenance, why_provenance
+from repro.provenance.why import WhyProvenance
 from repro.deletion.plan import DeletionPlan
 from repro.solvers.setcover import enumerate_minimal_hitting_sets
 
@@ -75,7 +76,12 @@ def _plan(
     )
 
 
-def spu_view_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
+def spu_view_deletion(
+    query: Query,
+    db: Database,
+    target: Row,
+    prov: Optional[WhyProvenance] = None,
+) -> DeletionPlan:
     """Theorem 2.3: the (unique) minimal deletion for an SPU query.
 
     Without joins every minimal witness is a single source tuple, and all of
@@ -92,12 +98,18 @@ def spu_view_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
             f"spu_view_deletion requires an SPU query, got class "
             f"{query.operators()!r}"
         )
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     deletions = prov.witness_universe(target)
     return _plan(prov, target, deletions, "spu-unique", optimal=True)
 
 
-def sj_view_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
+def sj_view_deletion(
+    query: Query,
+    db: Database,
+    target: Row,
+    prov: Optional[WhyProvenance] = None,
+) -> DeletionPlan:
     """Theorem 2.4: minimum side-effect deletion for an SJ query.
 
     The target has a single witness; for each of its components, the side
@@ -109,7 +121,8 @@ def sj_view_deletion(query: Query, db: Database, target: Row) -> DeletionPlan:
             f"sj_view_deletion requires an SJ query, got class "
             f"{query.operators()!r}"
         )
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     witnesses = prov.witnesses(target)
     if len(witnesses) != 1:
         raise QueryClassError(
@@ -135,6 +148,7 @@ def exact_view_deletion(
     db: Database,
     target: Row,
     node_budget: int = DEFAULT_NODE_BUDGET,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
     """Optimal view side-effect deletion by minimal-hitting-set search.
 
@@ -147,20 +161,21 @@ def exact_view_deletion(
     side-effect-free decision is NP-hard for PJ queries — and therefore
     guarded by ``node_budget`` (:class:`ExponentialGuardError`).
     """
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     monomials = list(prov.witnesses(target))
-    best: Optional[FrozenSet[SourceTuple]] = None
-    best_effects: Optional[FrozenSet[Row]] = None
-    for candidate in enumerate_minimal_hitting_sets(monomials, node_budget=node_budget):
-        effects = prov.side_effects(target, candidate)
-        if best_effects is None or (len(effects), len(candidate)) < (
-            len(best_effects),
-            len(best),  # type: ignore[arg-type]
-        ):
-            best, best_effects = candidate, effects
-            if not effects:
-                break
-    assert best is not None and best_effects is not None
+    candidates = enumerate_minimal_hitting_sets(monomials, node_budget=node_budget)
+    best = next(candidates)  # a hittable family yields at least one set
+    best_effects = prov.side_effects(target, best)
+    if best_effects:
+        best_key = (len(best_effects), len(best))
+        for candidate in candidates:
+            effects = prov.side_effects(target, candidate)
+            key = (len(effects), len(candidate))
+            if key < best_key:
+                best, best_effects, best_key = candidate, effects, key
+                if not effects:
+                    break
     return DeletionPlan(
         target=tuple(target),
         deletions=best,
@@ -176,6 +191,7 @@ def side_effect_free_exists(
     db: Database,
     target: Row,
     node_budget: int = DEFAULT_NODE_BUDGET,
+    prov: Optional[WhyProvenance] = None,
 ) -> bool:
     """Decide whether a side-effect-free deletion of ``target`` exists.
 
@@ -185,7 +201,8 @@ def side_effect_free_exists(
     The generic implementation searches minimal hitting sets; for SPU/SJ
     queries callers should prefer the dedicated polynomial algorithms.
     """
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     monomials = list(prov.witnesses(target))
     for candidate in enumerate_minimal_hitting_sets(monomials, node_budget=node_budget):
         if not prov.side_effects(target, candidate):

@@ -9,6 +9,12 @@ provenance:
   — the copy paths annotations travel (:mod:`repro.provenance.where`);
 * the Cui–Widom **lineage** baseline the paper compares against is in
   :mod:`repro.provenance.lineage`.
+
+The why-provenance engine runs on the **bitset kernel** of
+:mod:`repro.provenance.bitset` — witnesses as integer bitmasks over
+interned source tuples (:mod:`repro.provenance.interning`).  Both the why-
+and where-provenance engines share one memoized computation per
+``(query, db)`` pair through :mod:`repro.provenance.cache`.
 """
 
 from repro.provenance.locations import (
@@ -16,6 +22,18 @@ from repro.provenance.locations import (
     SourceTuple,
     locations_of_relation,
     validate_location,
+)
+from repro.provenance.interning import SourceIndex, iter_bits
+from repro.provenance.bitset import (
+    BitsetProvenance,
+    bitset_why_provenance,
+    minimize_masks,
+)
+from repro.provenance.cache import (
+    ProvenanceCache,
+    cached_where_provenance,
+    cached_why_provenance,
+    provenance_cache,
 )
 from repro.provenance.why import (
     WhyProvenance,
@@ -45,6 +63,15 @@ __all__ = [
     "SourceTuple",
     "locations_of_relation",
     "validate_location",
+    "SourceIndex",
+    "iter_bits",
+    "BitsetProvenance",
+    "bitset_why_provenance",
+    "minimize_masks",
+    "ProvenanceCache",
+    "provenance_cache",
+    "cached_why_provenance",
+    "cached_where_provenance",
     "WhyProvenance",
     "why_provenance",
     "witnesses_of",

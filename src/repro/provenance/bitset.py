@@ -1,0 +1,381 @@
+"""The bitset provenance kernel: minimal witnesses as integer bitmasks.
+
+This is the engine under :func:`repro.provenance.why.why_provenance`.  The
+semantics are exactly those of the witness DNF described there; only the
+representation changes:
+
+* a *monomial* (a set of source tuples) is one Python ``int`` whose set bits
+  index source tuples through a :class:`~repro.provenance.interning.SourceIndex`;
+* a tuple's *witness set* is a tuple of masks, kept inclusion-minimal;
+* absorption ``a ⊆ b`` is ``a & b == a`` — one machine-word-per-limb AND
+  instead of a hashed frozenset comparison;
+* the join product of two monomials is ``lm | rm`` on ints;
+* survival of a row under a deletion mask ``d`` is ``any(m & d == 0)``;
+* side effects use an inverted index from source bit to the view rows whose
+  witness universe contains it, so candidate evaluation only touches rows
+  the deletion can actually reach instead of scanning the whole view.
+
+Decoding back to the public ``frozenset``-of-``frozenset`` representation
+happens only at the API boundary (:meth:`BitsetProvenance.decode_witnesses`),
+so every intermediate step of the annotated evaluation runs on ints.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import EvaluationError, InfeasibleError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.evaluate import DEFAULT_VIEW_NAME
+from repro.algebra.relation import Database, Relation, Row
+from repro.algebra.schema import Schema
+from repro.provenance.interning import SourceIndex, iter_bits
+from repro.provenance.locations import SourceTuple
+
+__all__ = [
+    "Mask",
+    "MaskWitnesses",
+    "minimize_masks",
+    "BitsetProvenance",
+    "bitset_why_provenance",
+]
+
+#: A monomial as an integer bitmask over interned source-tuple ids.
+Mask = int
+
+#: A tuple's witness basis: its minimal monomials, as masks.
+MaskWitnesses = Tuple[int, ...]
+
+
+def minimize_masks(masks: "Set[int] | Iterable[int]") -> MaskWitnesses:
+    """Remove masks that strictly contain another (absorption), deduplicated.
+
+    ``a`` absorbs ``b`` when ``a & b == a`` (every bit of ``a`` is in ``b``).
+    Scanning in popcount order means a kept mask can never be absorbed by a
+    later one — a strict subset always has a strictly smaller popcount — so
+    one pass suffices.  For large families the kept masks are indexed by
+    their lowest set bit: any absorber of ``m`` has its lowest bit inside
+    ``m``, so only the buckets of ``m``'s bits are probed instead of every
+    kept mask.
+    """
+    if not isinstance(masks, (set, frozenset)):
+        masks = set(masks)
+    if len(masks) <= 1:
+        return tuple(masks)
+    ordered = sorted(masks, key=int.bit_count)
+    kept: List[int] = []
+    if len(ordered) <= 16:
+        for mask in ordered:
+            for existing in kept:
+                if existing & mask == existing:
+                    break
+            else:
+                kept.append(mask)
+        return tuple(kept)
+
+    by_low_bit: Dict[int, List[int]] = {}
+    for mask in ordered:
+        absorbed = False
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            bucket = by_low_bit.get(low)
+            if bucket is not None:
+                for existing in bucket:
+                    if existing & mask == existing:
+                        absorbed = True
+                        break
+                if absorbed:
+                    break
+            remaining ^= low
+        if not absorbed:
+            kept.append(mask)
+            by_low_bit.setdefault(mask & -mask, []).append(mask)
+    return tuple(kept)
+
+
+class BitsetProvenance:
+    """Why-provenance of a view with witnesses held as bitmasks.
+
+    Produced by :func:`bitset_why_provenance`.  This is the object the
+    deletion solvers actually compute with; the ``frozenset`` view of the
+    same data is available through :meth:`decode_witnesses` and the
+    :class:`~repro.provenance.why.WhyProvenance` wrapper.
+    """
+
+    __slots__ = ("_schema", "_view_name", "_index", "_witnesses", "_touched")
+
+    def __init__(
+        self,
+        schema: Schema,
+        witnesses: Dict[Row, MaskWitnesses],
+        index: SourceIndex,
+        view_name: str = DEFAULT_VIEW_NAME,
+    ):
+        self._schema = schema
+        self._witnesses = witnesses
+        self._index = index
+        self._view_name = view_name
+        #: Lazy inverted index: source bit id -> rows whose universe has it.
+        self._touched: "Dict[int, Tuple[Row, ...]] | None" = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """Schema of the view."""
+        return self._schema
+
+    @property
+    def view_name(self) -> str:
+        """Name the view was evaluated under."""
+        return self._view_name
+
+    @property
+    def index(self) -> SourceIndex:
+        """The source-tuple interning table masks are expressed over."""
+        return self._index
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """All view rows, deterministically ordered."""
+        return tuple(sorted(self._witnesses, key=repr))
+
+    def relation(self) -> Relation:
+        """The view as a plain relation (provenance dropped)."""
+        return Relation(self._view_name, self._schema, self._witnesses.keys())
+
+    def __len__(self) -> int:
+        return len(self._witnesses)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._witnesses
+
+    # ------------------------------------------------------------------
+    # Mask-level queries
+    # ------------------------------------------------------------------
+    def witness_masks(self, row: Row) -> MaskWitnesses:
+        """The minimal witnesses of ``row`` as masks.
+
+        Raises :class:`InfeasibleError` if the row is not in the view.
+        """
+        row = tuple(row)
+        try:
+            return self._witnesses[row]
+        except KeyError:
+            raise InfeasibleError(f"row {row!r} is not in the view") from None
+
+    def universe_mask(self, row: Row) -> int:
+        """OR of all witness masks of ``row``."""
+        universe = 0
+        for mask in self.witness_masks(row):
+            universe |= mask
+        return universe
+
+    def encode_deletions(self, deletions: Iterable[SourceTuple]) -> int:
+        """A deletion set as a mask (unknown tuples hit nothing, so skipped)."""
+        return self._index.encode(deletions)
+
+    def survives_mask(self, row: Row, deletion_mask: int) -> bool:
+        """True if ``row`` keeps a witness disjoint from ``deletion_mask``."""
+        for mask in self.witness_masks(row):
+            if not (mask & deletion_mask):
+                return True
+        return False
+
+    def side_effects_mask(self, target: Row, deletion_mask: int) -> FrozenSet[Row]:
+        """View rows other than ``target`` destroyed by ``deletion_mask``.
+
+        Only rows whose witness universe intersects the deletion mask can be
+        destroyed, so the scan runs over the inverted index's union of
+        affected rows — not the whole view.
+        """
+        target = tuple(target)
+        touched = self._touched_rows()
+        witnesses = self._witnesses
+        destroyed: Set[Row] = set()
+        candidates: Set[Row] = set()
+        for bit_index in iter_bits(deletion_mask):
+            candidates.update(touched.get(bit_index, ()))
+        for row in candidates:
+            if row == target:
+                continue
+            for mask in witnesses[row]:
+                if not (mask & deletion_mask):
+                    break
+            else:
+                destroyed.add(row)
+        return frozenset(destroyed)
+
+    def _touched_rows(self) -> Dict[int, Tuple[Row, ...]]:
+        """source bit id → view rows whose witness universe contains it."""
+        if self._touched is None:
+            touched: Dict[int, List[Row]] = {}
+            for row, masks in self._witnesses.items():
+                universe = 0
+                for mask in masks:
+                    universe |= mask
+                for bit_index in iter_bits(universe):
+                    touched.setdefault(bit_index, []).append(row)
+            self._touched = {bit: tuple(rows) for bit, rows in touched.items()}
+        return self._touched
+
+    # ------------------------------------------------------------------
+    # Decoding (the API boundary)
+    # ------------------------------------------------------------------
+    def decode_witnesses(self, row: Row) -> FrozenSet[FrozenSet[SourceTuple]]:
+        """The minimal witnesses of ``row`` in the public frozenset form."""
+        decode = self._index.decode_mask
+        return frozenset(decode(mask) for mask in self.witness_masks(row))
+
+    def decode_all(self) -> Dict[Row, FrozenSet[FrozenSet[SourceTuple]]]:
+        """The full row → witness-set mapping, decoded."""
+        decode = self._index.decode_mask
+        return {
+            row: frozenset(decode(mask) for mask in masks)
+            for row, masks in self._witnesses.items()
+        }
+
+
+def bitset_why_provenance(
+    query: Query,
+    db: Database,
+    view_name: str = DEFAULT_VIEW_NAME,
+    index: "SourceIndex | None" = None,
+) -> BitsetProvenance:
+    """Annotated evaluation of ``query`` over ``db``, natively on bitmasks.
+
+    ``index`` lets callers share one interning table across several
+    provenance computations over the same database; by default a fresh one
+    is grown lazily, interning only the relations the query touches.
+    """
+    if index is None:
+        index = SourceIndex()
+    schema, table = _eval(query, db, index)
+    return BitsetProvenance(schema, table, index, view_name)
+
+
+def _getter(positions: "List[int] | Tuple[int, ...]"):
+    """A C-speed row projector that always returns a tuple."""
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        only = positions[0]
+        return lambda row: (row[only],)
+    return itemgetter(*positions)
+
+
+def _eval(
+    query: Query, db: Database, index: SourceIndex
+) -> Tuple[Schema, Dict[Row, MaskWitnesses]]:
+    """Recursive annotated evaluation: (schema, row → minimal masks)."""
+    if isinstance(query, RelationRef):
+        relation = db[query.name]
+        name = query.name
+        intern = index.intern
+        table = {row: (1 << intern((name, row)),) for row in relation.rows}
+        return relation.schema, table
+
+    if isinstance(query, Select):
+        schema, table = _eval(query.child, db, index)
+        query.predicate.validate(schema)
+        evaluate = query.predicate.evaluate
+        kept = {
+            row: wits for row, wits in table.items() if evaluate(schema, row)
+        }
+        return schema, kept
+
+    if isinstance(query, Project):
+        schema, table = _eval(query.child, db, index)
+        out_schema = schema.project(query.attributes)
+        image_of = _getter(schema.positions(query.attributes))
+        merged: Dict[Row, Set[int]] = {}
+        merged_get = merged.get
+        for row, wits in table.items():
+            image = image_of(row)
+            masks = merged_get(image)
+            if masks is None:
+                merged[image] = set(wits)
+            else:
+                masks.update(wits)
+        return out_schema, {
+            row: minimize_masks(masks) for row, masks in merged.items()
+        }
+
+    if isinstance(query, Join):
+        left_schema, left_table = _eval(query.left, db, index)
+        right_schema, right_table = _eval(query.right, db, index)
+        out_schema = left_schema.join(right_schema)
+        shared = left_schema.common(right_schema)
+        left_key_of = _getter(left_schema.positions(shared))
+        right_key_of = _getter(right_schema.positions(shared))
+        extra_of = _getter(
+            [
+                i
+                for i, attr in enumerate(right_schema.attributes)
+                if attr not in left_schema
+            ]
+        )
+        buckets: Dict[Tuple[object, ...], List[Tuple[Row, MaskWitnesses]]] = {}
+        for row, wits in right_table.items():
+            buckets.setdefault(right_key_of(row), []).append(
+                (extra_of(row), wits)
+            )
+        out: Dict[Row, Set[int]] = {}
+        out_get = out.get
+        for lrow, lwits in left_table.items():
+            matches = buckets.get(left_key_of(lrow))
+            if not matches:
+                continue
+            for extra, rwits in matches:
+                joined = lrow + extra
+                if len(lwits) == 1 and len(rwits) == 1:
+                    products = {lwits[0] | rwits[0]}
+                else:
+                    products = {lm | rm for lm in lwits for rm in rwits}
+                masks = out_get(joined)
+                if masks is None:
+                    out[joined] = products
+                else:
+                    masks.update(products)
+        return out_schema, {
+            row: minimize_masks(masks) for row, masks in out.items()
+        }
+
+    if isinstance(query, Union):
+        left_schema, left_table = _eval(query.left, db, index)
+        right_schema, right_table = _eval(query.right, db, index)
+        if not left_schema.is_union_compatible(right_schema):
+            raise EvaluationError(
+                f"union of incompatible schemas {left_schema.attributes} "
+                f"and {right_schema.attributes}"
+            )
+        image_of = _getter(right_schema.positions(left_schema.attributes))
+        merged = {row: set(wits) for row, wits in left_table.items()}
+        merged_get = merged.get
+        for row, wits in right_table.items():
+            image = image_of(row)
+            masks = merged_get(image)
+            if masks is None:
+                merged[image] = set(wits)
+            else:
+                masks.update(wits)
+        return left_schema, {
+            row: minimize_masks(masks) for row, masks in merged.items()
+        }
+
+    if isinstance(query, Rename):
+        schema, table = _eval(query.child, db, index)
+        return schema.rename(query.mapping_dict), table
+
+    raise EvaluationError(f"unknown query node {query!r}")

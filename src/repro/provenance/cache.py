@@ -1,0 +1,136 @@
+"""A shared memo for provenance computations.
+
+Every deletion solver, the annotation engine, and the enumeration tooling
+start by computing the provenance of the same ``(query, db)`` pair — and the
+dispatchers routinely call two or three of them back-to-back on identical
+inputs.  This module gives them one shared, bounded, identity-keyed cache so
+the annotated evaluation runs once per (query, database) instead of once per
+call.
+
+Keying and invalidation rules:
+
+* Keys are *object identities* (``id(query)``, ``id(db)``), not values.
+  Both :class:`~repro.algebra.ast.Query` and
+  :class:`~repro.algebra.relation.Database` are immutable, so a given object
+  can never change meaning — identity keying is sound and costs O(1)
+  regardless of database size.
+* Each entry keeps strong references to its query and database, so an id is
+  never reused while its entry is alive (Python ids are only unique among
+  live objects).
+* The cache is a bounded LRU: inserting past ``maxsize`` evicts the least
+  recently used entry, releasing its references.  There is no explicit
+  invalidation — updated databases are *new* objects
+  (``Database.delete`` returns a copy), which simply miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Tuple, TYPE_CHECKING
+
+from repro.algebra.ast import Query
+from repro.algebra.evaluate import DEFAULT_VIEW_NAME
+from repro.algebra.relation import Database
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.provenance.where import WhereProvenance
+    from repro.provenance.why import WhyProvenance
+
+__all__ = [
+    "ProvenanceCache",
+    "provenance_cache",
+    "cached_why_provenance",
+    "cached_where_provenance",
+]
+
+#: (kind, id(query), id(db), view_name)
+_Key = Tuple[str, int, int, str]
+
+
+class ProvenanceCache:
+    """Bounded identity-keyed LRU memo for provenance objects.
+
+    >>> cache = ProvenanceCache(maxsize=2)
+    >>> cache.stats()
+    {'hits': 0, 'misses': 0, 'size': 0}
+    """
+
+    __slots__ = ("_entries", "_maxsize", "_hits", "_misses")
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        #: key -> (query, db, value); query/db kept alive to pin their ids.
+        self._entries: "OrderedDict[_Key, Tuple[Query, Database, Any]]" = (
+            OrderedDict()
+        )
+        self._maxsize = maxsize
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(
+        self,
+        kind: str,
+        query: Query,
+        db: Database,
+        view_name: str,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """The cached value for ``(kind, query, db, view_name)``, or compute it."""
+        key = (kind, id(query), id(db), view_name)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry[2]
+        self._misses += 1
+        value = compute()
+        self._entries[key] = (query, db, value)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (used by benchmarks to time cold paths)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and current size, for tests and diagnostics."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._entries),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide cache all solvers share.
+provenance_cache = ProvenanceCache()
+
+
+def cached_why_provenance(
+    query: Query, db: Database, view_name: str = DEFAULT_VIEW_NAME
+) -> "WhyProvenance":
+    """:func:`~repro.provenance.why.why_provenance` through the shared cache."""
+    from repro.provenance.why import why_provenance
+
+    return provenance_cache.get_or_compute(
+        "why", query, db, view_name, lambda: why_provenance(query, db, view_name)
+    )
+
+
+def cached_where_provenance(
+    query: Query, db: Database, view_name: str = DEFAULT_VIEW_NAME
+) -> "WhereProvenance":
+    """:func:`~repro.provenance.where.where_provenance` through the shared cache."""
+    from repro.provenance.where import where_provenance
+
+    return provenance_cache.get_or_compute(
+        "where",
+        query,
+        db,
+        view_name,
+        lambda: where_provenance(query, db, view_name=view_name),
+    )

@@ -44,8 +44,9 @@ from repro.algebra.ast import (
 )
 from repro.algebra.relation import Database, Row
 from repro.algebra.schema import Schema
+from repro.provenance.cache import cached_why_provenance
 from repro.provenance.locations import SourceTuple
-from repro.provenance.why import why_provenance
+from repro.provenance.why import WhyProvenance
 from repro.solvers.setcover import enumerate_minimal_hitting_sets
 
 __all__ = ["lineage", "lineage_of", "cui_widom_translation"]
@@ -170,6 +171,7 @@ def cui_widom_translation(
     db: Database,
     row: Row,
     node_budget: int = 200_000,
+    prov: "Optional[WhyProvenance]" = None,
 ) -> Optional[FrozenSet[SourceTuple]]:
     """Find an exact (side-effect-free) deletion translation, or None.
 
@@ -182,7 +184,8 @@ def cui_widom_translation(
     side-effect-free translation exists (in which case the paper's Theorem
     2.1 explains why deciding this was expensive).
     """
-    prov = why_provenance(query, db)
+    if prov is None:
+        prov = cached_why_provenance(query, db)
     row = tuple(row)
     monomials = prov.witnesses(row)  # InfeasibleError if absent
     for candidate in enumerate_minimal_hitting_sets(

@@ -20,7 +20,7 @@ by the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.errors import EvaluationError
 from repro.algebra.ast import (
@@ -97,7 +97,7 @@ def derivations(
     row = tuple(row)
     budget = [limit if limit is not None else float("inf")]
     out: List[Fact | Derivation] = []
-    for tree in _derive(query, db, row):
+    for tree in _derive(query, db, row, {}):
         out.append(tree)
         budget[0] -= 1
         if budget[0] <= 0:
@@ -105,36 +105,53 @@ def derivations(
     return out
 
 
-def _derive(query: Query, db: Database, row: Row) -> Iterator["Fact | Derivation"]:
+#: Per-derivation memo of node evaluations, keyed by AST node identity; the
+#: query tree keeps every node alive for the duration of the call, so ids
+#: are stable.  Without it the recursion re-evaluates shared subtrees once
+#: per enumerated child row — exponentially often on nested operators.
+_EvalMemo = Dict[int, Tuple[Schema, FrozenSet[Row]]]
+
+
+def _node_eval(query: Query, db: Database, memo: _EvalMemo):
+    cached = memo.get(id(query))
+    if cached is None:
+        cached = _evaluate_node(query, db)
+        memo[id(query)] = cached
+    return cached
+
+
+def _derive(
+    query: Query, db: Database, row: Row, memo: _EvalMemo
+) -> Iterator["Fact | Derivation"]:
     if isinstance(query, RelationRef):
         if row in db[query.name]:
             yield Fact(query.name, row)
         return
 
     if isinstance(query, Select):
-        schema, _rows = _evaluate_node(query.child, db)
+        schema, _rows = _node_eval(query.child, db, memo)
         query.predicate.validate(schema)
         if not query.predicate.evaluate(schema, row):
             return
-        for child in _derive(query.child, db, row):
+        for child in _derive(query.child, db, row, memo):
             yield Derivation("select", f"σ[{query.predicate!r}]", row, (child,))
         return
 
     if isinstance(query, Project):
-        schema, rows = _evaluate_node(query.child, db)
+        schema, rows = _node_eval(query.child, db, memo)
         positions = schema.positions(query.attributes)
         for child_row in sorted(set(rows), key=repr):
             if tuple(child_row[i] for i in positions) != row:
                 continue
-            for child in _derive(query.child, db, child_row):
+            for child in _derive(query.child, db, child_row, memo):
                 yield Derivation(
                     "project", f"Π[{', '.join(query.attributes)}]", row, (child,)
                 )
         return
 
     if isinstance(query, Join):
-        left_schema, _ = _evaluate_node(query.left, db)
-        right_schema, _ = _evaluate_node(query.right, db)
+        left_schema, _ = _node_eval(query.left, db, memo)
+        right_schema, _ = _node_eval(query.right, db, memo)
         out_schema = left_schema.join(right_schema)
         left_row = tuple(
             row[out_schema.index_of(a)] for a in left_schema.attributes
@@ -142,8 +159,8 @@ def _derive(query: Query, db: Database, row: Row) -> Iterator["Fact | Derivation
         right_row = tuple(
             row[out_schema.index_of(a)] for a in right_schema.attributes
         )
-        for left in _derive(query.left, db, left_row):
-            for right in _derive(query.right, db, right_row):
+        for left in _derive(query.left, db, left_row, memo):
+            for right in _derive(query.right, db, right_row, memo):
                 yield Derivation("join", "⋈", row, (left, right))
         return
 
@@ -158,18 +175,18 @@ def _derive(query: Query, db: Database, row: Row) -> Iterator["Fact | Derivation
             raise EvaluationError("union of incompatible schemas")
         yield from (
             Derivation("union", "∪ (left)", row, (child,))
-            for child in _derive(query.left, db, row)
+            for child in _derive(query.left, db, row, memo)
         )
         reorder = left_schema.positions(right_schema.attributes)
         right_row = tuple(row[i] for i in reorder)
         yield from (
             Derivation("union", "∪ (right)", row, (child,))
-            for child in _derive(query.right, db, right_row)
+            for child in _derive(query.right, db, right_row, memo)
         )
         return
 
     if isinstance(query, Rename):
-        for child in _derive(query.child, db, row):
+        for child in _derive(query.child, db, row, memo):
             pairs = ", ".join(f"{o}->{n}" for o, n in query.mapping)
             yield Derivation("rename", f"δ[{pairs}]", row, (child,))
         return

@@ -22,6 +22,14 @@ the minimal witnesses:
 * renaming leaves monomials untouched;
 * after every step, absorption removes non-minimal monomials.
 
+The evaluation runs natively on the **bitset kernel**
+(:mod:`repro.provenance.bitset`): monomials are integer bitmasks over
+interned source-tuple ids, absorption is ``a & b == a``, and join products
+are integer ORs.  Witnesses are decoded back to the ``frozenset``
+representation below only at the API boundary, lazily and per row.  The
+pre-kernel frozenset evaluator is kept as ``engine="legacy"`` — it is the
+oracle the equivalence property tests and the benchmarks compare against.
+
 The number of minimal witnesses can be exponential in the query size — the
 paper's Corollary 3.1 shows even deciding membership of a source tuple in
 some witness is NP-hard — so this computation is exponential in the worst
@@ -30,9 +38,9 @@ case, but linear-ish on the practical instances the benchmarks use.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.errors import EvaluationError, InfeasibleError
+from repro.errors import EvaluationError, InfeasibleError, ReproError
 from repro.algebra.ast import (
     Join,
     Project,
@@ -45,6 +53,7 @@ from repro.algebra.ast import (
 from repro.algebra.evaluate import DEFAULT_VIEW_NAME
 from repro.algebra.relation import Database, Relation, Row
 from repro.algebra.schema import Schema
+from repro.provenance.bitset import BitsetProvenance, bitset_why_provenance
 from repro.provenance.locations import SourceTuple
 
 __all__ = ["WhyProvenance", "why_provenance", "witnesses_of", "minimize_monomials"]
@@ -77,19 +86,36 @@ class WhyProvenance:
     quantities the deletion algorithms need: the witness *universe* (all
     source tuples in any witness of a given view tuple) and the survival
     test (does a view tuple survive a hypothetical deletion set?).
+
+    When backed by a :class:`~repro.provenance.bitset.BitsetProvenance`
+    kernel (the default engine), survival and side-effect queries run on
+    bitmasks and witnesses decode to frozensets lazily, per row, on first
+    access; constructing from a plain witnesses dict still works and keeps
+    the pre-kernel behaviour.
     """
 
-    __slots__ = ("_schema", "_witnesses", "_view_name")
+    __slots__ = ("_schema", "_witnesses", "_view_name", "_kernel")
 
     def __init__(
         self,
         schema: Schema,
-        witnesses: Dict[Row, WitnessSet],
+        witnesses: Optional[Dict[Row, WitnessSet]] = None,
         view_name: str = DEFAULT_VIEW_NAME,
+        kernel: Optional[BitsetProvenance] = None,
     ):
+        if witnesses is None and kernel is None:
+            raise ReproError("WhyProvenance needs a witnesses dict or a kernel")
         self._schema = schema
-        self._witnesses = witnesses
+        self._witnesses: Dict[Row, WitnessSet] = (
+            dict(witnesses) if witnesses is not None else {}
+        )
         self._view_name = view_name
+        self._kernel = kernel
+
+    @classmethod
+    def from_kernel(cls, kernel: BitsetProvenance) -> "WhyProvenance":
+        """Wrap a bitset kernel, decoding witnesses only on demand."""
+        return cls(kernel.schema, None, kernel.view_name, kernel=kernel)
 
     @property
     def schema(self) -> Schema:
@@ -102,12 +128,21 @@ class WhyProvenance:
         return self._view_name
 
     @property
+    def kernel(self) -> Optional[BitsetProvenance]:
+        """The bitmask engine underneath, when built by the default engine."""
+        return self._kernel
+
+    @property
     def rows(self) -> Tuple[Row, ...]:
         """All view rows, deterministically ordered."""
+        if self._kernel is not None:
+            return self._kernel.rows
         return tuple(sorted(self._witnesses, key=repr))
 
     def relation(self) -> Relation:
         """The view as a plain relation (provenance dropped)."""
+        if self._kernel is not None:
+            return self._kernel.relation()
         return Relation(self._view_name, self._schema, self._witnesses.keys())
 
     def witnesses(self, row: Row) -> WitnessSet:
@@ -116,12 +151,20 @@ class WhyProvenance:
         Raises :class:`InfeasibleError` if the row is not in the view.
         """
         row = tuple(row)
+        if self._kernel is not None:
+            cached = self._witnesses.get(row)
+            if cached is None:
+                cached = self._kernel.decode_witnesses(row)  # InfeasibleError
+                self._witnesses[row] = cached
+            return cached
         if row not in self._witnesses:
             raise InfeasibleError(f"row {row!r} is not in the view")
         return self._witnesses[row]
 
     def witness_universe(self, row: Row) -> FrozenSet[SourceTuple]:
         """All source tuples participating in some minimal witness of ``row``."""
+        if self._kernel is not None:
+            return self._kernel.index.decode_mask(self._kernel.universe_mask(row))
         universe: Set[SourceTuple] = set()
         for monomial in self.witnesses(row):
             universe |= monomial
@@ -134,6 +177,10 @@ class WhyProvenance:
         minimal ones is sound: the view tuple survives a deletion set iff
         some *minimal* witness is untouched.
         """
+        if self._kernel is not None:
+            return self._kernel.survives_mask(
+                row, self._kernel.encode_deletions(deletions)
+            )
         return any(not (monomial & deletions) for monomial in self.witnesses(row))
 
     def side_effects(
@@ -141,6 +188,10 @@ class WhyProvenance:
     ) -> FrozenSet[Row]:
         """View rows other than ``target`` destroyed by ``deletions``."""
         target = tuple(target)
+        if self._kernel is not None:
+            return self._kernel.side_effects_mask(
+                target, self._kernel.encode_deletions(deletions)
+            )
         destroyed = {
             row
             for row in self._witnesses
@@ -149,25 +200,42 @@ class WhyProvenance:
         return frozenset(destroyed)
 
     def __len__(self) -> int:
+        if self._kernel is not None:
+            return len(self._kernel)
         return len(self._witnesses)
 
     def __contains__(self, row: object) -> bool:
+        if self._kernel is not None:
+            return row in self._kernel
         return row in self._witnesses
 
     def as_dict(self) -> Dict[Row, WitnessSet]:
         """A copy of the underlying row → witness-set mapping."""
+        if self._kernel is not None:
+            return self._kernel.decode_all()
         return dict(self._witnesses)
 
 
 def why_provenance(
-    query: Query, db: Database, view_name: str = DEFAULT_VIEW_NAME
+    query: Query,
+    db: Database,
+    view_name: str = DEFAULT_VIEW_NAME,
+    engine: str = "bitset",
 ) -> WhyProvenance:
     """Evaluate ``query`` over ``db`` carrying minimal-witness annotations.
 
-    Returns a :class:`WhyProvenance` for the whole view.
+    Returns a :class:`WhyProvenance` for the whole view.  ``engine`` selects
+    the evaluator: ``"bitset"`` (default) runs on the integer-bitmask kernel;
+    ``"legacy"`` runs the original frozenset evaluator — kept as the oracle
+    for the equivalence tests and the old-vs-new benchmarks.
     """
-    schema, table = _eval(query, db)
-    return WhyProvenance(schema, table, view_name)
+    if engine == "bitset":
+        kernel = bitset_why_provenance(query, db, view_name)
+        return WhyProvenance.from_kernel(kernel)
+    if engine == "legacy":
+        schema, table = _eval(query, db)
+        return WhyProvenance(schema, table, view_name)
+    raise ReproError(f"unknown why-provenance engine {engine!r}")
 
 
 def witnesses_of(query: Query, db: Database, row: Row) -> WitnessSet:
@@ -176,7 +244,7 @@ def witnesses_of(query: Query, db: Database, row: Row) -> WitnessSet:
 
 
 def _eval(query: Query, db: Database) -> Tuple[Schema, Dict[Row, WitnessSet]]:
-    """Recursive annotated evaluation: (schema, row → minimal monomials)."""
+    """Legacy frozenset evaluation: (schema, row → minimal monomials)."""
     if isinstance(query, RelationRef):
         relation = db[query.name]
         table = {
