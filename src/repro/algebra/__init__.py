@@ -29,7 +29,13 @@ from repro.algebra.ast import (
     Select,
     Union,
 )
-from repro.algebra.evaluate import evaluate, output_schema, view_rows
+from repro.algebra.evaluate import (
+    evaluate,
+    interpret_view_rows,
+    output_schema,
+    view_rows,
+)
+from repro.algebra.plan import CompiledPlan, PlanNode, compile_plan
 from repro.algebra.classify import (
     assert_normal_form,
     chain_join_order,
@@ -92,7 +98,12 @@ __all__ = [
     # evaluation
     "evaluate",
     "view_rows",
+    "interpret_view_rows",
     "output_schema",
+    # compiled plans
+    "CompiledPlan",
+    "PlanNode",
+    "compile_plan",
     # classification
     "query_class",
     "uses_only",

@@ -1,10 +1,9 @@
 """Set-semantics evaluation of SPJRU queries.
 
-:func:`evaluate` interprets a :class:`~repro.algebra.ast.Query` against a
+:func:`evaluate` runs a :class:`~repro.algebra.ast.Query` against a
 :class:`~repro.algebra.relation.Database` and returns the view as a
-:class:`~repro.algebra.relation.Relation`.
-
-The evaluator is deliberately simple and faithful to the textbook semantics:
+:class:`~repro.algebra.relation.Relation`.  The semantics are the textbook
+ones:
 
 * selection filters rows by the predicate;
 * projection keeps the named attributes and collapses duplicates (sets);
@@ -12,14 +11,24 @@ The evaluator is deliberately simple and faithful to the textbook semantics:
 * union canonicalizes the right operand's attribute order to the left's;
 * renaming relabels the schema without touching rows.
 
-The deletion-propagation solvers re-evaluate queries against hypothetical
-databases thousands of times, so the join uses a hash partition on the shared
-attributes rather than a nested loop.
+The public entry points are thin fronts over **compiled physical plans**
+(:mod:`repro.algebra.plan`): the query is compiled once per (query, schema
+catalog) — schema resolution, predicate binding, column positions, join keys
+and union reorders all happen at compile time — and the plan is shared
+through :func:`repro.provenance.cache.cached_plan`, so the deletion solvers'
+thousands of re-evaluations against hypothetical databases pay only the
+per-row work.
+
+The original recursive interpreter is kept below as
+:func:`interpret_view_rows` / ``_eval``: it resolves everything per call and
+serves as the independent oracle for the compiled-plan equivalence tests,
+the benchmark baseline, and the derivation tracer in
+:mod:`repro.provenance.proof`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import EvaluationError
 from repro.algebra.ast import (
@@ -31,13 +40,25 @@ from repro.algebra.ast import (
     Select,
     Union,
 )
+from repro.algebra.plan import DEFAULT_VIEW_NAME
 from repro.algebra.relation import Database, Relation, Row
 from repro.algebra.schema import Schema
 
-__all__ = ["evaluate", "output_schema", "view_rows"]
+__all__ = ["evaluate", "output_schema", "view_rows", "interpret_view_rows"]
 
-#: Name given to evaluated views when the caller does not supply one.
-DEFAULT_VIEW_NAME = "V"
+#: Lazily bound plan supplier (the provenance cache imports this module, so
+#: the import runs at first evaluation instead of module load).
+_cached_plan = None
+
+
+def _shared_plan(query: Query, db: Database):
+    """The compiled plan of ``query`` over ``db``, via the shared cache."""
+    global _cached_plan
+    if _cached_plan is None:
+        from repro.provenance.cache import cached_plan
+
+        _cached_plan = cached_plan
+    return _cached_plan(query, db)
 
 
 def output_schema(query: Query, db: Database) -> Schema:
@@ -50,10 +71,11 @@ def evaluate(query: Query, db: Database, name: str = DEFAULT_VIEW_NAME) -> Relat
     """Evaluate ``query`` against ``db``; return the view named ``name``.
 
     Raises :class:`EvaluationError` for references to missing relations and
-    :class:`SchemaError` for ill-typed queries.
+    :class:`SchemaError` for ill-typed queries.  Both are raised by plan
+    compilation, before any data is touched.
     """
-    schema, rows = _eval(query, db)
-    return Relation(name, schema, rows)
+    plan = _shared_plan(query, db)
+    return plan.relation(db, name)
 
 
 def view_rows(query: Query, db: Database) -> frozenset:
@@ -63,12 +85,23 @@ def view_rows(query: Query, db: Database) -> frozenset:
     view before and after hypothetical deletions and do not need a full
     :class:`Relation` object.
     """
+    return _shared_plan(query, db).rows(db)
+
+
+def interpret_view_rows(query: Query, db: Database) -> frozenset:
+    """The row set by direct recursive interpretation (no compiled plan).
+
+    Kept as the independent oracle: the interpreter re-resolves schemas and
+    positions on every call, exactly as the seed evaluator did.  The
+    equivalence property tests and ``benchmarks/bench_plan_compile.py``
+    compare :func:`view_rows` against this.
+    """
     _, rows = _eval(query, db)
     return frozenset(rows)
 
 
 def _eval(query: Query, db: Database) -> Tuple[Schema, List[Row]]:
-    """Recursive evaluator returning (schema, rows)."""
+    """Recursive reference interpreter returning (schema, rows)."""
     if isinstance(query, RelationRef):
         rel = db[query.name]
         return rel.schema, list(rel.rows)

@@ -1,0 +1,722 @@
+"""Compiled physical query plans: compile once, evaluate many times.
+
+The exact deletion solvers evaluate the same query against thousands of
+hypothetical databases that differ from the original by a handful of deleted
+tuples.  The recursive interpreters (plain, witness-annotated, and
+where-annotated) re-resolved schemas, re-validated predicates, and recomputed
+join/projection column positions on **every** call.  This module separates
+those two costs:
+
+* :func:`compile_plan` walks the query tree once against a catalog (relation
+  name → :class:`~repro.algebra.schema.Schema`) and produces a tree of
+  physical operator nodes — :class:`ScanOp`, :class:`FilterOp`,
+  :class:`ProjectOp`, :class:`HashJoinOp`, :class:`UnionOp`,
+  :class:`RenameOp` — with all schema resolution, predicate binding, column
+  positions, join keys, and union reorders frozen into the nodes;
+* the resulting :class:`CompiledPlan` then executes against any database
+  with the catalog's schemas, in three semantics sharing one operator tree:
+
+  - :meth:`CompiledPlan.rows` — plain set semantics (the
+    :func:`repro.algebra.evaluate.evaluate` front);
+  - :meth:`CompiledPlan.annotated_rows` — witness-DNF annotation as integer
+    bitmasks over a :class:`~repro.provenance.interning.SourceIndex` (the
+    :func:`repro.provenance.bitset.bitset_why_provenance` front);
+  - :meth:`CompiledPlan.where_rows` — where-provenance location sets per
+    view field (the :func:`repro.provenance.where.where_provenance` front).
+
+Compilation also *moves validation forward*: union schema compatibility,
+predicate attribute resolution, projection positions, and rename injectivity
+are all checked at compile time, so a malformed query fails once, at
+:func:`compile_plan`, with the same exception types the interpreters used to
+raise mid-evaluation (:class:`~repro.errors.SchemaError` for static schema
+problems, :class:`~repro.errors.EvaluationError` for unknown relations and
+incompatible unions).  Children are compiled before their parent node is
+validated, mirroring the old interpreter's bottom-up error order.
+
+This module deliberately imports nothing from :mod:`repro.provenance` at
+module level (the provenance cache imports :func:`compile_plan`); the two
+annotated execution modes receive their provenance-layer collaborators —
+the interning function, the mask minimizer, the location constructor — as
+call-time arguments supplied by the thin fronts.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import EvaluationError, SchemaError
+from repro.algebra.ast import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import (
+    And,
+    AttributeRef,
+    COMPARATORS,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.algebra.relation import Database, Relation, Row
+from repro.algebra.schema import Schema
+
+__all__ = [
+    "DEFAULT_VIEW_NAME",
+    "PlanNode",
+    "ScanOp",
+    "FilterOp",
+    "ProjectOp",
+    "HashJoinOp",
+    "UnionOp",
+    "RenameOp",
+    "CompiledPlan",
+    "compile_plan",
+]
+
+#: Name given to evaluated views when the caller does not supply one.
+#: (Re-exported by :mod:`repro.algebra.evaluate`, historically its home.)
+DEFAULT_VIEW_NAME = "V"
+
+#: A compiled row-level predicate: row → bool, positions pre-resolved.
+RowTest = Callable[[Row], bool]
+
+#: A tuple's minimal witnesses as integer bitmasks (see provenance.bitset).
+MaskWitnesses = Tuple[int, ...]
+
+
+def _getter(positions: "List[int] | Tuple[int, ...]"):
+    """A C-speed row projector that always returns a tuple."""
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        only = positions[0]
+        return lambda row: (row[only],)
+    return itemgetter(*positions)
+
+
+# ----------------------------------------------------------------------
+# Predicate binding: resolve attribute positions once, at compile time.
+# ----------------------------------------------------------------------
+
+def _bind_operand(operand, schema: Schema):
+    """Compile a comparison operand to a row → value closure."""
+    if isinstance(operand, AttributeRef):
+        position = schema.index_of(operand.attribute)  # SchemaError if absent
+        return lambda row: row[position]
+    if isinstance(operand, Constant):
+        literal = operand.literal
+        return lambda row: literal
+    # Unknown operand subtype: fall back to the interpreted protocol.
+    return lambda row: operand.value(schema, row)
+
+
+def bind_predicate(predicate: Predicate, schema: Schema) -> RowTest:
+    """Compile ``predicate`` against ``schema`` into a row-level test.
+
+    Attribute positions are resolved once here; unknown attributes raise
+    :class:`SchemaError` immediately (compile time), exactly as
+    ``predicate.validate(schema)`` would.  Comparing incomparable values at
+    run time still raises :class:`EvaluationError`, matching the
+    interpreted :meth:`Comparison.evaluate` behaviour.
+    """
+    if isinstance(predicate, TruePredicate):
+        return lambda row: True
+    if isinstance(predicate, Comparison):
+        left = _bind_operand(predicate.left, schema)
+        right = _bind_operand(predicate.right, schema)
+        compare = COMPARATORS[predicate.op]
+        op = predicate.op
+
+        def test(row: Row) -> bool:
+            lhs = left(row)
+            rhs = right(row)
+            try:
+                return compare(lhs, rhs)
+            except TypeError:
+                raise EvaluationError(
+                    f"cannot compare {lhs!r} {op} {rhs!r} (incompatible types)"
+                ) from None
+
+        return test
+    if isinstance(predicate, And):
+        lt = bind_predicate(predicate.left, schema)
+        rt = bind_predicate(predicate.right, schema)
+        return lambda row: lt(row) and rt(row)
+    if isinstance(predicate, Or):
+        lt = bind_predicate(predicate.left, schema)
+        rt = bind_predicate(predicate.right, schema)
+        return lambda row: lt(row) or rt(row)
+    if isinstance(predicate, Not):
+        ct = bind_predicate(predicate.child, schema)
+        return lambda row: not ct(row)
+    # Unknown predicate subtype: validate now, interpret per row.
+    predicate.validate(schema)
+    return lambda row: predicate.evaluate(schema, row)
+
+
+# ----------------------------------------------------------------------
+# Physical operator nodes
+# ----------------------------------------------------------------------
+
+class PlanNode:
+    """A physical operator with all positions resolved at compile time.
+
+    Every node executes in three semantics over the same compiled structure:
+
+    * :meth:`rows` — plain set-semantics rows;
+    * :meth:`annotated` — row → minimal witness masks (witness DNF on ints);
+    * :meth:`where` — row → per-attribute source-location sets, positional.
+    """
+
+    __slots__ = ("schema",)
+
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Child operators, for plan rendering and introspection."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line operator description with its resolved positions."""
+        raise NotImplementedError
+
+    def rows(self, db: Database) -> "Iterable[Row]":
+        """Duplicate-free rows of this operator's result over ``db``."""
+        raise NotImplementedError
+
+    def annotated(
+        self, db: Database, intern: Callable, minimize: Callable
+    ) -> Dict[Row, MaskWitnesses]:
+        """row → minimal witness masks; ``intern`` maps source tuples to ids."""
+        raise NotImplementedError
+
+    def where(
+        self, db: Database, make_location: Callable
+    ) -> "Dict[Row, List[Set[object]]]":
+        """row → per-output-position sets of propagating source locations."""
+        raise NotImplementedError
+
+
+class ScanOp(PlanNode):
+    """Scan a base relation; validates the runtime schema still matches."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+
+    def describe(self) -> str:
+        return f"Scan {self.name} schema=({', '.join(self.schema.attributes)})"
+
+    def _relation(self, db: Database) -> Relation:
+        relation = db[self.name]  # EvaluationError when missing
+        if relation.schema != self.schema:
+            raise EvaluationError(
+                f"compiled plan is stale: relation {self.name!r} has schema "
+                f"{relation.schema.attributes}, plan was compiled against "
+                f"{self.schema.attributes}"
+            )
+        return relation
+
+    def rows(self, db: Database) -> "Iterable[Row]":
+        return self._relation(db).rows
+
+    def annotated(self, db, intern, minimize) -> Dict[Row, MaskWitnesses]:
+        name = self.name
+        return {
+            row: (1 << intern((name, row)),) for row in self._relation(db).rows
+        }
+
+    def where(self, db, make_location):
+        name = self.name
+        attrs = self.schema.attributes
+        return {
+            row: [{make_location(name, row, attr)} for attr in attrs]
+            for row in self._relation(db).rows
+        }
+
+
+class FilterOp(PlanNode):
+    """Selection with the predicate bound to column positions at compile."""
+
+    __slots__ = ("child", "predicate", "test")
+
+    def __init__(self, child: PlanNode, predicate: Predicate, test: RowTest):
+        self.child = child
+        self.predicate = predicate
+        self.test = test
+        self.schema = child.schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter [{self.predicate!r}]"
+
+    def rows(self, db: Database) -> "Iterable[Row]":
+        test = self.test
+        return [row for row in self.child.rows(db) if test(row)]
+
+    def annotated(self, db, intern, minimize) -> Dict[Row, MaskWitnesses]:
+        test = self.test
+        return {
+            row: wits
+            for row, wits in self.child.annotated(db, intern, minimize).items()
+            if test(row)
+        }
+
+    def where(self, db, make_location):
+        test = self.test
+        return {
+            row: sets
+            for row, sets in self.child.where(db, make_location).items()
+            if test(row)
+        }
+
+
+class ProjectOp(PlanNode):
+    """Projection with output positions resolved at compile time."""
+
+    __slots__ = ("child", "positions", "image_of")
+
+    def __init__(self, child: PlanNode, attributes: Tuple[str, ...]):
+        self.child = child
+        self.schema = child.schema.project(attributes)  # SchemaError if bad
+        self.positions = child.schema.positions(attributes)
+        self.image_of = _getter(self.positions)
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        attrs = ", ".join(self.schema.attributes)
+        return f"Project [{attrs}] cols={self.positions}"
+
+    def rows(self, db: Database) -> "Iterable[Row]":
+        image_of = self.image_of
+        return {image_of(row) for row in self.child.rows(db)}
+
+    def annotated(self, db, intern, minimize) -> Dict[Row, MaskWitnesses]:
+        image_of = self.image_of
+        merged: Dict[Row, Set[int]] = {}
+        merged_get = merged.get
+        for row, wits in self.child.annotated(db, intern, minimize).items():
+            image = image_of(row)
+            masks = merged_get(image)
+            if masks is None:
+                merged[image] = set(wits)
+            else:
+                masks.update(wits)
+        return {row: minimize(masks) for row, masks in merged.items()}
+
+    def where(self, db, make_location):
+        image_of = self.image_of
+        positions = self.positions
+        merged: "Dict[Row, List[Set[object]]]" = {}
+        merged_get = merged.get
+        for row, sets in self.child.where(db, make_location).items():
+            image = image_of(row)
+            existing = merged_get(image)
+            if existing is None:
+                merged[image] = [set(sets[p]) for p in positions]
+            else:
+                for out_pos, p in enumerate(positions):
+                    existing[out_pos] |= sets[p]
+        return merged
+
+
+class HashJoinOp(PlanNode):
+    """Natural join with keys, extras, and attribute lineage precomputed.
+
+    Degenerates to a hash-free cross product when the operand schemas share
+    no attributes (empty keys bucket everything together).
+    """
+
+    __slots__ = (
+        "left",
+        "right",
+        "shared",
+        "left_key_positions",
+        "right_key_positions",
+        "right_extra_positions",
+        "left_key_of",
+        "right_key_of",
+        "extra_of",
+        "where_pairs",
+    )
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        self.left = left
+        self.right = right
+        left_schema, right_schema = left.schema, right.schema
+        self.schema = left_schema.join(right_schema)
+        self.shared = left_schema.common(right_schema)
+        self.left_key_positions = left_schema.positions(self.shared)
+        self.right_key_positions = right_schema.positions(self.shared)
+        self.right_extra_positions = tuple(
+            i
+            for i, attr in enumerate(right_schema.attributes)
+            if attr not in left_schema
+        )
+        self.left_key_of = _getter(self.left_key_positions)
+        self.right_key_of = _getter(self.right_key_positions)
+        self.extra_of = _getter(self.right_extra_positions)
+        # For where-provenance: each output position's source positions in
+        # the left and right operands (None when the attribute is absent).
+        pairs = []
+        for attr in self.schema.attributes:
+            left_pos = left_schema.index_of(attr) if attr in left_schema else None
+            right_pos = (
+                right_schema.index_of(attr) if attr in right_schema else None
+            )
+            pairs.append((left_pos, right_pos))
+        self.where_pairs: Tuple[Tuple[Optional[int], Optional[int]], ...] = (
+            tuple(pairs)
+        )
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        if not self.shared:
+            return "HashJoin (cross product: no shared attributes)"
+        return (
+            f"HashJoin on ({', '.join(self.shared)}) "
+            f"keysL={self.left_key_positions} keysR={self.right_key_positions} "
+            f"extraR={self.right_extra_positions}"
+        )
+
+    def _buckets(self, right_items, value_of):
+        """Partition right items by join key, carrying ``value_of(item)``."""
+        right_key_of = self.right_key_of
+        extra_of = self.extra_of
+        buckets: Dict[Tuple[object, ...], List[Tuple[Row, object]]] = {}
+        for row, payload in right_items:
+            buckets.setdefault(right_key_of(row), []).append(
+                (extra_of(row), value_of(payload))
+            )
+        return buckets
+
+    def rows(self, db: Database) -> "Iterable[Row]":
+        right_key_of = self.right_key_of
+        extra_of = self.extra_of
+        buckets: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in self.right.rows(db):
+            buckets.setdefault(right_key_of(row), []).append(extra_of(row))
+        left_key_of = self.left_key_of
+        out: Set[Row] = set()
+        for lrow in self.left.rows(db):
+            matches = buckets.get(left_key_of(lrow))
+            if matches:
+                for extra in matches:
+                    out.add(lrow + extra)
+        return out
+
+    def annotated(self, db, intern, minimize) -> Dict[Row, MaskWitnesses]:
+        left_table = self.left.annotated(db, intern, minimize)
+        right_table = self.right.annotated(db, intern, minimize)
+        buckets = self._buckets(right_table.items(), lambda wits: wits)
+        left_key_of = self.left_key_of
+        out: Dict[Row, Set[int]] = {}
+        out_get = out.get
+        for lrow, lwits in left_table.items():
+            matches = buckets.get(left_key_of(lrow))
+            if not matches:
+                continue
+            for extra, rwits in matches:
+                joined = lrow + extra
+                if len(lwits) == 1 and len(rwits) == 1:
+                    products = {lwits[0] | rwits[0]}
+                else:
+                    products = {lm | rm for lm in lwits for rm in rwits}
+                masks = out_get(joined)
+                if masks is None:
+                    out[joined] = products
+                else:
+                    masks.update(products)
+        return {row: minimize(masks) for row, masks in out.items()}
+
+    def where(self, db, make_location):
+        left_table = self.left.where(db, make_location)
+        right_table = self.right.where(db, make_location)
+        buckets = self._buckets(right_table.items(), lambda sets: sets)
+        left_key_of = self.left_key_of
+        where_pairs = self.where_pairs
+        out: "Dict[Row, List[Set[object]]]" = {}
+        out_get = out.get
+        for lrow, lsets in left_table.items():
+            matches = buckets.get(left_key_of(lrow))
+            if not matches:
+                continue
+            for extra, rsets in matches:
+                joined = lrow + extra
+                existing = out_get(joined)
+                if existing is None:
+                    derived = []
+                    for left_pos, right_pos in where_pairs:
+                        sources: Set[object] = set()
+                        if left_pos is not None:
+                            sources |= lsets[left_pos]
+                        if right_pos is not None:
+                            sources |= rsets[right_pos]
+                        derived.append(sources)
+                    out[joined] = derived
+                else:
+                    for position, (left_pos, right_pos) in enumerate(where_pairs):
+                        if left_pos is not None:
+                            existing[position] |= lsets[left_pos]
+                        if right_pos is not None:
+                            existing[position] |= rsets[right_pos]
+        return out
+
+
+class UnionOp(PlanNode):
+    """Union with the right operand's attribute reorder precomputed."""
+
+    __slots__ = ("left", "right", "reorder", "reorder_of")
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        self.left = left
+        self.right = right
+        if not left.schema.is_union_compatible(right.schema):
+            raise EvaluationError(
+                f"union of incompatible schemas {left.schema.attributes} "
+                f"and {right.schema.attributes}"
+            )
+        self.schema = left.schema
+        reorder = right.schema.positions(left.schema.attributes)
+        # Identity reorders (same attribute order both sides) skip remapping.
+        self.reorder: Optional[Tuple[int, ...]] = (
+            None if reorder == tuple(range(len(reorder))) else reorder
+        )
+        self.reorder_of = (lambda row: row) if self.reorder is None else _getter(
+            reorder
+        )
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        reorder = "identity" if self.reorder is None else str(self.reorder)
+        return f"Union reorderR={reorder}"
+
+    def rows(self, db: Database) -> "Iterable[Row]":
+        merged = set(self.left.rows(db))
+        reorder_of = self.reorder_of
+        merged.update(reorder_of(row) for row in self.right.rows(db))
+        return merged
+
+    def annotated(self, db, intern, minimize) -> Dict[Row, MaskWitnesses]:
+        left_table = self.left.annotated(db, intern, minimize)
+        right_table = self.right.annotated(db, intern, minimize)
+        reorder_of = self.reorder_of
+        merged: Dict[Row, Set[int]] = {
+            row: set(wits) for row, wits in left_table.items()
+        }
+        merged_get = merged.get
+        for row, wits in right_table.items():
+            image = reorder_of(row)
+            masks = merged_get(image)
+            if masks is None:
+                merged[image] = set(wits)
+            else:
+                masks.update(wits)
+        return {row: minimize(masks) for row, masks in merged.items()}
+
+    def where(self, db, make_location):
+        left_table = self.left.where(db, make_location)
+        right_table = self.right.where(db, make_location)
+        reorder = self.reorder
+        reorder_of = self.reorder_of
+        merged: "Dict[Row, List[Set[object]]]" = {
+            row: [set(s) for s in sets] for row, sets in left_table.items()
+        }
+        merged_get = merged.get
+        for row, sets in right_table.items():
+            image = reorder_of(row)
+            if reorder is not None:
+                sets = [sets[p] for p in reorder]
+            existing = merged_get(image)
+            if existing is None:
+                merged[image] = [set(s) for s in sets]
+            else:
+                for position, sources in enumerate(sets):
+                    existing[position] |= sources
+        return merged
+
+
+class RenameOp(PlanNode):
+    """Renaming: schema relabelled at compile, rows pass through untouched."""
+
+    __slots__ = ("child", "mapping")
+
+    def __init__(self, child: PlanNode, mapping: Dict[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+        self.schema = child.schema.rename(self.mapping)  # SchemaError if bad
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{old}->{new}" for old, new in sorted(self.mapping.items()))
+        return f"Rename [{pairs}]"
+
+    def rows(self, db: Database) -> "Iterable[Row]":
+        return self.child.rows(db)
+
+    def annotated(self, db, intern, minimize) -> Dict[Row, MaskWitnesses]:
+        return self.child.annotated(db, intern, minimize)
+
+    def where(self, db, make_location):
+        # Location sets are positional; renaming only relabels the schema.
+        return self.child.where(db, make_location)
+
+
+# ----------------------------------------------------------------------
+# The compiled plan
+# ----------------------------------------------------------------------
+
+class CompiledPlan:
+    """A compiled physical plan: one operator tree, three evaluators.
+
+    Immutable once built; safe to share across hypothetical databases as
+    long as the base relation schemas match the catalog the plan was
+    compiled against (scans verify this and raise
+    :class:`EvaluationError` on a stale plan).
+    """
+
+    __slots__ = ("query", "root", "schema", "source_names")
+
+    def __init__(self, query: Query, root: PlanNode):
+        self.query = query
+        self.root = root
+        self.schema = root.schema
+        self.source_names: Tuple[str, ...] = tuple(sorted(query.relation_names()))
+
+    # -- plain set semantics ------------------------------------------
+    def rows(self, db: Database) -> FrozenSet[Row]:
+        """The view's rows over ``db`` under set semantics."""
+        return frozenset(self.root.rows(db))
+
+    def relation(self, db: Database, name: str = DEFAULT_VIEW_NAME) -> Relation:
+        """The view over ``db`` as a named :class:`Relation`."""
+        return Relation(name, self.schema, self.root.rows(db))
+
+    # -- witness-annotated semantics ----------------------------------
+    def annotated_rows(self, db: Database, index) -> Dict[Row, MaskWitnesses]:
+        """row → minimal witness bitmasks over ``index`` (a SourceIndex).
+
+        This is the engine under
+        :func:`repro.provenance.bitset.bitset_why_provenance`; masks index
+        source tuples through ``index.intern``.
+        """
+        # Local import: plan.py must not import repro.provenance at module
+        # level (the provenance cache imports compile_plan).
+        from repro.provenance.bitset import minimize_masks
+
+        return self.root.annotated(db, index.intern, minimize_masks)
+
+    # -- where-annotated semantics ------------------------------------
+    def where_rows(self, db: Database):
+        """(row, attribute) → source locations, the backward image of §3.
+
+        This is the engine under
+        :func:`repro.provenance.where.where_provenance`.
+        """
+        from repro.provenance.locations import Location  # see annotated_rows
+
+        table = self.root.where(db, Location)
+        attributes = self.schema.attributes
+        return {
+            (row, attribute): frozenset(sets[position])
+            for row, sets in table.items()
+            for position, attribute in enumerate(attributes)
+        }
+
+    # -- introspection ------------------------------------------------
+    def explain(self) -> str:
+        """The physical plan as an indented tree of operator descriptions."""
+        # Local import: render imports this module at load time.
+        from repro.algebra.render import render_plan
+
+        return render_plan(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan(schema={list(self.schema.attributes)!r}, "
+            f"sources={list(self.source_names)!r})"
+        )
+
+
+def compile_plan(query: Query, catalog: Mapping[str, Schema]) -> CompiledPlan:
+    """Compile ``query`` against ``catalog`` into a :class:`CompiledPlan`.
+
+    All static validation happens here, once: unknown base relations raise
+    :class:`EvaluationError` (matching the interpreter's runtime lookup),
+    incompatible unions raise :class:`EvaluationError` with the historical
+    message, and predicate/projection/rename schema problems raise
+    :class:`SchemaError`.  Children compile before their parent validates,
+    so error precedence matches the old bottom-up interpreters.
+    """
+    return CompiledPlan(query, _compile(query, catalog))
+
+
+def _compile(query: Query, catalog: Mapping[str, Schema]) -> PlanNode:
+    if isinstance(query, RelationRef):
+        try:
+            schema = catalog[query.name]
+        except KeyError:
+            raise EvaluationError(
+                f"catalog has no relation named {query.name!r}; "
+                f"known relations: {sorted(catalog)}"
+            ) from None
+        return ScanOp(query.name, schema)
+
+    if isinstance(query, Select):
+        child = _compile(query.child, catalog)
+        test = bind_predicate(query.predicate, child.schema)  # SchemaError
+        return FilterOp(child, query.predicate, test)
+
+    if isinstance(query, Project):
+        child = _compile(query.child, catalog)
+        return ProjectOp(child, query.attributes)
+
+    if isinstance(query, Join):
+        return HashJoinOp(
+            _compile(query.left, catalog), _compile(query.right, catalog)
+        )
+
+    if isinstance(query, Union):
+        return UnionOp(
+            _compile(query.left, catalog), _compile(query.right, catalog)
+        )
+
+    if isinstance(query, Rename):
+        return RenameOp(_compile(query.child, catalog), query.mapping_dict)
+
+    raise EvaluationError(f"unknown query node {query!r}")

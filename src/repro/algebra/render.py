@@ -18,9 +18,16 @@ from repro.algebra.ast import (
     Select,
     Union,
 )
+from repro.algebra.plan import CompiledPlan, PlanNode
 from repro.algebra.relation import Database, Relation
 
-__all__ = ["render_relation", "render_database", "render_query_tree", "render_rows"]
+__all__ = [
+    "render_relation",
+    "render_database",
+    "render_query_tree",
+    "render_rows",
+    "render_plan",
+]
 
 
 def _format_value(value: object) -> str:
@@ -77,6 +84,29 @@ def render_relation(relation: Relation, title: Optional[str] = None) -> str:
 def render_database(db: Database) -> str:
     """Render every relation of a database, separated by blank lines."""
     return "\n\n".join(render_relation(db[name]) for name in db)
+
+
+def render_plan(plan: "CompiledPlan | PlanNode", indent: str = "") -> str:
+    """Render a compiled physical plan as an indented operator tree.
+
+    Same indentation style as :func:`render_query_tree`, but showing the
+    physical operators with their resolved column positions and join keys.
+
+    >>> from repro.algebra.parser import parse_query
+    >>> from repro.algebra.plan import compile_plan
+    >>> from repro.algebra.schema import Schema
+    >>> catalog = {"R": Schema(["A", "B"]), "S": Schema(["B", "C"])}
+    >>> print(render_plan(compile_plan(parse_query("PROJECT[A](R JOIN S)"), catalog)))
+    Project [A] cols=(0,)
+      HashJoin on (B) keysL=(1,) keysR=(0,) extraR=(1,)
+        Scan R schema=(A, B)
+        Scan S schema=(B, C)
+    """
+    node = plan.root if isinstance(plan, CompiledPlan) else plan
+    lines = [indent + node.describe()]
+    for child in node.children:
+        lines.append(render_plan(child, indent + "  "))
+    return "\n".join(lines)
 
 
 def render_query_tree(query: Query, indent: str = "") -> str:

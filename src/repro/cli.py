@@ -17,6 +17,7 @@ Sub-commands (query syntax is the DSL of :mod:`repro.algebra.parser`)::
     repro eval DB.json "PROJECT[user, file](UserGroup JOIN GroupFile)"
     repro classify "PROJECT[user, file](UserGroup JOIN GroupFile)"
     repro normalize DB.json QUERY
+    repro plan DB.json QUERY
     repro witnesses DB.json QUERY '["joe", "f1"]'
     repro delete DB.json QUERY '["joe", "f1"]' --objective view
     repro annotate DB.json QUERY '["joe", "f1"]' file
@@ -36,6 +37,7 @@ from repro.errors import ReproError
 from repro.algebra import (
     Database,
     Relation,
+    compile_plan,
     evaluate,
     is_normal_form,
     normalize,
@@ -44,6 +46,7 @@ from repro.algebra import (
     render_query_tree,
     render_relation,
 )
+from repro.algebra.render import render_plan
 from repro.annotation import place_annotation
 from repro.deletion import delete_view_tuple, minimum_source_deletion, verify_plan
 from repro.provenance import Location, why_provenance
@@ -111,6 +114,15 @@ def _cmd_normalize(args: argparse.Namespace) -> None:
     query = parse_query(args.query)
     catalog = {name: db[name].schema for name in db}
     print(render_query_tree(normalize(query, catalog)))
+
+
+def _cmd_plan(args: argparse.Namespace) -> None:
+    db = load_database(args.database)
+    query = parse_query(args.query)
+    catalog = {name: db[name].schema for name in db}
+    plan = compile_plan(query, catalog)
+    print(f"output schema: ({', '.join(plan.schema.attributes)})")
+    print(render_plan(plan))
 
 
 def _cmd_witnesses(args: argparse.Namespace) -> None:
@@ -188,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_norm.add_argument("database")
     p_norm.add_argument("query")
     p_norm.set_defaults(handler=_cmd_normalize)
+
+    p_plan = sub.add_parser(
+        "plan", help="print the compiled physical plan for a query"
+    )
+    p_plan.add_argument("database")
+    p_plan.add_argument("query")
+    p_plan.set_defaults(handler=_cmd_plan)
 
     p_wit = sub.add_parser("witnesses", help="list a view tuple's minimal witnesses")
     p_wit.add_argument("database")

@@ -12,6 +12,7 @@ Two objectives over the same setup (source ``S``, monotone query ``Q``, view
 """
 
 from repro.deletion.plan import DeletionPlan, apply_deletions, verify_plan
+from repro.deletion.hypothetical import HypotheticalDeletions
 from repro.deletion.view_side_effect import (
     exact_view_deletion,
     side_effect_free_exists,
@@ -40,6 +41,7 @@ __all__ = [
     "DeletionPlan",
     "apply_deletions",
     "verify_plan",
+    "HypotheticalDeletions",
     "delete_view_tuple",
     "minimum_source_deletion",
     "spu_view_deletion",

@@ -21,7 +21,7 @@ exact machinery.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 from repro.algebra.ast import Query
 from repro.algebra.relation import Database, Row
@@ -63,21 +63,24 @@ def enumerate_deletion_plans(
         prov = cached_why_provenance(query, db)
     target = tuple(target)
     monomials = list(prov.witnesses(target))
-    plans: List[DeletionPlan] = []
-    for deletions in enumerate_minimal_hitting_sets(
-        monomials, node_budget=node_budget
-    ):
-        effects = prov.side_effects(target, deletions)
-        plans.append(
-            DeletionPlan(
-                target=target,
-                deletions=deletions,
-                side_effects=effects,
-                algorithm="enumerate-minimal-translations",
-                objective="view",
-                optimal=False,  # individual plans carry no optimality claim
-            )
+    # The enumeration has no early exit (every translation is reported), so
+    # the whole candidate vector batches through one side-effect pass.
+    candidates = list(
+        enumerate_minimal_hitting_sets(monomials, node_budget=node_budget)
+    )
+    plans = [
+        DeletionPlan(
+            target=target,
+            deletions=deletions,
+            side_effects=effects,
+            algorithm="enumerate-minimal-translations",
+            objective="view",
+            optimal=False,  # individual plans carry no optimality claim
         )
+        for deletions, effects in zip(
+            candidates, prov.batch_side_effects(target, candidates)
+        )
+    ]
     if prefer_clean:
         plans.sort(
             key=lambda p: (p.num_side_effects, p.num_deletions, repr(p.deletions))

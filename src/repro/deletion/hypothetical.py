@@ -1,0 +1,143 @@
+"""Delta-aware hypothetical deletion evaluation.
+
+The exact deletion solvers all ask the same question in their inner loops:
+*what does the view look like after hypothetically deleting the source set
+``T``?* — for hundreds or thousands of candidate ``T``.  This module pairs a
+compiled physical plan (:mod:`repro.algebra.plan`) with a why-provenance
+kernel (:class:`~repro.provenance.bitset.BitsetProvenance`) behind one
+object, :class:`HypotheticalDeletions`, that answers the question two ways:
+
+* **mask path** (default): candidates are encoded to bitmasks over the
+  kernel's :class:`~repro.provenance.interning.SourceIndex`; survival is
+  answered through the kernel's inverted source-bit index without touching
+  the database, and whole vectors of candidates are answered in one batch
+  (:meth:`HypotheticalDeletions.batch_view_after`);
+* **compiled-plan fallback**: when provenance was refused — on the NP-hard
+  fragments the annotated evaluation itself can be exponential, which is
+  exactly what ``allow_exponential=False`` exists to avoid — the same
+  object re-executes the compiled plan against ``db.delete(T)``.  The plan
+  is compiled once and shared through the plan memo, so even the fallback
+  never re-resolves schemas or positions.
+
+Both paths return identical answers; the property tests pin the equivalence
+against the independent recursive interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.algebra.ast import Query
+from repro.algebra.plan import CompiledPlan
+from repro.algebra.relation import Database, Row
+from repro.provenance.cache import cached_plan, cached_why_provenance
+from repro.provenance.locations import SourceTuple
+from repro.provenance.why import WhyProvenance
+
+__all__ = ["HypotheticalDeletions"]
+
+#: A candidate deletion: a set of (relation name, row) source tuples.
+DeletionSet = FrozenSet[SourceTuple]
+
+
+class HypotheticalDeletions:
+    """Batch oracle for "the view after deleting ``T``" questions.
+
+    ``prov`` may be passed by callers that already computed the provenance;
+    with ``use_provenance=False`` the oracle never computes provenance and
+    always re-executes the compiled plan (the safe mode for queries whose
+    witness sets were refused as exponential).
+    """
+
+    __slots__ = ("_query", "_db", "_plan", "_prov", "_kernel", "_baseline")
+
+    def __init__(
+        self,
+        query: Query,
+        db: Database,
+        prov: Optional[WhyProvenance] = None,
+        use_provenance: bool = True,
+    ):
+        self._query = query
+        self._db = db
+        self._plan: CompiledPlan = cached_plan(query, db)
+        if prov is None and use_provenance:
+            prov = cached_why_provenance(query, db)
+        self._prov = prov
+        self._kernel = prov.kernel if prov is not None else None
+        self._baseline: Optional[FrozenSet[Row]] = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> CompiledPlan:
+        """The compiled physical plan shared by every answer."""
+        return self._plan
+
+    @property
+    def provenance(self) -> Optional[WhyProvenance]:
+        """The provenance backing the mask path, if any."""
+        return self._prov
+
+    @property
+    def uses_masks(self) -> bool:
+        """True when answers come from witness masks, not plan re-runs."""
+        return self._kernel is not None
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """The baseline view (no deletions)."""
+        if self._baseline is None:
+            if self._prov is not None:
+                self._baseline = frozenset(self._prov.rows)
+            else:
+                self._baseline = self._plan.rows(self._db)
+        return self._baseline
+
+    # ------------------------------------------------------------------
+    # Hypothetical answers
+    # ------------------------------------------------------------------
+    def view_after(self, deletions: DeletionSet) -> FrozenSet[Row]:
+        """The view's rows after hypothetically deleting ``deletions``."""
+        if self._prov is not None:  # masks on the kernel, per-row on legacy
+            return self._prov.surviving_rows(deletions)
+        return self._plan.rows(self._db.delete(deletions))
+
+    def batch_view_after(
+        self, deletion_sets: Sequence[DeletionSet]
+    ) -> List[FrozenSet[Row]]:
+        """:meth:`view_after` for a whole vector of candidates.
+
+        On the mask path the candidates are encoded once and answered
+        through a shared inverted-index pass; the fallback loops the
+        compiled plan over the hypothetical databases.
+        """
+        if self._kernel is not None:
+            kernel = self._kernel
+            masks = [kernel.encode_deletions(d) for d in deletion_sets]
+            all_rows = self.rows
+            return [
+                all_rows if not destroyed else frozenset(all_rows - destroyed)
+                for destroyed in kernel.batch_destroyed(masks)
+            ]
+        return [self.view_after(d) for d in deletion_sets]
+
+    def side_effects(
+        self, target: Row, deletions: DeletionSet
+    ) -> FrozenSet[Row]:
+        """View rows other than ``target`` destroyed by ``deletions``."""
+        target = tuple(target)
+        if self._prov is not None:
+            return self._prov.side_effects(target, deletions)
+        after = self._plan.rows(self._db.delete(deletions))
+        return frozenset(self.rows - after - {target})
+
+    def batch_side_effects(
+        self, target: Row, deletion_sets: Sequence[DeletionSet]
+    ) -> List[FrozenSet[Row]]:
+        """:meth:`side_effects` for a whole vector of candidates."""
+        target = tuple(target)
+        if self._prov is not None:
+            return self._prov.batch_side_effects(target, deletion_sets)
+        return [self.side_effects(target, d) for d in deletion_sets]

@@ -165,13 +165,19 @@ def _unique_witness_plan(
         )  # pragma: no cover - conditions 1+2 guarantee uniqueness
     (witness,) = witnesses
 
+    components = sorted(witness, key=repr)
+    if objective == "source":
+        # Any single component is optimal; only its side effects are needed.
+        components = components[:1]
+    candidates = [frozenset({component}) for component in components]
     best = None
     best_effects = None
-    for component in sorted(witness, key=repr):
-        effects = prov.side_effects(target, frozenset({component}))
+    for component, effects in zip(
+        components, prov.batch_side_effects(target, candidates)
+    ):
         if best_effects is None or len(effects) < len(best_effects):
             best, best_effects = component, effects
-            if objective == "source" or not effects:
+            if not effects:
                 break
     assert best is not None and best_effects is not None
     return DeletionPlan(

@@ -31,24 +31,28 @@ witness.  The implementations:
 * :func:`exact_source_deletion` — optimal branch-and-bound baseline,
   budget-guarded.
 
-Side effects on the view are reported (by re-evaluation) but not optimized —
-that is the defining difference from Section 2.1.
+Side effects on the view are reported but not optimized — that is the
+defining difference from Section 2.1.  Reporting goes through the
+delta-aware :class:`~repro.deletion.hypothetical.HypotheticalDeletions`
+oracle: when the witness masks are in hand the answer comes from the
+inverted source-bit index; otherwise the compiled plan re-evaluates against
+the hypothetical database (never the per-call recursive interpreter).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.errors import QueryClassError
 from repro.algebra.ast import Query
 from repro.algebra.classify import is_sj, is_spu
-from repro.algebra.evaluate import view_rows
 from repro.algebra.relation import Database, Row
 from repro.provenance.cache import cached_why_provenance
 from repro.provenance.locations import SourceTuple
 from repro.provenance.why import WhyProvenance
 from repro.deletion.chain_join import chain_join_source_deletion
-from repro.deletion.plan import DeletionPlan, apply_deletions
+from repro.deletion.hypothetical import HypotheticalDeletions
+from repro.deletion.plan import DeletionPlan
 from repro.solvers.setcover import exact_min_hitting_set, greedy_hitting_set
 
 __all__ = [
@@ -70,16 +74,24 @@ def _finish(
     deletions: Iterable[SourceTuple],
     algorithm: str,
     optimal: bool,
+    prov: Optional[WhyProvenance] = None,
 ) -> DeletionPlan:
-    """Build a plan, computing side effects by re-evaluating the query."""
+    """Build a plan, reporting side effects through the hypothetical oracle.
+
+    With a bitset-backed ``prov`` the report comes straight from the
+    witness masks; without one the compiled plan re-evaluates against the
+    hypothetical database (``use_provenance=False`` keeps the oracle from
+    computing provenance just for the report).
+    """
     target = tuple(target)
     deletions = frozenset(deletions)
-    before = view_rows(query, db)
-    after = view_rows(query, apply_deletions(db, deletions))
+    oracle = HypotheticalDeletions(
+        query, db, prov=prov, use_provenance=prov is not None
+    )
     return DeletionPlan(
         target=target,
         deletions=deletions,
-        side_effects=frozenset(before - after - {target}),
+        side_effects=oracle.side_effects(target, deletions),
         algorithm=algorithm,
         objective="source",
         optimal=optimal,
@@ -106,7 +118,9 @@ def spu_source_deletion(
     if prov is None:
         prov = cached_why_provenance(query, db)
     deletions = prov.witness_universe(target)
-    return _finish(query, db, target, deletions, "spu-unique", optimal=True)
+    return _finish(
+        query, db, target, deletions, "spu-unique", optimal=True, prov=prov
+    )
 
 
 def sj_source_deletion(
@@ -137,7 +151,8 @@ def sj_source_deletion(
     (witness,) = witnesses
     component = min(witness, key=repr)
     return _finish(
-        query, db, target, {component}, "sj-single-component", optimal=True
+        query, db, target, {component}, "sj-single-component", optimal=True,
+        prov=prov,
     )
 
 
@@ -159,7 +174,8 @@ def greedy_source_deletion(
     monomials = list(prov.witnesses(target))
     deletions = greedy_hitting_set(monomials)
     return _finish(
-        query, db, target, deletions, "greedy-hitting-set", optimal=False
+        query, db, target, deletions, "greedy-hitting-set", optimal=False,
+        prov=prov,
     )
 
 
@@ -180,5 +196,6 @@ def exact_source_deletion(
     monomials = list(prov.witnesses(target))
     deletions = exact_min_hitting_set(monomials, node_budget=node_budget)
     return _finish(
-        query, db, target, deletions, "exact-min-hitting-set", optimal=True
+        query, db, target, deletions, "exact-min-hitting-set", optimal=True,
+        prov=prov,
     )

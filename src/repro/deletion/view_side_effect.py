@@ -31,14 +31,22 @@ This module implements:
   enumerate minimal hitting sets with a budget and keep the best.
 * :func:`side_effect_free_exists` — the decision problem of the table.
 
+The candidate scans run **batched**: candidate deletion sets are collected
+into vectors (the hitting-set enumeration in chunks, to preserve its lazy
+budget-guarded behaviour) and answered through
+:meth:`~repro.provenance.why.WhyProvenance.batch_side_effects`, which on the
+bitset kernel encodes the whole vector to masks and shares the
+inverted-index lookups across candidates instead of re-answering each one
+from scratch.
+
 Every algorithm returns a verified :class:`~repro.deletion.plan.DeletionPlan`.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Iterator, List, Optional
 
-from repro.errors import QueryClassError
+from repro.errors import ExponentialGuardError, QueryClassError
 from repro.algebra.ast import Query
 from repro.algebra.classify import is_sj, is_spu
 from repro.algebra.relation import Database, Row
@@ -58,6 +66,39 @@ __all__ = [
 #: Default search budget for the exact solver on the NP-hard fragments.
 DEFAULT_NODE_BUDGET = 200_000
 
+#: Candidates per batched side-effect evaluation.  Chunking keeps the
+#: hitting-set enumeration lazy (a zero-side-effect hit stops the search at
+#: most one chunk late) while amortizing the kernel's per-batch setup.
+CANDIDATE_CHUNK = 16
+
+
+def _chunked(iterator: Iterator, size: int) -> "Iterator[List]":
+    """Consume a budget-guarded iterator in lists of at most ``size`` items.
+
+    If ``iterator`` raises :class:`ExponentialGuardError` while a chunk is
+    being filled, the partially filled chunk is yielded first and the error
+    is re-raised only when the caller asks for the next chunk.  An early
+    exit on a candidate already in hand therefore behaves exactly like the
+    unchunked scan: the guard only propagates when every enumerated
+    candidate has been examined without an answer.
+    """
+    while True:
+        chunk: List = []
+        guard: "ExponentialGuardError | None" = None
+        try:
+            for _ in range(size):
+                chunk.append(next(iterator))
+        except StopIteration:
+            pass
+        except ExponentialGuardError as error:
+            guard = error
+        if chunk:
+            yield chunk
+        if guard is not None:
+            raise guard
+        if len(chunk) < size:
+            return
+
 
 def _plan(
     prov: WhyProvenance,
@@ -65,11 +106,14 @@ def _plan(
     deletions: FrozenSet[SourceTuple],
     algorithm: str,
     optimal: bool,
+    side_effects: Optional[FrozenSet[Row]] = None,
 ) -> DeletionPlan:
+    if side_effects is None:
+        side_effects = prov.side_effects(target, deletions)
     return DeletionPlan(
         target=tuple(target),
         deletions=deletions,
-        side_effects=prov.side_effects(target, deletions),
+        side_effects=side_effects,
         algorithm=algorithm,
         objective="view",
         optimal=optimal,
@@ -130,17 +174,23 @@ def sj_view_deletion(
             f"found {len(witnesses)}"
         )
     (witness,) = witnesses
+    candidates = [
+        frozenset({component}) for component in sorted(witness, key=repr)
+    ]
     best: Optional[FrozenSet[SourceTuple]] = None
     best_effects = None
-    for component in sorted(witness, key=repr):
-        deletions = frozenset({component})
-        effects = prov.side_effects(target, deletions)
+    for deletions, effects in zip(
+        candidates, prov.batch_side_effects(target, candidates)
+    ):
         if best_effects is None or len(effects) < len(best_effects):
             best, best_effects = deletions, effects
             if not effects:
                 break
     assert best is not None
-    return _plan(prov, target, best, "sj-component-scan", optimal=True)
+    return _plan(
+        prov, target, best, "sj-component-scan", optimal=True,
+        side_effects=best_effects,
+    )
 
 
 def exact_view_deletion(
@@ -169,13 +219,19 @@ def exact_view_deletion(
     best_effects = prov.side_effects(target, best)
     if best_effects:
         best_key = (len(best_effects), len(best))
-        for candidate in candidates:
-            effects = prov.side_effects(target, candidate)
-            key = (len(effects), len(candidate))
-            if key < best_key:
-                best, best_effects, best_key = candidate, effects, key
-                if not effects:
-                    break
+        for chunk in _chunked(candidates, CANDIDATE_CHUNK):
+            done = False
+            for candidate, effects in zip(
+                chunk, prov.batch_side_effects(target, chunk)
+            ):
+                key = (len(effects), len(candidate))
+                if key < best_key:
+                    best, best_effects, best_key = candidate, effects, key
+                    if not effects:
+                        done = True
+                        break
+            if done:
+                break
     return DeletionPlan(
         target=tuple(target),
         deletions=best,
@@ -204,7 +260,9 @@ def side_effect_free_exists(
     if prov is None:
         prov = cached_why_provenance(query, db)
     monomials = list(prov.witnesses(target))
-    for candidate in enumerate_minimal_hitting_sets(monomials, node_budget=node_budget):
-        if not prov.side_effects(target, candidate):
-            return True
+    candidates = enumerate_minimal_hitting_sets(monomials, node_budget=node_budget)
+    for chunk in _chunked(candidates, CANDIDATE_CHUNK):
+        for effects in prov.batch_side_effects(target, chunk):
+            if not effects:
+                return True
     return False

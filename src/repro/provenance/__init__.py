@@ -31,6 +31,7 @@ from repro.provenance.bitset import (
 )
 from repro.provenance.cache import (
     ProvenanceCache,
+    cached_plan,
     cached_where_provenance,
     cached_why_provenance,
     provenance_cache,
@@ -70,6 +71,7 @@ __all__ = [
     "minimize_masks",
     "ProvenanceCache",
     "provenance_cache",
+    "cached_plan",
     "cached_why_provenance",
     "cached_where_provenance",
     "WhyProvenance",

@@ -13,31 +13,34 @@ representation changes:
 * survival of a row under a deletion mask ``d`` is ``any(m & d == 0)``;
 * side effects use an inverted index from source bit to the view rows whose
   witness universe contains it, so candidate evaluation only touches rows
-  the deletion can actually reach instead of scanning the whole view.
+  the deletion can actually reach instead of scanning the whole view;
+* batched hypothetical deletion (:meth:`BitsetProvenance.batch_destroyed`,
+  :meth:`BitsetProvenance.batch_side_effects_mask`) answers "which view rows
+  survive deleting mask ``m``" for whole vectors of candidate masks without
+  re-running the query — the vector-level API under
+  :class:`repro.deletion.hypothetical.HypotheticalDeletions`.
 
-Decoding back to the public ``frozenset``-of-``frozenset`` representation
-happens only at the API boundary (:meth:`BitsetProvenance.decode_witnesses`),
-so every intermediate step of the annotated evaluation runs on ints.
+The annotated evaluation itself runs on the **compiled plan layer**
+(:mod:`repro.algebra.plan`): :func:`bitset_why_provenance` compiles the
+query once through the shared plan memo and executes the plan's
+witness-annotated semantics, so schema resolution and column positions are
+never recomputed per call.  Decoding back to the public
+``frozenset``-of-``frozenset`` representation happens only at the API
+boundary (:meth:`BitsetProvenance.decode_witnesses`), so every intermediate
+step runs on ints.
 """
 
 from __future__ import annotations
 
-from operator import itemgetter
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
-from repro.errors import EvaluationError, InfeasibleError
-from repro.algebra.ast import (
-    Join,
-    Project,
-    Query,
-    RelationRef,
-    Rename,
-    Select,
-    Union,
-)
+from repro.errors import InfeasibleError
+from repro.algebra.ast import Query
 from repro.algebra.evaluate import DEFAULT_VIEW_NAME
+from repro.algebra.plan import CompiledPlan
 from repro.algebra.relation import Database, Relation, Row
 from repro.algebra.schema import Schema
+from repro.provenance.cache import cached_plan
 from repro.provenance.interning import SourceIndex, iter_bits
 from repro.provenance.locations import SourceTuple
 
@@ -201,21 +204,81 @@ class BitsetProvenance:
         affected rows — not the whole view.
         """
         target = tuple(target)
-        touched = self._touched_rows()
-        witnesses = self._witnesses
-        destroyed: Set[Row] = set()
+        destroyed = self._destroyed(
+            deletion_mask, self._touched_rows(), self._witnesses
+        )
+        destroyed.discard(target)
+        return frozenset(destroyed)
+
+    # ------------------------------------------------------------------
+    # Batched hypothetical deletion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _destroyed(
+        deletion_mask: int,
+        touched: Dict[int, Tuple[Row, ...]],
+        witnesses: Dict[Row, MaskWitnesses],
+    ) -> Set[Row]:
+        """Rows whose every witness intersects ``deletion_mask``."""
         candidates: Set[Row] = set()
         for bit_index in iter_bits(deletion_mask):
             candidates.update(touched.get(bit_index, ()))
+        destroyed: Set[Row] = set()
         for row in candidates:
-            if row == target:
-                continue
             for mask in witnesses[row]:
                 if not (mask & deletion_mask):
                     break
             else:
                 destroyed.add(row)
-        return frozenset(destroyed)
+        return destroyed
+
+    def surviving_rows(self, deletion_mask: int) -> FrozenSet[Row]:
+        """The view after hypothetically deleting ``deletion_mask``.
+
+        Equal to re-evaluating the query over the deleted database, but
+        answered from the witness masks: rows untouched by the mask's
+        inverted-index entries provably survive, the rest are tested mask
+        by mask.
+        """
+        if not deletion_mask:
+            return frozenset(self._witnesses)
+        destroyed = self._destroyed(
+            deletion_mask, self._touched_rows(), self._witnesses
+        )
+        if not destroyed:
+            return frozenset(self._witnesses)
+        return frozenset(row for row in self._witnesses if row not in destroyed)
+
+    def batch_destroyed(self, masks: Sequence[int]) -> List[FrozenSet[Row]]:
+        """Destroyed-row sets for a whole vector of candidate deletion masks.
+
+        The vector-level API of the exact solvers' candidate scans.  Each
+        answer costs the same as one :meth:`side_effects_mask`-style pass;
+        the batch's value is answering a candidate vector from the witness
+        masks instead of re-running the query per candidate (see
+        ``benchmarks/bench_plan_compile.py``'s per-candidate-vs-batched
+        ablation).
+        """
+        touched = self._touched_rows()
+        witnesses = self._witnesses
+        return [
+            frozenset(self._destroyed(mask, touched, witnesses))
+            for mask in masks
+        ]
+
+    def batch_side_effects_mask(
+        self, target: Row, masks: Sequence[int]
+    ) -> List[FrozenSet[Row]]:
+        """:meth:`side_effects_mask` for a whole vector of masks."""
+        target = tuple(target)
+        touched = self._touched_rows()
+        witnesses = self._witnesses
+        out: List[FrozenSet[Row]] = []
+        for mask in masks:
+            destroyed = self._destroyed(mask, touched, witnesses)
+            destroyed.discard(target)
+            out.append(frozenset(destroyed))
+        return out
 
     def _touched_rows(self) -> Dict[int, Tuple[Row, ...]]:
         """source bit id → view rows whose witness universe contains it."""
@@ -252,130 +315,22 @@ def bitset_why_provenance(
     db: Database,
     view_name: str = DEFAULT_VIEW_NAME,
     index: "SourceIndex | None" = None,
+    plan: "CompiledPlan | None" = None,
 ) -> BitsetProvenance:
     """Annotated evaluation of ``query`` over ``db``, natively on bitmasks.
 
     ``index`` lets callers share one interning table across several
     provenance computations over the same database; by default a fresh one
     is grown lazily, interning only the relations the query touches.
+
+    The evaluation executes the compiled physical plan's witness-annotated
+    semantics (:meth:`~repro.algebra.plan.CompiledPlan.annotated_rows`);
+    ``plan`` lets callers supply a plan they already hold, otherwise the
+    shared plan memo provides one.
     """
     if index is None:
         index = SourceIndex()
-    schema, table = _eval(query, db, index)
-    return BitsetProvenance(schema, table, index, view_name)
-
-
-def _getter(positions: "List[int] | Tuple[int, ...]"):
-    """A C-speed row projector that always returns a tuple."""
-    if not positions:
-        return lambda row: ()
-    if len(positions) == 1:
-        only = positions[0]
-        return lambda row: (row[only],)
-    return itemgetter(*positions)
-
-
-def _eval(
-    query: Query, db: Database, index: SourceIndex
-) -> Tuple[Schema, Dict[Row, MaskWitnesses]]:
-    """Recursive annotated evaluation: (schema, row → minimal masks)."""
-    if isinstance(query, RelationRef):
-        relation = db[query.name]
-        name = query.name
-        intern = index.intern
-        table = {row: (1 << intern((name, row)),) for row in relation.rows}
-        return relation.schema, table
-
-    if isinstance(query, Select):
-        schema, table = _eval(query.child, db, index)
-        query.predicate.validate(schema)
-        evaluate = query.predicate.evaluate
-        kept = {
-            row: wits for row, wits in table.items() if evaluate(schema, row)
-        }
-        return schema, kept
-
-    if isinstance(query, Project):
-        schema, table = _eval(query.child, db, index)
-        out_schema = schema.project(query.attributes)
-        image_of = _getter(schema.positions(query.attributes))
-        merged: Dict[Row, Set[int]] = {}
-        merged_get = merged.get
-        for row, wits in table.items():
-            image = image_of(row)
-            masks = merged_get(image)
-            if masks is None:
-                merged[image] = set(wits)
-            else:
-                masks.update(wits)
-        return out_schema, {
-            row: minimize_masks(masks) for row, masks in merged.items()
-        }
-
-    if isinstance(query, Join):
-        left_schema, left_table = _eval(query.left, db, index)
-        right_schema, right_table = _eval(query.right, db, index)
-        out_schema = left_schema.join(right_schema)
-        shared = left_schema.common(right_schema)
-        left_key_of = _getter(left_schema.positions(shared))
-        right_key_of = _getter(right_schema.positions(shared))
-        extra_of = _getter(
-            [
-                i
-                for i, attr in enumerate(right_schema.attributes)
-                if attr not in left_schema
-            ]
-        )
-        buckets: Dict[Tuple[object, ...], List[Tuple[Row, MaskWitnesses]]] = {}
-        for row, wits in right_table.items():
-            buckets.setdefault(right_key_of(row), []).append(
-                (extra_of(row), wits)
-            )
-        out: Dict[Row, Set[int]] = {}
-        out_get = out.get
-        for lrow, lwits in left_table.items():
-            matches = buckets.get(left_key_of(lrow))
-            if not matches:
-                continue
-            for extra, rwits in matches:
-                joined = lrow + extra
-                if len(lwits) == 1 and len(rwits) == 1:
-                    products = {lwits[0] | rwits[0]}
-                else:
-                    products = {lm | rm for lm in lwits for rm in rwits}
-                masks = out_get(joined)
-                if masks is None:
-                    out[joined] = products
-                else:
-                    masks.update(products)
-        return out_schema, {
-            row: minimize_masks(masks) for row, masks in out.items()
-        }
-
-    if isinstance(query, Union):
-        left_schema, left_table = _eval(query.left, db, index)
-        right_schema, right_table = _eval(query.right, db, index)
-        if not left_schema.is_union_compatible(right_schema):
-            raise EvaluationError(
-                f"union of incompatible schemas {left_schema.attributes} "
-                f"and {right_schema.attributes}"
-            )
-        image_of = _getter(right_schema.positions(left_schema.attributes))
-        merged = {row: set(wits) for row, wits in left_table.items()}
-        merged_get = merged.get
-        for row, wits in right_table.items():
-            image = image_of(row)
-            masks = merged_get(image)
-            if masks is None:
-                merged[image] = set(wits)
-            else:
-                masks.update(wits)
-        return left_schema, {
-            row: minimize_masks(masks) for row, masks in merged.items()
-        }
-
-    if isinstance(query, Rename):
-        schema, table = _eval(query.child, db, index)
-        return schema.rename(query.mapping_dict), table
-
-    raise EvaluationError(f"unknown query node {query!r}")
+    if plan is None:
+        plan = cached_plan(query, db)
+    table = plan.annotated_rows(db, index)
+    return BitsetProvenance(plan.schema, table, index, view_name)

@@ -1,4 +1,4 @@
-"""A shared memo for provenance computations.
+"""A shared memo for provenance computations and compiled plans.
 
 Every deletion solver, the annotation engine, and the enumeration tooling
 start by computing the provenance of the same ``(query, db)`` pair — and the
@@ -21,6 +21,14 @@ Keying and invalidation rules:
   recently used entry, releasing its references.  There is no explicit
   invalidation — updated databases are *new* objects
   (``Database.delete`` returns a copy), which simply miss.
+
+The cache also memoizes **compiled physical plans**
+(:func:`repro.algebra.plan.compile_plan`).  Plans depend only on the query
+and the *schemas* of the relations it references — not on the data — so the
+plan memo keys on ``id(query)`` plus the referenced schemas' attribute
+tuples.  Hypothetical databases produced by ``Database.delete`` keep their
+relations' schemas, so the thousands of re-evaluations the exact solvers
+perform against them all hit the same compiled plan.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Tuple, TYPE_CHECKING
 
 from repro.algebra.ast import Query
-from repro.algebra.evaluate import DEFAULT_VIEW_NAME
+from repro.algebra.plan import CompiledPlan, DEFAULT_VIEW_NAME, compile_plan
 from repro.algebra.relation import Database
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -41,6 +49,7 @@ __all__ = [
     "provenance_cache",
     "cached_why_provenance",
     "cached_where_provenance",
+    "cached_plan",
 ]
 
 #: (kind, id(query), id(db), view_name)
@@ -51,15 +60,26 @@ class ProvenanceCache:
     """Bounded identity-keyed LRU memo for provenance objects.
 
     >>> cache = ProvenanceCache(maxsize=2)
-    >>> cache.stats()
-    {'hits': 0, 'misses': 0, 'size': 0}
+    >>> cache.stats()["hits"], cache.stats()["misses"], cache.stats()["size"]
+    (0, 0, 0)
     """
 
-    __slots__ = ("_entries", "_maxsize", "_hits", "_misses")
+    __slots__ = (
+        "_entries",
+        "_maxsize",
+        "_hits",
+        "_misses",
+        "_plans",
+        "_plan_maxsize",
+        "_plan_hits",
+        "_plan_misses",
+    )
 
-    def __init__(self, maxsize: int = 64):
+    def __init__(self, maxsize: int = 64, plan_maxsize: int = 256):
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
+        if plan_maxsize < 1:
+            raise ValueError("plan_maxsize must be positive")
         #: key -> (query, db, value); query/db kept alive to pin their ids.
         self._entries: "OrderedDict[_Key, Tuple[Query, Database, Any]]" = (
             OrderedDict()
@@ -67,6 +87,14 @@ class ProvenanceCache:
         self._maxsize = maxsize
         self._hits = 0
         self._misses = 0
+        #: (id(query), schema signature) -> plan; CompiledPlan.query keeps
+        #: the query alive, so its id is never recycled while the entry lives.
+        self._plans: "OrderedDict[Tuple[int, Tuple], CompiledPlan]" = (
+            OrderedDict()
+        )
+        self._plan_maxsize = plan_maxsize
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     def get_or_compute(
         self,
@@ -90,9 +118,39 @@ class ProvenanceCache:
             self._entries.popitem(last=False)
         return value
 
+    def plan_for(self, query: Query, db: Database) -> CompiledPlan:
+        """The compiled physical plan of ``query`` over ``db``'s schemas.
+
+        Plans are memoized by query identity plus the attribute tuples of
+        the relations the query references, so hypothetical databases that
+        share schemas (e.g. produced by ``Database.delete``) reuse one
+        compiled plan.  Unknown relation names are not cached — compilation
+        raises :class:`~repro.errors.EvaluationError` each call, matching
+        the old interpreter.
+        """
+        names = sorted(query.relation_names())
+        signature = tuple(
+            (name, db[name].schema.attributes if name in db else None)
+            for name in names
+        )
+        key = (id(query), signature)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plan_hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self._plan_misses += 1
+        catalog = {name: db[name].schema for name in names if name in db}
+        plan = compile_plan(query, catalog)
+        self._plans[key] = plan
+        while len(self._plans) > self._plan_maxsize:
+            self._plans.popitem(last=False)
+        return plan
+
     def clear(self) -> None:
         """Drop every entry (used by benchmarks to time cold paths)."""
         self._entries.clear()
+        self._plans.clear()
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters and current size, for tests and diagnostics."""
@@ -100,6 +158,9 @@ class ProvenanceCache:
             "hits": self._hits,
             "misses": self._misses,
             "size": len(self._entries),
+            "plan_hits": self._plan_hits,
+            "plan_misses": self._plan_misses,
+            "plan_size": len(self._plans),
         }
 
     def __len__(self) -> int:
@@ -119,6 +180,11 @@ def cached_why_provenance(
     return provenance_cache.get_or_compute(
         "why", query, db, view_name, lambda: why_provenance(query, db, view_name)
     )
+
+
+def cached_plan(query: Query, db: Database) -> CompiledPlan:
+    """:func:`~repro.algebra.plan.compile_plan` through the shared cache."""
+    return provenance_cache.plan_for(query, db)
 
 
 def cached_where_provenance(

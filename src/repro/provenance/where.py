@@ -28,26 +28,24 @@ and view locations:
   locations at once.
 
 Because the rules compose tuple-by-tuple, the backward image is computed by
-one annotated evaluation pass, mirroring :mod:`repro.provenance.why`.
+one annotated evaluation pass, mirroring :mod:`repro.provenance.why`.  That
+pass runs on the **compiled plan layer**: :func:`where_provenance` compiles
+the query once through the shared plan memo and executes the plan's
+where-annotated semantics
+(:meth:`~repro.algebra.plan.CompiledPlan.where_rows`), where positions and
+attribute lineage through joins are resolved at compile time.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
-from repro.errors import EvaluationError, InfeasibleError
-from repro.algebra.ast import (
-    Join,
-    Project,
-    Query,
-    RelationRef,
-    Rename,
-    Select,
-    Union,
-)
+from repro.errors import InfeasibleError
+from repro.algebra.ast import Query
 from repro.algebra.evaluate import DEFAULT_VIEW_NAME
 from repro.algebra.relation import Database, Relation, Row
 from repro.algebra.schema import Schema
+from repro.provenance.cache import cached_plan
 from repro.provenance.locations import Location
 
 __all__ = ["WhereProvenance", "where_provenance", "annotate"]
@@ -163,8 +161,8 @@ def where_provenance(
     query: Query, db: Database, view_name: str = DEFAULT_VIEW_NAME
 ) -> WhereProvenance:
     """Compute the full annotation-propagation relation of ``query`` on ``db``."""
-    schema, table = _eval(query, db)
-    return WhereProvenance(schema, table, view_name)
+    plan = cached_plan(query, db)
+    return WhereProvenance(plan.schema, plan.where_rows(db), view_name)
 
 
 def annotate(
@@ -175,107 +173,3 @@ def annotate(
     Convenience wrapper over :meth:`WhereProvenance.forward`.
     """
     return where_provenance(query, db, view_name).forward(source)
-
-
-def _eval(
-    query: Query, db: Database
-) -> Tuple[Schema, Dict[ViewField, FrozenSet[Location]]]:
-    """Annotated evaluation: (schema, (row, attr) → source locations)."""
-    if isinstance(query, RelationRef):
-        relation = db[query.name]
-        table: Dict[ViewField, FrozenSet[Location]] = {}
-        for row in relation.rows:
-            for attr in relation.schema.attributes:
-                table[(row, attr)] = frozenset({Location(query.name, row, attr)})
-        return relation.schema, table
-
-    if isinstance(query, Select):
-        schema, table = _eval(query.child, db)
-        query.predicate.validate(schema)
-        surviving_rows = {
-            row for row, _ in table if query.predicate.evaluate(schema, row)
-        }
-        kept = {
-            (row, attr): sources
-            for (row, attr), sources in table.items()
-            if row in surviving_rows
-        }
-        return schema, kept
-
-    if isinstance(query, Project):
-        schema, table = _eval(query.child, db)
-        out_schema = schema.project(query.attributes)
-        positions = schema.positions(query.attributes)
-        out: Dict[ViewField, Set[Location]] = {}
-        for (row, attr), sources in table.items():
-            if attr not in out_schema:
-                continue
-            image = tuple(row[i] for i in positions)
-            out.setdefault((image, attr), set()).update(sources)
-        return out_schema, {key: frozenset(v) for key, v in out.items()}
-
-    if isinstance(query, Join):
-        left_schema, left_table = _eval(query.left, db)
-        right_schema, right_table = _eval(query.right, db)
-        out_schema = left_schema.join(right_schema)
-        shared = left_schema.common(right_schema)
-        left_rows = {row for row, _ in left_table}
-        right_rows = {row for row, _ in right_table}
-        left_key = left_schema.positions(shared)
-        right_key = right_schema.positions(shared)
-        right_extra = [
-            i
-            for i, attr in enumerate(right_schema.attributes)
-            if attr not in left_schema
-        ]
-        buckets: Dict[Tuple[object, ...], List[Row]] = {}
-        for row in right_rows:
-            buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
-        out = {}
-        for lrow in left_rows:
-            key = tuple(lrow[i] for i in left_key)
-            for rrow in buckets.get(key, ()):
-                joined = lrow + tuple(rrow[i] for i in right_extra)
-                # t.R1 = lrow, t.R2 = rrow; annotations flow from both sides,
-                # and for shared attributes from both components at once.
-                for attr in out_schema.attributes:
-                    sources: Set[Location] = set()
-                    if attr in left_schema:
-                        sources |= left_table[(lrow, attr)]
-                    if attr in right_schema:
-                        sources |= right_table[(rrow, attr)]
-                    key2 = (joined, attr)
-                    if key2 in out:
-                        out[key2] = frozenset(out[key2] | sources)
-                    else:
-                        out[key2] = frozenset(sources)
-        return out_schema, out
-
-    if isinstance(query, Union):
-        left_schema, left_table = _eval(query.left, db)
-        right_schema, right_table = _eval(query.right, db)
-        if not left_schema.is_union_compatible(right_schema):
-            raise EvaluationError(
-                f"union of incompatible schemas {left_schema.attributes} "
-                f"and {right_schema.attributes}"
-            )
-        reorder = right_schema.positions(left_schema.attributes)
-        merged: Dict[ViewField, Set[Location]] = {
-            key: set(sources) for key, sources in left_table.items()
-        }
-        for (row, attr), sources in right_table.items():
-            image = tuple(row[i] for i in reorder)
-            merged.setdefault((image, attr), set()).update(sources)
-        return left_schema, {key: frozenset(v) for key, v in merged.items()}
-
-    if isinstance(query, Rename):
-        schema, table = _eval(query.child, db)
-        mapping = query.mapping_dict
-        out_schema = schema.rename(mapping)
-        renamed = {
-            (row, mapping.get(attr, attr)): sources
-            for (row, attr), sources in table.items()
-        }
-        return out_schema, renamed
-
-    raise EvaluationError(f"unknown query node {query!r}")

@@ -38,7 +38,7 @@ case, but linear-ish on the practical instances the benchmarks use.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError, InfeasibleError, ReproError
 from repro.algebra.ast import (
@@ -198,6 +198,36 @@ class WhyProvenance:
             if row != target and not self.survives(row, deletions)
         }
         return frozenset(destroyed)
+
+    def surviving_rows(self, deletions: FrozenSet[SourceTuple]) -> FrozenSet[Row]:
+        """The view after hypothetically deleting ``deletions``.
+
+        Equal to re-evaluating the query over ``db.delete(deletions)`` but
+        answered from the witnesses, without touching the database.
+        """
+        if self._kernel is not None:
+            return self._kernel.surviving_rows(
+                self._kernel.encode_deletions(deletions)
+            )
+        return frozenset(
+            row for row in self._witnesses if self.survives(row, deletions)
+        )
+
+    def batch_side_effects(
+        self, target: Row, deletion_sets: "Sequence[FrozenSet[SourceTuple]]"
+    ) -> "List[FrozenSet[Row]]":
+        """:meth:`side_effects` for a whole vector of candidate deletions.
+
+        The batched inner loop of the exact deletion solvers: on the bitset
+        kernel the whole candidate vector is answered from the witness
+        masks through the inverted index.  Without a kernel (legacy engine)
+        this degrades to a per-candidate loop with identical answers.
+        """
+        if self._kernel is not None:
+            kernel = self._kernel
+            masks = [kernel.encode_deletions(d) for d in deletion_sets]
+            return kernel.batch_side_effects_mask(target, masks)
+        return [self.side_effects(target, d) for d in deletion_sets]
 
     def __len__(self) -> int:
         if self._kernel is not None:

@@ -73,6 +73,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PROJECT" in out
 
+    def test_plan(self, db_file, capsys):
+        assert main(["plan", db_file, QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "output schema: (user, file)" in out
+        assert "Project [user, file]" in out
+        assert "HashJoin on (group)" in out
+        assert "Scan UserGroup" in out and "Scan GroupFile" in out
+
+    def test_plan_rejects_malformed_query(self, db_file, capsys):
+        # Union of incompatible schemas fails at compile time, exit 1.
+        assert main(["plan", db_file, "UserGroup UNION GroupFile"]) == 1
+        assert "incompatible" in capsys.readouterr().err
+
     def test_witnesses(self, db_file, capsys):
         assert main(["witnesses", db_file, QUERY, '["joe", "f1"]']) == 0
         out = capsys.readouterr().out

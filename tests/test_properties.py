@@ -10,13 +10,22 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.algebra import (
+    Database,
+    Relation,
     evaluate,
+    interpret_view_rows,
     normalize,
     parse_query,
     view_rows,
 )
+from repro.algebra.plan import compile_plan
 from repro.annotation import exhaustive_placement, verify_placement
-from repro.deletion import delete_view_tuple, minimum_source_deletion, verify_plan
+from repro.deletion import (
+    HypotheticalDeletions,
+    delete_view_tuple,
+    minimum_source_deletion,
+    verify_plan,
+)
 from repro.errors import InfeasibleError
 from repro.provenance import (
     Location,
@@ -27,6 +36,15 @@ from repro.provenance import (
 from repro.workloads import random_instance
 
 seeds = st.integers(min_value=0, max_value=100_000)
+
+
+def _random_deletion_sets(db, rng, count=4, max_size=4):
+    """Random source-tuple deletion sets over ``db`` (may be empty)."""
+    tuples = list(db.all_source_tuples())
+    return [
+        frozenset(rng.sample(tuples, rng.randint(0, min(max_size, len(tuples)))))
+        for _ in range(count)
+    ]
 
 
 class TestWhyProvenanceSurvival:
@@ -122,6 +140,120 @@ class TestBitsetKernelEquivalence:
         kernel = why_provenance(query, db)
         for row in legacy.rows:
             assert kernel.witness_universe(row) == legacy.witness_universe(row)
+
+
+class TestCompiledPlanEquivalence:
+    """Compiled-plan evaluation is extensionally equal to the interpreter.
+
+    The oracle is :func:`interpret_view_rows` — the seed recursive
+    interpreter, which re-resolves everything per call and shares no code
+    with the plan layer.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds)
+    def test_rows_match_interpreter(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        catalog = {name: db[name].schema for name in db}
+        plan = compile_plan(query, catalog)
+        expected = interpret_view_rows(query, db)
+        assert plan.rows(db) == expected
+        assert view_rows(query, db) == expected  # the cached front agrees
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_one_plan_serves_hypothetical_databases(self, seed):
+        """One compiled plan answers every db.delete(T) variant correctly."""
+        db, query = random_instance(seed, max_depth=3)
+        catalog = {name: db[name].schema for name in db}
+        plan = compile_plan(query, catalog)
+        rng = random.Random(seed)
+        for deletions in _random_deletion_sets(db, rng):
+            hypo = db.delete(deletions)
+            assert plan.rows(hypo) == interpret_view_rows(query, hypo)
+
+    def test_rename_and_cross_product_join(self):
+        """Explicit coverage: Rename and no-shared-attribute (cross) joins."""
+        db = Database(
+            [
+                Relation("R", ["A", "B"], [(1, 2), (2, 3), (4, 2)]),
+                Relation("S", ["C"], [(7,), (8,)]),
+            ]
+        )
+        queries = [
+            # Cross product: R and S share no attributes.
+            parse_query("R JOIN S"),
+            # Rename then self-join (path query through renamed schema).
+            parse_query("R JOIN RENAME[A -> B, B -> C](R)"),
+            # Rename inside a union branch.
+            parse_query("PROJECT[A](R) UNION RENAME[B -> A](PROJECT[B](R))"),
+            # Rename over the cross product, then a projection.
+            parse_query("PROJECT[A, Z](R JOIN RENAME[C -> Z](S))"),
+        ]
+        for query in queries:
+            catalog = {name: db[name].schema for name in db}
+            plan = compile_plan(query, catalog)
+            assert plan.rows(db) == interpret_view_rows(query, db)
+            for deletions in [
+                frozenset(),
+                frozenset({("R", (1, 2))}),
+                frozenset({("R", (2, 3)), ("S", (7,))}),
+            ]:
+                hypo = db.delete(deletions)
+                assert plan.rows(hypo) == interpret_view_rows(query, hypo)
+
+
+class TestBatchedHypotheticalDeletion:
+    """Batched mask answers == per-candidate re-evaluation, exactly."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_batch_view_after_matches_reevaluation(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        oracle = HypotheticalDeletions(query, db)
+        rng = random.Random(seed)
+        deletion_sets = _random_deletion_sets(db, rng, count=6)
+        batched = oracle.batch_view_after(deletion_sets)
+        for deletions, after in zip(deletion_sets, batched):
+            assert after == interpret_view_rows(query, db.delete(deletions)), (
+                query,
+                deletions,
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_plan_fallback_matches_mask_path(self, seed):
+        """use_provenance=False (provenance refused) gives the same answers."""
+        db, query = random_instance(seed, max_depth=3)
+        masked = HypotheticalDeletions(query, db)
+        fallback = HypotheticalDeletions(query, db, use_provenance=False)
+        assert masked.uses_masks and not fallback.uses_masks
+        rng = random.Random(seed + 7)
+        deletion_sets = _random_deletion_sets(db, rng, count=4)
+        assert masked.batch_view_after(deletion_sets) == fallback.batch_view_after(
+            deletion_sets
+        )
+        rows = sorted(masked.rows, key=repr)
+        if rows:
+            target = rows[0]
+            assert masked.batch_side_effects(
+                target, deletion_sets
+            ) == fallback.batch_side_effects(target, deletion_sets)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_batch_side_effects_matches_single_calls(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        prov = why_provenance(query, db)
+        if not prov.rows:
+            return
+        rng = random.Random(seed + 3)
+        deletion_sets = _random_deletion_sets(db, rng, count=5)
+        target = prov.rows[rng.randrange(len(prov.rows))]
+        batched = prov.batch_side_effects(target, deletion_sets)
+        assert batched == [
+            prov.side_effects(target, d) for d in deletion_sets
+        ]
 
 
 class TestWhereProvenanceDuality:

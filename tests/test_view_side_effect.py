@@ -160,3 +160,68 @@ class TestDecision:
             exists = side_effect_free_exists(query, db, target)
             plan = exact_view_deletion(query, db, target)
             assert exists == plan.side_effect_free
+
+
+class TestChunkedCandidateScan:
+    """The batched candidate scan must not degrade the lazy guard behaviour.
+
+    A chunk is filled eagerly from the budget-guarded hitting-set
+    enumerator; if the budget trips mid-chunk, candidates already yielded
+    must still be examined (an early exit there matches the unchunked
+    scan), and the guard error must surface only afterwards.
+    """
+
+    def test_partial_chunk_yielded_before_guard(self):
+        from repro.deletion.view_side_effect import _chunked
+        from repro.errors import ExponentialGuardError
+
+        def guarded():
+            yield "a"
+            yield "b"
+            raise ExponentialGuardError("budget")
+
+        chunks = _chunked(guarded(), 16)
+        assert next(chunks) == ["a", "b"]
+        with pytest.raises(ExponentialGuardError):
+            next(chunks)
+
+    def test_immediate_guard_propagates(self):
+        from repro.deletion.view_side_effect import _chunked
+        from repro.errors import ExponentialGuardError
+
+        def guarded():
+            raise ExponentialGuardError("budget")
+            yield  # pragma: no cover
+
+        with pytest.raises(ExponentialGuardError):
+            next(_chunked(guarded(), 4))
+
+    def test_exhaustion_and_chunk_sizes(self):
+        from repro.deletion.view_side_effect import _chunked
+
+        assert list(_chunked(iter(range(7)), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert list(_chunked(iter(range(4)), 2)) == [[0, 1], [2, 3]]
+        assert list(_chunked(iter(()), 2)) == []
+
+    def test_early_exit_beats_guard(self, monkeypatch):
+        """A clean candidate found before the budget trips is still used."""
+        from repro.deletion import view_side_effect as module
+        from repro.errors import ExponentialGuardError
+
+        db = Database([Relation("R", ["A"], [(1,), (2,)])])
+        query = parse_query("R")
+
+        def guarded_enumeration(monomials, node_budget):
+            # The (unique, side-effect-free) translation, then a budget trip
+            # within the same chunk — the pre-chunking scan would have
+            # returned before ever pulling the failing candidate.
+            yield frozenset({("R", (1,))})
+            raise ExponentialGuardError("budget")
+
+        monkeypatch.setattr(
+            module, "enumerate_minimal_hitting_sets", guarded_enumeration
+        )
+        assert module.side_effect_free_exists(query, db, (1,))
+        plan = module.exact_view_deletion(query, db, (1,))
+        assert plan.deletions == frozenset({("R", (1,))})
+        assert plan.side_effect_free
