@@ -137,7 +137,9 @@ def _measure(
     return entries
 
 
-def _emit(entries: List[Dict[str, object]]) -> Dict[str, object]:
+def _emit(
+    entries: List[Dict[str, object]], json_path: str = JSON_PATH
+) -> Dict[str, object]:
     def ablation_median(ablation: str) -> float:
         return median(
             e["speedup"]
@@ -161,7 +163,13 @@ def _emit(entries: List[Dict[str, object]]) -> Dict[str, object]:
         "compile_median_speedup": ablation_median("interpreter_vs_compiled"),
         "all_answers_match": all(e["match"] for e in entries),
     }
-    with open(JSON_PATH, "w") as handle:
+    # Preserve bench_optimizer.py's section when regenerating this one.
+    if os.path.exists(json_path):
+        with open(json_path) as handle:
+            previous = json.load(handle)
+        if "optimizer" in previous:
+            data["optimizer"] = previous["optimizer"]
+    with open(json_path, "w") as handle:
         json.dump(data, handle, indent=2)
 
     rows = [
@@ -187,7 +195,7 @@ def _emit(entries: List[Dict[str, object]]) -> Dict[str, object]:
         f"{data['batch_median_speedup']:.1f}x; "
         f"median compiled-evaluation speedup: "
         f"{data['compile_median_speedup']:.1f}x",
-        f"json: {JSON_PATH}",
+        f"json: {json_path}",
     ]
     write_report("plan_compile", lines)
     return data
@@ -215,9 +223,18 @@ def test_regenerate_bench_plan(benchmark):
     benchmark(lambda: None)  # regeneration is correctness-, not time-bound
 
 
-def main() -> None:
+def main(argv: "list[str] | None" = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=JSON_PATH,
+        help="path of the BENCH_plan.json file to write",
+    )
+    args = parser.parse_args(argv)
     entries = _measure(build_scenarios(), repeats=5)
-    data = _emit(entries)
+    data = _emit(entries, json_path=args.json)
     if not data["all_answers_match"]:
         raise SystemExit("answer mismatch — see report")
     if data["batch_median_speedup"] < 2.0:

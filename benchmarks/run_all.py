@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark harnesses.
 
-Two modes:
+Three modes:
 
 * ``python benchmarks/run_all.py`` — the full sweep: every harness at every
   size, with pytest-benchmark timing enabled.  Slow; regenerates all the
@@ -10,8 +10,15 @@ Two modes:
   each harness once at its smallest size, timing collection disabled.
   Finishes in seconds, so kernel regressions (correctness or a gross perf
   cliff tripping an assertion) surface without paying full benchmark cost.
+* ``python benchmarks/run_all.py --compare BASELINE.json`` — the CI perf
+  gate: regenerate the tracked plan/optimizer medians into a scratch file
+  (``bench_plan_compile.py`` + ``bench_optimizer.py``), then fail if any
+  tracked median regressed more than 25% against the committed baseline
+  (normally the repository's ``BENCH_plan.json``).  Medians are speedup
+  *ratios* measured baseline-vs-new on the same machine, so they transfer
+  across hosts far better than absolute timings.
 
-Extra arguments are forwarded to pytest, e.g.::
+Extra arguments are forwarded to pytest (smoke/full modes), e.g.::
 
     python benchmarks/run_all.py --smoke -k provenance
 """
@@ -19,13 +26,97 @@ Extra arguments are forwarded to pytest, e.g.::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
+import tempfile
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
 SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+#: Dotted paths of the medians the --compare gate tracks, and the fraction
+#: of the baseline value a fresh run must reach (1 - tolerance).
+TRACKED_MEDIANS = (
+    "batch_median_speedup",
+    "compile_median_speedup",
+    "optimizer.median_speedup",
+)
+REGRESSION_TOLERANCE = 0.25
+
+
+def _bench_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _lookup(data: dict, dotted: str):
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def run_compare(baseline_path: str) -> int:
+    """Regenerate the tracked medians and gate them against ``baseline_path``."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    with tempfile.TemporaryDirectory(prefix="bench-compare-") as scratch:
+        fresh_path = os.path.join(scratch, "BENCH_plan.json")
+        for script in ("bench_plan_compile.py", "bench_optimizer.py"):
+            code = subprocess.call(
+                [
+                    sys.executable,
+                    os.path.join(BENCH_DIR, script),
+                    "--json",
+                    fresh_path,
+                ],
+                cwd=REPO_ROOT,
+                env=_bench_env(),
+            )
+            if code != 0:
+                print(f"compare: {script} failed with exit code {code}")
+                return code
+        with open(fresh_path) as handle:
+            fresh = json.load(handle)
+
+    floor_factor = 1.0 - REGRESSION_TOLERANCE
+    failures = []
+    print(f"\nperf gate vs {baseline_path} (tolerance {REGRESSION_TOLERANCE:.0%}):")
+    for dotted in TRACKED_MEDIANS:
+        base = _lookup(baseline, dotted)
+        new = _lookup(fresh, dotted)
+        if base is None:
+            print(f"  {dotted}: not in baseline — skipped")
+            continue
+        if new is None:
+            failures.append(f"{dotted}: missing from the fresh run")
+            continue
+        floor = base * floor_factor
+        verdict = "ok" if new >= floor else "REGRESSED"
+        print(
+            f"  {dotted}: baseline {base:.2f}x, fresh {new:.2f}x "
+            f"(floor {floor:.2f}x) — {verdict}"
+        )
+        if new < floor:
+            failures.append(
+                f"{dotted}: {new:.2f}x is below {floor:.2f}x "
+                f"(baseline {base:.2f}x - {REGRESSION_TOLERANCE:.0%})"
+            )
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("perf gate passed")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -35,18 +126,29 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="run only the bench_smoke subset (smallest sizes, no timing)",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        help="regenerate the tracked medians and fail if any regresses "
+        f"more than {REGRESSION_TOLERANCE:.0%} vs this baseline",
+    )
     args, passthrough = parser.parse_known_args(argv)
+
+    if args.compare:
+        if passthrough:
+            print(
+                "error: --compare runs the full gate and forwards nothing "
+                f"to pytest; unexpected arguments: {passthrough}"
+            )
+            return 2
+        return run_compare(args.compare)
 
     cmd = [sys.executable, "-m", "pytest", BENCH_DIR, "-q"]
     if args.smoke:
         cmd += ["-m", "bench_smoke", "--benchmark-disable"]
     cmd += passthrough
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = SRC_DIR + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=_bench_env())
 
 
 if __name__ == "__main__":

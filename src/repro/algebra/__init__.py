@@ -36,6 +36,16 @@ from repro.algebra.evaluate import (
     view_rows,
 )
 from repro.algebra.plan import CompiledPlan, PlanNode, compile_plan
+from repro.algebra.optimizer import (
+    DEFAULT_OPTIMIZER_LEVEL,
+    OptimizationResult,
+    optimize,
+)
+from repro.algebra.stats import (
+    TableStatistics,
+    estimate_query,
+    stats_version,
+)
 from repro.algebra.classify import (
     assert_normal_form,
     chain_join_order,
@@ -100,10 +110,16 @@ __all__ = [
     "view_rows",
     "interpret_view_rows",
     "output_schema",
-    # compiled plans
+    # compiled plans + the optimizer pipeline
     "CompiledPlan",
     "PlanNode",
     "compile_plan",
+    "DEFAULT_OPTIMIZER_LEVEL",
+    "OptimizationResult",
+    "optimize",
+    "TableStatistics",
+    "estimate_query",
+    "stats_version",
     # classification
     "query_class",
     "uses_only",

@@ -7,12 +7,17 @@ where-annotated) re-resolved schemas, re-validated predicates, and recomputed
 join/projection column positions on **every** call.  This module separates
 those two costs:
 
-* :func:`compile_plan` walks the query tree once against a catalog (relation
-  name → :class:`~repro.algebra.schema.Schema`) and produces a tree of
-  physical operator nodes — :class:`ScanOp`, :class:`FilterOp`,
-  :class:`ProjectOp`, :class:`HashJoinOp`, :class:`UnionOp`,
-  :class:`RenameOp` — with all schema resolution, predicate binding, column
-  positions, join keys, and union reorders frozen into the nodes;
+* :func:`compile_plan` is a **staged compiler**: it validates the query
+  tree once against a catalog (relation name →
+  :class:`~repro.algebra.schema.Schema`), optionally rewrites it through
+  the statistics-driven rule pipeline of :mod:`repro.algebra.optimizer`
+  (selection pushdown, greedy join reordering, projection pruning), and
+  produces a tree of physical operator nodes — :class:`ScanOp`,
+  :class:`FilterOp`, :class:`ProjectOp`, :class:`HashJoinOp`,
+  :class:`UnionOp`, :class:`RenameOp` — with all schema resolution,
+  predicate binding, column positions, join keys, and union reorders
+  frozen into the nodes (and, on the optimized path, residual predicates
+  and column masks fused into the scans);
 * the resulting :class:`CompiledPlan` then executes against any database
   with the catalog's schemas, in three semantics sharing one operator tree:
 
@@ -76,6 +81,7 @@ from repro.algebra.predicates import (
     Predicate,
     TruePredicate,
 )
+from repro.algebra.optimizer import optimize
 from repro.algebra.relation import Database, Relation, Row
 from repro.algebra.schema import Schema
 
@@ -216,43 +222,150 @@ class PlanNode:
 
 
 class ScanOp(PlanNode):
-    """Scan a base relation; validates the runtime schema still matches."""
+    """Scan a base relation; validates the runtime schema still matches.
 
-    __slots__ = ("name",)
+    The optimized physical planner may fuse work into the scan:
 
-    def __init__(self, name: str, schema: Schema):
+    * a **residual predicate** (``predicate``/``test``), applied to each
+      base row before anything else — the landing site of selection
+      pushdown;
+    * a **column mask** (``columns``), base-schema positions the scan
+      emits — the landing site of projection pruning.
+
+    Provenance semantics are untouched by fusion: witness masks intern the
+    *full* base row before the column mask applies, and where-locations
+    always carry the full base row, exactly as a ``Filter``/``Project``
+    pair over an unfused scan would produce.  Filtering before interning is
+    sound because a filtered-out base row contributes no witness downstream.
+    """
+
+    __slots__ = ("name", "base_schema", "predicate", "test", "columns", "image_of")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        predicate: Optional[Predicate] = None,
+        test: Optional[RowTest] = None,
+        columns: Optional[Tuple[int, ...]] = None,
+    ):
         self.name = name
-        self.schema = schema
+        self.base_schema = schema
+        self.predicate = predicate
+        self.test = test
+        self.columns = columns
+        if columns is None:
+            self.schema = schema
+            self.image_of = None
+        else:
+            self.schema = Schema(
+                tuple(schema.attributes[i] for i in columns)
+            )
+            self.image_of = _getter(columns)
+
+    # -- fusion (used only when compiling an optimized logical tree) ----
+    def fuse_filter(self, predicate: Predicate) -> "ScanOp":
+        """This scan with ``predicate`` conjoined into the residual filter.
+
+        The predicate mentions only visible (emitted) attributes, whose
+        names and values are identical on the full base row, so it binds
+        against the base schema and runs before the column mask.
+        """
+        test = bind_predicate(predicate, self.base_schema)  # SchemaError
+        if self.test is None:
+            fused_pred, fused_test = predicate, test
+        else:
+            previous = self.test
+            fused_pred = And(self.predicate, predicate)
+            fused_test = lambda row: previous(row) and test(row)
+        return ScanOp(
+            self.name, self.base_schema, fused_pred, fused_test, self.columns
+        )
+
+    def fuse_project(self, attributes: "Tuple[str, ...]") -> "ScanOp":
+        """This scan emitting only ``attributes`` (composed column mask)."""
+        visible_positions = self.schema.positions(attributes)  # SchemaError
+        if self.columns is None:
+            columns = visible_positions
+        else:
+            columns = tuple(self.columns[p] for p in visible_positions)
+        return ScanOp(
+            self.name, self.base_schema, self.predicate, self.test, columns
+        )
 
     def describe(self) -> str:
-        return f"Scan {self.name} schema=({', '.join(self.schema.attributes)})"
+        text = f"Scan {self.name} schema=({', '.join(self.base_schema.attributes)})"
+        if self.predicate is not None:
+            text += f" filter=[{self.predicate!r}]"
+        if self.columns is not None:
+            text += f" cols={self.columns}"
+        return text
 
     def _relation(self, db: Database) -> Relation:
         relation = db[self.name]  # EvaluationError when missing
-        if relation.schema != self.schema:
+        if relation.schema != self.base_schema:
             raise EvaluationError(
                 f"compiled plan is stale: relation {self.name!r} has schema "
                 f"{relation.schema.attributes}, plan was compiled against "
-                f"{self.schema.attributes}"
+                f"{self.base_schema.attributes}"
             )
         return relation
 
+    def _base_rows(self, db: Database) -> "Iterable[Row]":
+        rows = self._relation(db).rows
+        test = self.test
+        if test is None:
+            return rows
+        return [row for row in rows if test(row)]
+
     def rows(self, db: Database) -> "Iterable[Row]":
-        return self._relation(db).rows
+        rows = self._base_rows(db)
+        image_of = self.image_of
+        if image_of is None:
+            return rows
+        return {image_of(row) for row in rows}
 
     def annotated(self, db, intern, minimize) -> Dict[Row, MaskWitnesses]:
         name = self.name
-        return {
-            row: (1 << intern((name, row)),) for row in self._relation(db).rows
-        }
+        rows = self._base_rows(db)
+        image_of = self.image_of
+        if image_of is None:
+            return {row: (1 << intern((name, row)),) for row in rows}
+        merged: Dict[Row, Set[int]] = {}
+        merged_get = merged.get
+        for row in rows:
+            image = image_of(row)
+            mask = 1 << intern((name, row))
+            masks = merged_get(image)
+            if masks is None:
+                merged[image] = {mask}
+            else:
+                masks.add(mask)
+        return {row: minimize(masks) for row, masks in merged.items()}
 
     def where(self, db, make_location):
         name = self.name
+        rows = self._base_rows(db)
         attrs = self.schema.attributes
-        return {
-            row: [{make_location(name, row, attr)} for attr in attrs]
-            for row in self._relation(db).rows
-        }
+        image_of = self.image_of
+        if image_of is None:
+            return {
+                row: [{make_location(name, row, attr)} for attr in attrs]
+                for row in rows
+            }
+        merged: "Dict[Row, List[Set[object]]]" = {}
+        merged_get = merged.get
+        for row in rows:
+            image = image_of(row)
+            existing = merged_get(image)
+            if existing is None:
+                merged[image] = [
+                    {make_location(name, row, attr)} for attr in attrs
+                ]
+            else:
+                for position, attr in enumerate(attrs):
+                    existing[position].add(make_location(name, row, attr))
+        return merged
 
 
 class FilterOp(PlanNode):
@@ -610,13 +723,34 @@ class CompiledPlan:
     :class:`EvaluationError` on a stale plan).
     """
 
-    __slots__ = ("query", "root", "schema", "source_names")
+    __slots__ = (
+        "query",
+        "root",
+        "schema",
+        "source_names",
+        "logical",
+        "optimizer_level",
+        "rewrites",
+    )
 
-    def __init__(self, query: Query, root: PlanNode):
+    def __init__(
+        self,
+        query: Query,
+        root: PlanNode,
+        logical: "Query | None" = None,
+        optimizer_level: int = 0,
+        rewrites: Tuple[str, ...] = (),
+    ):
         self.query = query
         self.root = root
         self.schema = root.schema
         self.source_names: Tuple[str, ...] = tuple(sorted(query.relation_names()))
+        #: The logical tree the physical plan was compiled from: the input
+        #: query at level 0, the rewritten tree otherwise.
+        self.logical: Query = query if logical is None else logical
+        self.optimizer_level = optimizer_level
+        #: Names of the optimizer rules that fired, in order.
+        self.rewrites = rewrites
 
     # -- plain set semantics ------------------------------------------
     def rows(self, db: Database) -> FrozenSet[Row]:
@@ -673,20 +807,100 @@ class CompiledPlan:
         )
 
 
-def compile_plan(query: Query, catalog: Mapping[str, Schema]) -> CompiledPlan:
+def compile_plan(
+    query: Query,
+    catalog: Mapping[str, Schema],
+    optimizer_level: int = 0,
+    stats: "object | None" = None,
+) -> CompiledPlan:
     """Compile ``query`` against ``catalog`` into a :class:`CompiledPlan`.
 
-    All static validation happens here, once: unknown base relations raise
-    :class:`EvaluationError` (matching the interpreter's runtime lookup),
-    incompatible unions raise :class:`EvaluationError` with the historical
-    message, and predicate/projection/rename schema problems raise
-    :class:`SchemaError`.  Children compile before their parent validates,
-    so error precedence matches the old bottom-up interpreters.
+    This is a **staged pipeline**:
+
+    1. *validation / baseline physical planning* — the query is compiled
+       exactly as written.  All static validation happens here, once:
+       unknown base relations raise :class:`EvaluationError` (matching the
+       interpreter's runtime lookup), incompatible unions raise
+       :class:`EvaluationError` with the historical message, and
+       predicate/projection/rename schema problems raise
+       :class:`SchemaError`.  Children compile before their parent
+       validates, so error precedence matches the old bottom-up
+       interpreters — at every optimizer level.
+    2. *logical rewriting* (``optimizer_level >= 1``) — the rule pipeline
+       of :mod:`repro.algebra.optimizer` (selection pushdown, greedy join
+       reordering driven by ``stats``, projection pruning) rewrites the
+       validated tree.
+    3. *physical planning with fusion* — the rewritten tree is compiled
+       with Filter/Project fusion into :class:`ScanOp` (residual
+       predicates and column masks).
+
+    ``stats`` is an optional :class:`repro.algebra.stats.TableStatistics`;
+    without it the optimizer falls back to uniform default cardinalities
+    (pushdown and pruning still apply; join reordering degrades to
+    avoiding cross products).  Level 0 is byte-for-byte the historical
+    single-shot compiler.
     """
-    return CompiledPlan(query, _compile(query, catalog))
+    if optimizer_level <= 0:
+        return CompiledPlan(query, _compile(query, catalog))
+    _validate(query, catalog)  # same errors, same order, no throwaway tree
+    result = optimize(query, catalog, stats=stats, level=optimizer_level)
+    return CompiledPlan(
+        query,
+        _compile(result.query, catalog, fuse=True),
+        logical=result.query,
+        optimizer_level=optimizer_level,
+        rewrites=result.applied,
+    )
 
 
-def _compile(query: Query, catalog: Mapping[str, Schema]) -> PlanNode:
+def _validate(query: Query, catalog: Mapping[str, Schema]) -> Schema:
+    """Validate ``query`` bottom-up with :func:`_compile`'s exact errors.
+
+    Mirrors the checks the physical compiler performs — same exception
+    types, messages, and child-before-parent precedence — without
+    building the operator tree the optimized path would immediately
+    discard.
+    """
+    if isinstance(query, RelationRef):
+        try:
+            return catalog[query.name]
+        except KeyError:
+            raise EvaluationError(
+                f"catalog has no relation named {query.name!r}; "
+                f"known relations: {sorted(catalog)}"
+            ) from None
+
+    if isinstance(query, Select):
+        schema = _validate(query.child, catalog)
+        bind_predicate(query.predicate, schema)  # SchemaError
+        return schema
+
+    if isinstance(query, Project):
+        return _validate(query.child, catalog).project(query.attributes)
+
+    if isinstance(query, Join):
+        left = _validate(query.left, catalog)
+        return left.join(_validate(query.right, catalog))
+
+    if isinstance(query, Union):
+        left = _validate(query.left, catalog)
+        right = _validate(query.right, catalog)
+        if not left.is_union_compatible(right):
+            raise EvaluationError(
+                f"union of incompatible schemas {left.attributes} "
+                f"and {right.attributes}"
+            )
+        return left
+
+    if isinstance(query, Rename):
+        return _validate(query.child, catalog).rename(query.mapping_dict)
+
+    raise EvaluationError(f"unknown query node {query!r}")
+
+
+def _compile(
+    query: Query, catalog: Mapping[str, Schema], fuse: bool = False
+) -> PlanNode:
     if isinstance(query, RelationRef):
         try:
             schema = catalog[query.name]
@@ -698,25 +912,34 @@ def _compile(query: Query, catalog: Mapping[str, Schema]) -> PlanNode:
         return ScanOp(query.name, schema)
 
     if isinstance(query, Select):
-        child = _compile(query.child, catalog)
+        child = _compile(query.child, catalog, fuse)
+        if fuse and isinstance(child, ScanOp):
+            # Validate against the visible schema first (same SchemaError a
+            # FilterOp would raise), then bind to the base row.
+            query.predicate.validate(child.schema)
+            return child.fuse_filter(query.predicate)
         test = bind_predicate(query.predicate, child.schema)  # SchemaError
         return FilterOp(child, query.predicate, test)
 
     if isinstance(query, Project):
-        child = _compile(query.child, catalog)
+        child = _compile(query.child, catalog, fuse)
+        if fuse and isinstance(child, ScanOp):
+            return child.fuse_project(tuple(query.attributes))
         return ProjectOp(child, query.attributes)
 
     if isinstance(query, Join):
         return HashJoinOp(
-            _compile(query.left, catalog), _compile(query.right, catalog)
+            _compile(query.left, catalog, fuse),
+            _compile(query.right, catalog, fuse),
         )
 
     if isinstance(query, Union):
         return UnionOp(
-            _compile(query.left, catalog), _compile(query.right, catalog)
+            _compile(query.left, catalog, fuse),
+            _compile(query.right, catalog, fuse),
         )
 
     if isinstance(query, Rename):
-        return RenameOp(_compile(query.child, catalog), query.mapping_dict)
+        return RenameOp(_compile(query.child, catalog, fuse), query.mapping_dict)
 
     raise EvaluationError(f"unknown query node {query!r}")

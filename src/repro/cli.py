@@ -33,10 +33,11 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ParseError, ReproError
 from repro.algebra import (
     Database,
     Relation,
+    TableStatistics,
     compile_plan,
     evaluate,
     is_normal_form,
@@ -46,6 +47,7 @@ from repro.algebra import (
     render_query_tree,
     render_relation,
 )
+from repro.algebra.ast import Query
 from repro.algebra.render import render_plan
 from repro.annotation import place_annotation
 from repro.deletion import delete_view_tuple, minimum_source_deletion, verify_plan
@@ -77,6 +79,48 @@ def load_database(path: str) -> Database:
     return Database(relations)
 
 
+def _parse_query_cli(text: str) -> Query:
+    """Parse a query, pointing at the offending token on failure.
+
+    A :class:`ParseError` carries the character offset of the problem; the
+    CLI renders the query with a caret under that position so the error
+    names the offending subexpression instead of just describing it.
+    """
+    try:
+        return parse_query(text)
+    except ParseError as err:
+        if err.position is None or err.position < 0:
+            raise
+        caret = " " * err.position + "^"
+        raise ReproError(
+            f"{err}\nin query:\n  {text}\n  {caret}"
+        ) from None
+
+
+def _locate_ill_typed_subquery(query: Query, catalog) -> "Query | None":
+    """The smallest subquery that fails schema inference over ``catalog``.
+
+    Children are smaller than their parents, so scanning subqueries in
+    size order finds the innermost offender first.
+    """
+    for sub in sorted(query.subqueries(), key=Query.size):
+        try:
+            sub.output_schema(catalog)
+        except ReproError:
+            return sub
+    return None
+
+
+def _reraise_with_subexpression(err: ReproError, query: Query, catalog) -> None:
+    """Re-raise ``err`` naming the offending subexpression, rendered."""
+    offender = _locate_ill_typed_subquery(query, catalog)
+    if offender is None:
+        raise err
+    raise ReproError(
+        f"{err}\nin subexpression:\n{render_query_tree(offender, '  ')}"
+    ) from None
+
+
 def _parse_row(text: str) -> tuple:
     """Parse a view row given as a JSON array on the command line."""
     try:
@@ -97,12 +141,12 @@ def _cmd_show(args: argparse.Namespace) -> None:
 
 def _cmd_eval(args: argparse.Namespace) -> None:
     db = load_database(args.database)
-    query = parse_query(args.query)
+    query = _parse_query_cli(args.query)
     print(render_relation(evaluate(query, db)))
 
 
 def _cmd_classify(args: argparse.Namespace) -> None:
-    query = parse_query(args.query)
+    query = _parse_query_cli(args.query)
     letters = query_class(query, include_rename=True)
     print(f"operators: {letters or '(none)'}")
     print(f"normal form: {is_normal_form(query)}")
@@ -111,23 +155,38 @@ def _cmd_classify(args: argparse.Namespace) -> None:
 
 def _cmd_normalize(args: argparse.Namespace) -> None:
     db = load_database(args.database)
-    query = parse_query(args.query)
+    query = _parse_query_cli(args.query)
     catalog = {name: db[name].schema for name in db}
-    print(render_query_tree(normalize(query, catalog)))
+    try:
+        print(render_query_tree(normalize(query, catalog)))
+    except ReproError as err:
+        _reraise_with_subexpression(err, query, catalog)
 
 
 def _cmd_plan(args: argparse.Namespace) -> None:
     db = load_database(args.database)
-    query = parse_query(args.query)
+    query = _parse_query_cli(args.query)
     catalog = {name: db[name].schema for name in db}
-    plan = compile_plan(query, catalog)
+    if args.optimize:
+        stats = TableStatistics.from_database(db, sorted(query.relation_names()))
+        plan = compile_plan(query, catalog, optimizer_level=1, stats=stats)
+    else:
+        plan = compile_plan(query, catalog)
     print(f"output schema: ({', '.join(plan.schema.attributes)})")
-    print(render_plan(plan))
+    print("logical plan (input):")
+    print(render_query_tree(query, "  "))
+    if args.optimize:
+        print("logical plan (optimized):")
+        print(render_query_tree(plan.logical, "  "))
+        applied = ", ".join(plan.rewrites) if plan.rewrites else "none"
+        print(f"applied rewrites: {applied}")
+    print("physical plan:")
+    print(render_plan(plan, "  "))
 
 
 def _cmd_witnesses(args: argparse.Namespace) -> None:
     db = load_database(args.database)
-    query = parse_query(args.query)
+    query = _parse_query_cli(args.query)
     row = _parse_row(args.row)
     prov = why_provenance(query, db)
     for index, witness in enumerate(sorted(prov.witnesses(row), key=repr), 1):
@@ -137,7 +196,7 @@ def _cmd_witnesses(args: argparse.Namespace) -> None:
 
 def _cmd_delete(args: argparse.Namespace) -> None:
     db = load_database(args.database)
-    query = parse_query(args.query)
+    query = _parse_query_cli(args.query)
     row = _parse_row(args.row)
     if args.objective == "view":
         plan = delete_view_tuple(
@@ -161,7 +220,7 @@ def _cmd_delete(args: argparse.Namespace) -> None:
 
 def _cmd_annotate(args: argparse.Namespace) -> None:
     db = load_database(args.database)
-    query = parse_query(args.query)
+    query = _parse_query_cli(args.query)
     row = _parse_row(args.row)
     target = Location("V", row, args.attribute)
     placement = place_annotation(
@@ -202,10 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_norm.set_defaults(handler=_cmd_normalize)
 
     p_plan = sub.add_parser(
-        "plan", help="print the compiled physical plan for a query"
+        "plan",
+        help="print the logical (before/after rewriting) and physical plans",
     )
     p_plan.add_argument("database")
     p_plan.add_argument("query")
+    p_plan.add_argument(
+        "--optimize",
+        default=True,
+        action=argparse.BooleanOptionalAction,
+        help="run the statistics-driven logical rewriter (default: on; "
+        "--no-optimize compiles the query exactly as written)",
+    )
     p_plan.set_defaults(handler=_cmd_plan)
 
     p_wit = sub.add_parser("witnesses", help="list a view tuple's minimal witnesses")

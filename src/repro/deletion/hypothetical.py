@@ -57,10 +57,11 @@ class HypotheticalDeletions:
         db: Database,
         prov: Optional[WhyProvenance] = None,
         use_provenance: bool = True,
+        optimizer_level: Optional[int] = None,
     ):
         self._query = query
         self._db = db
-        self._plan: CompiledPlan = cached_plan(query, db)
+        self._plan: CompiledPlan = cached_plan(query, db, optimizer_level)
         if prov is None and use_provenance:
             prov = cached_why_provenance(query, db)
         self._prov = prov

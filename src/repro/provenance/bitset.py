@@ -316,6 +316,7 @@ def bitset_why_provenance(
     view_name: str = DEFAULT_VIEW_NAME,
     index: "SourceIndex | None" = None,
     plan: "CompiledPlan | None" = None,
+    optimizer_level: "int | None" = None,
 ) -> BitsetProvenance:
     """Annotated evaluation of ``query`` over ``db``, natively on bitmasks.
 
@@ -326,11 +327,14 @@ def bitset_why_provenance(
     The evaluation executes the compiled physical plan's witness-annotated
     semantics (:meth:`~repro.algebra.plan.CompiledPlan.annotated_rows`);
     ``plan`` lets callers supply a plan they already hold, otherwise the
-    shared plan memo provides one.
+    shared plan memo provides one at ``optimizer_level`` (``None`` = the
+    library default).  Witness masks are invariant under the optimizer's
+    rewrites — given the same ``index``, an optimized and an unoptimized
+    plan produce identical masks (pinned by the soundness property tests).
     """
     if index is None:
         index = SourceIndex()
     if plan is None:
-        plan = cached_plan(query, db)
+        plan = cached_plan(query, db, optimizer_level)
     table = plan.annotated_rows(db, index)
     return BitsetProvenance(plan.schema, table, index, view_name)

@@ -23,12 +23,18 @@ Keying and invalidation rules:
   (``Database.delete`` returns a copy), which simply miss.
 
 The cache also memoizes **compiled physical plans**
-(:func:`repro.algebra.plan.compile_plan`).  Plans depend only on the query
-and the *schemas* of the relations it references — not on the data — so the
-plan memo keys on ``id(query)`` plus the referenced schemas' attribute
-tuples.  Hypothetical databases produced by ``Database.delete`` keep their
-relations' schemas, so the thousands of re-evaluations the exact solvers
-perform against them all hit the same compiled plan.
+(:func:`repro.algebra.plan.compile_plan`).  An *unoptimized* plan depends
+only on the query and the *schemas* of the relations it references; an
+*optimized* plan additionally depends on the optimizer level and on the
+table statistics the rewriter consulted.  The plan memo therefore keys on
+``(id(query), schema signature, optimizer level, stats version)``, where
+the stats version buckets per-relation row counts by powers of two
+(:func:`repro.algebra.stats.stats_version`): hypothetical databases
+produced by ``Database.delete`` differ by a handful of rows, keep their
+bucket, and so keep hitting one compiled plan — while a database whose
+cardinalities drifted by ~2× or more can never be served a plan optimized
+for stale statistics.  Optimized and unoptimized plans for the same query
+coexist under distinct keys.
 """
 
 from __future__ import annotations
@@ -37,8 +43,10 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Tuple, TYPE_CHECKING
 
 from repro.algebra.ast import Query
+from repro.algebra.optimizer import DEFAULT_OPTIMIZER_LEVEL
 from repro.algebra.plan import CompiledPlan, DEFAULT_VIEW_NAME, compile_plan
 from repro.algebra.relation import Database
+from repro.algebra.stats import TableStatistics, stats_version
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.provenance.where import WhereProvenance
@@ -87,8 +95,9 @@ class ProvenanceCache:
         self._maxsize = maxsize
         self._hits = 0
         self._misses = 0
-        #: (id(query), schema signature) -> plan; CompiledPlan.query keeps
-        #: the query alive, so its id is never recycled while the entry lives.
+        #: (id(query), schema signature, optimizer level, stats version) ->
+        #: plan; CompiledPlan.query keeps the query alive, so its id is
+        #: never recycled while the entry lives.
         self._plans: "OrderedDict[Tuple[int, Tuple], CompiledPlan]" = (
             OrderedDict()
         )
@@ -118,22 +127,35 @@ class ProvenanceCache:
             self._entries.popitem(last=False)
         return value
 
-    def plan_for(self, query: Query, db: Database) -> CompiledPlan:
+    def plan_for(
+        self,
+        query: Query,
+        db: Database,
+        optimizer_level: "int | None" = None,
+    ) -> CompiledPlan:
         """The compiled physical plan of ``query`` over ``db``'s schemas.
 
-        Plans are memoized by query identity plus the attribute tuples of
-        the relations the query references, so hypothetical databases that
-        share schemas (e.g. produced by ``Database.delete``) reuse one
-        compiled plan.  Unknown relation names are not cached — compilation
+        ``optimizer_level`` ``None`` means the library default
+        (:data:`repro.algebra.optimizer.DEFAULT_OPTIMIZER_LEVEL`); 0
+        compiles the query exactly as written.  Plans are memoized by
+        query identity, the attribute tuples of the referenced relations,
+        the optimizer level, and (for optimized plans) the statistics
+        version — bucketed row counts — so hypothetical databases that
+        share schemas and size buckets (e.g. produced by
+        ``Database.delete``) reuse one compiled plan, while a database
+        whose cardinalities changed materially gets a fresh optimized
+        compile.  Unknown relation names are not cached — compilation
         raises :class:`~repro.errors.EvaluationError` each call, matching
         the old interpreter.
         """
+        level = DEFAULT_OPTIMIZER_LEVEL if optimizer_level is None else optimizer_level
         names = sorted(query.relation_names())
         signature = tuple(
             (name, db[name].schema.attributes if name in db else None)
             for name in names
         )
-        key = (id(query), signature)
+        version = stats_version(db, names) if level > 0 else None
+        key = (id(query), signature, level, version)
         plan = self._plans.get(key)
         if plan is not None:
             self._plan_hits += 1
@@ -141,7 +163,14 @@ class ProvenanceCache:
             return plan
         self._plan_misses += 1
         catalog = {name: db[name].schema for name in names if name in db}
-        plan = compile_plan(query, catalog)
+        # Lazy: statistics walk every row of the referenced relations, and
+        # the optimizer only consults them when it actually reorders a bush.
+        stats = (
+            (lambda: TableStatistics.from_database(db, names))
+            if level > 0
+            else None
+        )
+        plan = compile_plan(query, catalog, optimizer_level=level, stats=stats)
         self._plans[key] = plan
         while len(self._plans) > self._plan_maxsize:
             self._plans.popitem(last=False)
@@ -182,9 +211,11 @@ def cached_why_provenance(
     )
 
 
-def cached_plan(query: Query, db: Database) -> CompiledPlan:
+def cached_plan(
+    query: Query, db: Database, optimizer_level: "int | None" = None
+) -> CompiledPlan:
     """:func:`~repro.algebra.plan.compile_plan` through the shared cache."""
-    return provenance_cache.plan_for(query, db)
+    return provenance_cache.plan_for(query, db, optimizer_level)
 
 
 def cached_where_provenance(

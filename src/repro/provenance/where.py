@@ -158,10 +158,21 @@ class WhereProvenance:
 
 
 def where_provenance(
-    query: Query, db: Database, view_name: str = DEFAULT_VIEW_NAME
+    query: Query,
+    db: Database,
+    view_name: str = DEFAULT_VIEW_NAME,
+    optimizer_level: "int | None" = None,
 ) -> WhereProvenance:
-    """Compute the full annotation-propagation relation of ``query`` on ``db``."""
-    plan = cached_plan(query, db)
+    """Compute the full annotation-propagation relation of ``query`` on ``db``.
+
+    ``optimizer_level`` selects the plan-compiler level (``None`` = the
+    library default).  The relation ``R(Q, S)`` is invariant under the
+    optimizer's rewrites — they preserve attribute names and the natural
+    join structure, which is exactly what the paper's propagation rules
+    key on — so every level returns the same annotations (pinned by the
+    soundness property tests).
+    """
+    plan = cached_plan(query, db, optimizer_level)
     return WhereProvenance(plan.schema, plan.where_rows(db), view_name)
 
 

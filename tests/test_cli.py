@@ -81,6 +81,26 @@ class TestCommands:
         assert "HashJoin on (group)" in out
         assert "Scan UserGroup" in out and "Scan GroupFile" in out
 
+    def test_plan_renders_logical_before_and_after(self, db_file, capsys):
+        query = f"SELECT[user = 'joe']({QUERY})"
+        assert main(["plan", db_file, query]) == 0
+        out = capsys.readouterr().out
+        assert "logical plan (input):" in out
+        assert "logical plan (optimized):" in out
+        assert "physical plan:" in out
+        assert "applied rewrites:" in out
+        # The selection was pushed into the UserGroup scan as a residual.
+        assert "push-select-join" in out
+        assert "Scan UserGroup schema=(user, group) filter=[user = 'joe']" in out
+
+    def test_plan_no_optimize_compiles_query_as_written(self, db_file, capsys):
+        query = f"SELECT[user = 'joe']({QUERY})"
+        assert main(["plan", db_file, query, "--no-optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "logical plan (optimized):" not in out
+        assert "Filter [user = 'joe']" in out  # selection stays a Filter op
+        assert "filter=[" not in out
+
     def test_plan_rejects_malformed_query(self, db_file, capsys):
         # Union of incompatible schemas fails at compile time, exit 1.
         assert main(["plan", db_file, "UserGroup UNION GroupFile"]) == 1
@@ -135,3 +155,31 @@ class TestErrorHandling:
     def test_missing_view_row(self, db_file, capsys):
         assert main(["witnesses", db_file, QUERY, '["zz", "zz"]']) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_normalize_names_offending_subexpression(self, db_file, capsys):
+        # The inner union is ill-typed; the error renders that subtree, not
+        # just the schema mismatch message.
+        query = "PROJECT[user](UserGroup JOIN (UserGroup UNION GroupFile))"
+        assert main(["normalize", db_file, query]) == 1
+        err = capsys.readouterr().err
+        assert "incompatible" in err
+        assert "in subexpression:" in err
+        assert "UNION\n    UserGroup\n    GroupFile" in err
+        # The enclosing join is not blamed — only the innermost offender.
+        assert "JOIN" not in err
+
+    def test_classify_parse_error_points_at_offender(self, capsys):
+        assert main(["classify", "PROJECT[user](UserGroup %% GroupFile)"]) == 1
+        err = capsys.readouterr().err
+        assert "unexpected character" in err
+        assert "in query:" in err
+        # The caret sits under the offending character.
+        lines = err.splitlines()
+        query_line = next(l for l in lines if "PROJECT[user]" in l)
+        caret_line = lines[lines.index(query_line) + 1]
+        assert caret_line[query_line.index("%")] == "^"
+
+    def test_normalize_parse_error_points_at_offender(self, db_file, capsys):
+        assert main(["normalize", db_file, "PROJECT[user](UserGroup"]) == 1
+        err = capsys.readouterr().err
+        assert "in query:" in err and "^" in err
