@@ -11,12 +11,19 @@ Three modes:
   Finishes in seconds, so kernel regressions (correctness or a gross perf
   cliff tripping an assertion) surface without paying full benchmark cost.
 * ``python benchmarks/run_all.py --compare BASELINE.json`` — the CI perf
-  gate: regenerate the tracked plan/optimizer medians into a scratch file
-  (``bench_plan_compile.py`` + ``bench_optimizer.py``), then fail if any
-  tracked median regressed more than 25% against the committed baseline
-  (normally the repository's ``BENCH_plan.json``).  Medians are speedup
-  *ratios* measured baseline-vs-new on the same machine, so they transfer
-  across hosts far better than absolute timings.
+  gate: regenerate the tracked plan/optimizer/sharded medians into a
+  scratch file (``bench_plan_compile.py`` + ``bench_optimizer.py`` +
+  ``bench_sharded.py``), then fail if any tracked median regressed more
+  than 25% against the committed baseline (normally the repository's
+  ``BENCH_plan.json``).  Medians are speedup *ratios* measured
+  baseline-vs-new on the same machine, so they transfer across hosts far
+  better than absolute timings.  Degenerate baselines (missing keys,
+  zero/near-zero medians) are skipped with a named warning, never a
+  traceback.
+
+``--smoke --workers 2`` additionally pins the worker count the sharded
+smoke entries exercise (exported as ``REPRO_BENCH_WORKERS``) — the CI leg
+that keeps the parallel path tested on every PR.
 
 Extra arguments are forwarded to pytest (smoke/full modes), e.g.::
 
@@ -42,8 +49,13 @@ TRACKED_MEDIANS = (
     "batch_median_speedup",
     "compile_median_speedup",
     "optimizer.median_speedup",
+    "sharded.median_speedup_workers4",
 )
 REGRESSION_TOLERANCE = 0.25
+
+#: Baseline medians at or below this are meaningless as gates: the recorded
+#: value is zero/garbage, and 75% of nothing would pass anything.
+NEAR_ZERO_MEDIAN = 1e-6
 
 
 def _bench_env() -> dict:
@@ -63,6 +75,62 @@ def _lookup(data: dict, dotted: str):
     return node
 
 
+def evaluate_gate(
+    baseline: dict,
+    fresh: dict,
+    tracked=TRACKED_MEDIANS,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> "tuple[list[str], list[str]]":
+    """Gate ``fresh`` medians against ``baseline``: (report lines, failures).
+
+    Degenerate baselines never crash the gate: a tracked key missing from
+    the baseline, or whose recorded median is non-numeric or zero/near-zero
+    (75% of nothing would pass anything), is *skipped with a named warning*
+    instead of raising ``KeyError``/``ZeroDivisionError`` or silently
+    passing garbage.  A tracked key missing from the *fresh* run is a
+    failure — the benchmark that should have produced it did not.
+    """
+    floor_factor = 1.0 - tolerance
+    lines: "list[str]" = []
+    failures: "list[str]" = []
+    for dotted in tracked:
+        base = _lookup(baseline, dotted)
+        new = _lookup(fresh, dotted)
+        if base is None:
+            lines.append(f"  {dotted}: not in baseline — skipped (warning)")
+            continue
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            lines.append(
+                f"  {dotted}: baseline value {base!r} is not a number — "
+                "skipped (warning)"
+            )
+            continue
+        if base <= NEAR_ZERO_MEDIAN:
+            lines.append(
+                f"  {dotted}: baseline median {base!r} is zero/near-zero — "
+                "skipped (warning; regenerate the baseline)"
+            )
+            continue
+        if new is None:
+            failures.append(f"{dotted}: missing from the fresh run")
+            continue
+        if not isinstance(new, (int, float)) or isinstance(new, bool):
+            failures.append(f"{dotted}: fresh value {new!r} is not a number")
+            continue
+        floor = base * floor_factor
+        verdict = "ok" if new >= floor else "REGRESSED"
+        lines.append(
+            f"  {dotted}: baseline {base:.2f}x, fresh {new:.2f}x "
+            f"(floor {floor:.2f}x) — {verdict}"
+        )
+        if new < floor:
+            failures.append(
+                f"{dotted}: {new:.2f}x is below {floor:.2f}x "
+                f"(baseline {base:.2f}x - {tolerance:.0%})"
+            )
+    return lines, failures
+
+
 def run_compare(baseline_path: str) -> int:
     """Regenerate the tracked medians and gate them against ``baseline_path``."""
     with open(baseline_path) as handle:
@@ -70,7 +138,11 @@ def run_compare(baseline_path: str) -> int:
 
     with tempfile.TemporaryDirectory(prefix="bench-compare-") as scratch:
         fresh_path = os.path.join(scratch, "BENCH_plan.json")
-        for script in ("bench_plan_compile.py", "bench_optimizer.py"):
+        for script in (
+            "bench_plan_compile.py",
+            "bench_optimizer.py",
+            "bench_sharded.py",
+        ):
             code = subprocess.call(
                 [
                     sys.executable,
@@ -87,29 +159,10 @@ def run_compare(baseline_path: str) -> int:
         with open(fresh_path) as handle:
             fresh = json.load(handle)
 
-    floor_factor = 1.0 - REGRESSION_TOLERANCE
-    failures = []
     print(f"\nperf gate vs {baseline_path} (tolerance {REGRESSION_TOLERANCE:.0%}):")
-    for dotted in TRACKED_MEDIANS:
-        base = _lookup(baseline, dotted)
-        new = _lookup(fresh, dotted)
-        if base is None:
-            print(f"  {dotted}: not in baseline — skipped")
-            continue
-        if new is None:
-            failures.append(f"{dotted}: missing from the fresh run")
-            continue
-        floor = base * floor_factor
-        verdict = "ok" if new >= floor else "REGRESSED"
-        print(
-            f"  {dotted}: baseline {base:.2f}x, fresh {new:.2f}x "
-            f"(floor {floor:.2f}x) — {verdict}"
-        )
-        if new < floor:
-            failures.append(
-                f"{dotted}: {new:.2f}x is below {floor:.2f}x "
-                f"(baseline {base:.2f}x - {REGRESSION_TOLERANCE:.0%})"
-            )
+    lines, failures = evaluate_gate(baseline, fresh)
+    for line in lines:
+        print(line)
     if failures:
         print("\nperf gate FAILED:")
         for failure in failures:
@@ -132,23 +185,41 @@ def main(argv: "list[str] | None" = None) -> int:
         help="regenerate the tracked medians and fail if any regresses "
         f"more than {REGRESSION_TOLERANCE:.0%} vs this baseline",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count the sharded smoke/full harness entries exercise "
+        "(exported as REPRO_BENCH_WORKERS; default: the harness's own)",
+    )
     args, passthrough = parser.parse_known_args(argv)
 
     if args.compare:
-        if passthrough:
+        if passthrough or args.workers is not None:
+            unexpected = list(passthrough)
+            if args.workers is not None:
+                unexpected.append(f"--workers {args.workers}")
             print(
                 "error: --compare runs the full gate and forwards nothing "
-                f"to pytest; unexpected arguments: {passthrough}"
+                f"to pytest; unexpected arguments: {unexpected}"
             )
             return 2
         return run_compare(args.compare)
+
+    env = _bench_env()
+    if args.workers is not None:
+        if args.workers < 1:
+            print("error: --workers must be a positive integer")
+            return 2
+        env["REPRO_BENCH_WORKERS"] = str(args.workers)
 
     cmd = [sys.executable, "-m", "pytest", BENCH_DIR, "-q"]
     if args.smoke:
         cmd += ["-m", "bench_smoke", "--benchmark-disable"]
     cmd += passthrough
 
-    return subprocess.call(cmd, cwd=REPO_ROOT, env=_bench_env())
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
 
 
 if __name__ == "__main__":

@@ -20,7 +20,12 @@ Sub-commands (query syntax is the DSL of :mod:`repro.algebra.parser`)::
     repro plan DB.json QUERY
     repro witnesses DB.json QUERY '["joe", "f1"]'
     repro delete DB.json QUERY '["joe", "f1"]' --objective view
+    repro delete DB.json QUERY '["joe", "f1"]' --workers 4
     repro annotate DB.json QUERY '["joe", "f1"]' file
+
+``delete --workers N`` shards the solvers' candidate-batch evaluation over
+``N`` worker threads/processes (:mod:`repro.parallel`); the plan printed is
+identical for every worker count.
 
 Exit status is 0 on success, 2 on usage errors, 1 on library errors (which
 are printed, not raised).
@@ -121,6 +126,19 @@ def _reraise_with_subexpression(err: ReproError, query: Query, catalog) -> None:
     ) from None
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be a positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid positive integer {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def _parse_row(text: str) -> tuple:
     """Parse a view row given as a JSON array on the command line."""
     try:
@@ -200,11 +218,19 @@ def _cmd_delete(args: argparse.Namespace) -> None:
     row = _parse_row(args.row)
     if args.objective == "view":
         plan = delete_view_tuple(
-            query, db, row, allow_exponential=not args.no_exponential
+            query,
+            db,
+            row,
+            allow_exponential=not args.no_exponential,
+            workers=args.workers,
         )
     else:
         plan = minimum_source_deletion(
-            query, db, row, allow_exponential=not args.no_exponential
+            query,
+            db,
+            row,
+            allow_exponential=not args.no_exponential,
+            workers=args.workers,
         )
     verify_plan(query, db, plan)
     print(f"algorithm: {plan.algorithm}")
@@ -295,6 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-exponential",
         action="store_true",
         help="refuse/avoid exponential algorithms on the NP-hard fragments",
+    )
+    p_del.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard candidate-batch evaluation over N worker "
+        "threads/processes (default: serial; answers are identical)",
     )
     p_del.set_defaults(handler=_cmd_delete)
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Sequence
 
+from repro.errors import ExponentialGuardError
 from repro.algebra.ast import Query
 from repro.algebra.plan import CompiledPlan
 from repro.algebra.relation import Database, Row
@@ -46,10 +47,24 @@ class HypotheticalDeletions:
     ``prov`` may be passed by callers that already computed the provenance;
     with ``use_provenance=False`` the oracle never computes provenance and
     always re-executes the compiled plan (the safe mode for queries whose
-    witness sets were refused as exponential).
+    witness sets were refused as exponential).  If computing the provenance
+    itself trips an :class:`~repro.errors.ExponentialGuardError`, the
+    oracle degrades to that same compiled-plan mode instead of failing.
+
+    ``workers`` sets the default shard count for the batch methods
+    (:mod:`repro.parallel`); each batch call may override it.  ``None``/0/1
+    keep the serial path.
     """
 
-    __slots__ = ("_query", "_db", "_plan", "_prov", "_kernel", "_baseline")
+    __slots__ = (
+        "_query",
+        "_db",
+        "_plan",
+        "_prov",
+        "_kernel",
+        "_baseline",
+        "_workers",
+    )
 
     def __init__(
         self,
@@ -58,15 +73,20 @@ class HypotheticalDeletions:
         prov: Optional[WhyProvenance] = None,
         use_provenance: bool = True,
         optimizer_level: Optional[int] = None,
+        workers: Optional[int] = None,
     ):
         self._query = query
         self._db = db
         self._plan: CompiledPlan = cached_plan(query, db, optimizer_level)
         if prov is None and use_provenance:
-            prov = cached_why_provenance(query, db)
+            try:
+                prov = cached_why_provenance(query, db)
+            except ExponentialGuardError:
+                prov = None  # refused as exponential: compiled-plan fallback
         self._prov = prov
         self._kernel = prov.kernel if prov is not None else None
         self._baseline: Optional[FrozenSet[Row]] = None
+        self._workers = workers
 
     # ------------------------------------------------------------------
     # Structure
@@ -106,22 +126,23 @@ class HypotheticalDeletions:
         return self._plan.rows(self._db.delete(deletions))
 
     def batch_view_after(
-        self, deletion_sets: Sequence[DeletionSet]
+        self,
+        deletion_sets: Sequence[DeletionSet],
+        workers: Optional[int] = None,
     ) -> List[FrozenSet[Row]]:
         """:meth:`view_after` for a whole vector of candidates.
 
         On the mask path the candidates are encoded once and answered
-        through a shared inverted-index pass; the fallback loops the
-        compiled plan over the hypothetical databases.
+        through a shared inverted-index pass — sharded across ``workers``
+        when more than one is requested (here or at construction); the
+        fallback loops the compiled plan over the hypothetical databases.
         """
         if self._kernel is not None:
             kernel = self._kernel
             masks = [kernel.encode_deletions(d) for d in deletion_sets]
-            all_rows = self.rows
-            return [
-                all_rows if not destroyed else frozenset(all_rows - destroyed)
-                for destroyed in kernel.batch_destroyed(masks)
-            ]
+            return kernel.batch_surviving_rows(
+                masks, workers=self._effective_workers(workers)
+            )
         return [self.view_after(d) for d in deletion_sets]
 
     def side_effects(
@@ -135,10 +156,19 @@ class HypotheticalDeletions:
         return frozenset(self.rows - after - {target})
 
     def batch_side_effects(
-        self, target: Row, deletion_sets: Sequence[DeletionSet]
+        self,
+        target: Row,
+        deletion_sets: Sequence[DeletionSet],
+        workers: Optional[int] = None,
     ) -> List[FrozenSet[Row]]:
         """:meth:`side_effects` for a whole vector of candidates."""
         target = tuple(target)
         if self._prov is not None:
-            return self._prov.batch_side_effects(target, deletion_sets)
+            return self._prov.batch_side_effects(
+                target, deletion_sets, workers=self._effective_workers(workers)
+            )
         return [self.side_effects(target, d) for d in deletion_sets]
+
+    def _effective_workers(self, workers: Optional[int]) -> Optional[int]:
+        """The per-call worker count, defaulting to the constructor's."""
+        return self._workers if workers is None else workers

@@ -146,6 +146,7 @@ def _unique_witness_plan(
     objective: str,
     algorithm: str,
     prov: Optional[WhyProvenance] = None,
+    workers: Optional[int] = None,
 ) -> DeletionPlan:
     catalog = {name: db[name].schema for name in db}
     if not is_key_based(query, catalog, fds):
@@ -173,7 +174,7 @@ def _unique_witness_plan(
     best = None
     best_effects = None
     for component, effects in zip(
-        components, prov.batch_side_effects(target, candidates)
+        components, prov.batch_side_effects(target, candidates, workers=workers)
     ):
         if best_effects is None or len(effects) < len(best_effects):
             best, best_effects = component, effects
@@ -196,15 +197,18 @@ def key_based_view_deletion(
     target: Row,
     fds: FDMap,
     prov: Optional[WhyProvenance] = None,
+    workers: Optional[int] = None,
 ) -> DeletionPlan:
     """Polynomial minimum-side-effect deletion for key-based PJ queries.
 
     With a unique witness the SJ component scan (Theorem 2.4) is optimal;
     the deletion is side-effect-free iff some witness component appears in
-    no other view tuple's witness.
+    no other view tuple's witness.  ``workers`` shards the component batch
+    (:mod:`repro.parallel`).
     """
     return _unique_witness_plan(
-        query, db, target, fds, "view", "keyed-pj-component-scan", prov
+        query, db, target, fds, "view", "keyed-pj-component-scan", prov,
+        workers=workers,
     )
 
 
@@ -214,6 +218,7 @@ def key_based_source_deletion(
     target: Row,
     fds: FDMap,
     prov: Optional[WhyProvenance] = None,
+    workers: Optional[int] = None,
 ) -> DeletionPlan:
     """Polynomial minimum source deletion for key-based PJ queries.
 
@@ -221,5 +226,6 @@ def key_based_source_deletion(
     argument); the plan deletes exactly one tuple.
     """
     return _unique_witness_plan(
-        query, db, target, fds, "source", "keyed-pj-single-component", prov
+        query, db, target, fds, "source", "keyed-pj-single-component", prov,
+        workers=workers,
     )

@@ -1,0 +1,30 @@
+"""Sharded execution of batch mask-vector queries.
+
+The exact deletion solvers ask "what survives after deleting ``T``?" for
+whole vectors of candidate masks (:meth:`~repro.provenance.bitset.
+BitsetProvenance.batch_destroyed`).  This package partitions such a vector
+into shards, answers each shard from an immutable snapshot of the witness
+tables — on worker threads or processes — and merges the per-shard answers
+deterministically:
+
+* :mod:`repro.parallel.shards` — shard planning
+  (:func:`~repro.parallel.shards.plan_shards`) and the read-only
+  :class:`~repro.parallel.shards.ShardSnapshot` each worker answers from;
+* :mod:`repro.parallel.executor` — the backends (serial, thread, process)
+  and the merge (:func:`~repro.parallel.executor.sharded_destroyed_indices`).
+
+The snapshot is immutable, so threads share it zero-copy and forked worker
+processes share it copy-on-write; spawned workers receive one pickled copy
+each.  Answers are bit-identical to the serial path for every worker count
+and backend — pinned by the property tests in ``tests/test_sharded.py``.
+"""
+
+from repro.parallel.shards import ShardSnapshot, plan_shards
+from repro.parallel.executor import resolve_backend, sharded_destroyed_indices
+
+__all__ = [
+    "ShardSnapshot",
+    "plan_shards",
+    "resolve_backend",
+    "sharded_destroyed_indices",
+]

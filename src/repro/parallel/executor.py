@@ -1,0 +1,153 @@
+"""Backends that run shard chunks and merge their answers.
+
+:func:`sharded_destroyed_indices` is the one entry point: plan shards over
+the mask vector, answer each shard from the snapshot on the chosen backend,
+and concatenate the per-shard answer lists in shard order — each candidate
+is answered by exactly one shard, so the merge is deterministic regardless
+of scheduling.
+
+Backends:
+
+* ``"serial"`` — answer the shards inline (no pool); the reference the
+  others must match.
+* ``"thread"`` — a thread pool.  The vectorized chunk kernel spends its
+  time in numpy/scipy C routines that release the GIL, so threads scale on
+  multicore hosts while sharing the snapshot zero-copy.
+* ``"process"`` — a process pool.  The snapshot travels to each worker
+  once, through the pool initializer; per task only the chunk's masks
+  travel.
+* ``"auto"`` — ``process`` when the host has more than one CPU, fork is
+  available, and the vector is large enough to amortize pool start-up;
+  ``thread`` otherwise.
+
+Pools are created per call and torn down with it: the snapshot is
+per-provenance state and pinning pools to long-lived caches would leak OS
+resources into a library that is otherwise pure data structures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Sequence, Tuple
+
+from repro.parallel.shards import ShardSnapshot, plan_shards
+
+__all__ = ["resolve_backend", "sharded_destroyed_indices", "PROCESS_MIN_BATCH"]
+
+#: Below this many masks, "auto" never picks processes: pool start-up and
+#: per-task pickling would dominate the answer time.
+PROCESS_MIN_BATCH = 2048
+
+#: Smallest default chunk: each chunk pays a fixed kernel set-up cost, so
+#: small vectors use fewer chunks than workers rather than drown in it.
+MIN_CHUNK_SIZE = 4096
+
+#: Worker-process-side snapshot, set by the pool initializer.  Each pool
+#: delivers its own snapshot through initargs, so concurrent pools in the
+#: parent can never race on shared parent-side state.
+_WORKER_SNAPSHOT: "ShardSnapshot | None" = None
+
+
+def _init_worker(snapshot: ShardSnapshot) -> None:
+    """Pool initializer: adopt this pool's snapshot in the worker process."""
+    global _WORKER_SNAPSHOT
+    _WORKER_SNAPSHOT = snapshot
+
+
+def _run_chunk(args: Tuple[Sequence[int], int, int]) -> List[Tuple[int, ...]]:
+    """Worker-side: answer one chunk from the process-global snapshot."""
+    masks, start, stop = args
+    assert _WORKER_SNAPSHOT is not None, "worker started without a snapshot"
+    return _WORKER_SNAPSHOT.destroyed_indices_chunk(masks, start, stop)
+
+
+def resolve_backend(backend: str, workers: int, total: int) -> str:
+    """The concrete backend for an ``"auto"`` (or explicit) request."""
+    if backend != "auto":
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown shard backend {backend!r}")
+        return backend
+    if workers <= 1:
+        return "serial"
+    if (
+        (os.cpu_count() or 1) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+        and total >= PROCESS_MIN_BATCH
+    ):
+        return "process"
+    return "thread"
+
+
+def sharded_destroyed_indices(
+    snapshot: ShardSnapshot,
+    masks: Sequence[int],
+    workers: int,
+    backend: str = "auto",
+    chunk_size: "int | None" = None,
+    force_python: bool = False,
+) -> List[Tuple[int, ...]]:
+    """Answer a whole mask vector through sharded execution.
+
+    Returns one ascending row-index tuple per mask, in mask order —
+    bit-identical to answering the vector serially, for every ``workers``
+    count, ``backend``, and ``chunk_size`` (property-tested).
+
+    ``force_python`` pins the pure-Python chunk kernel; it implies the
+    thread/serial backends because worker processes re-detect numpy on
+    their own import.
+    """
+    total = len(masks)
+    if total == 0:
+        return []
+    if chunk_size is None and workers > 1:
+        # Balanced over the workers, but never below the amortization
+        # floor: fewer, larger shards beat idle-free scheduling once the
+        # per-chunk kernel set-up cost is comparable to the chunk itself.
+        shard_count = min(workers, max(1, total // MIN_CHUNK_SIZE))
+        chunk_size = -(-total // shard_count)
+    shards = plan_shards(total, max(1, workers), chunk_size)
+    chosen = resolve_backend(backend, workers, total)
+    if force_python and chosen == "process":
+        chosen = "thread"
+    snapshot.prepare(force_python=force_python)
+
+    if chosen == "serial" or len(shards) == 1 or workers <= 1:
+        out: List[Tuple[int, ...]] = []
+        for start, stop in shards:
+            out.extend(
+                snapshot.destroyed_indices_chunk(
+                    masks, start, stop, force_python=force_python
+                )
+            )
+        return out
+
+    if chosen == "thread":
+        with ThreadPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+            parts = list(
+                pool.map(
+                    lambda rng: snapshot.destroyed_indices_chunk(
+                        masks, rng[0], rng[1], force_python=force_python
+                    ),
+                    shards,
+                )
+            )
+    else:  # process
+        start_methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in start_methods else start_methods[0]
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(
+            processes=min(workers, len(shards)),
+            initializer=_init_worker,
+            initargs=(snapshot,),
+        ) as pool:
+            parts = pool.map(
+                _run_chunk,
+                [(list(masks[a:b]), 0, b - a) for a, b in shards],
+            )
+
+    merged: List[Tuple[int, ...]] = []
+    for part in parts:
+        merged.extend(part)
+    return merged

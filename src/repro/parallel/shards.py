@@ -1,0 +1,352 @@
+"""Shard planning and the snapshot workers answer mask chunks from.
+
+A *shard* is a contiguous ``[start, stop)`` range of a candidate mask
+vector.  :func:`plan_shards` partitions a vector into balanced shards;
+:class:`ShardSnapshot` is the immutable, picklable view of a
+:class:`~repro.provenance.bitset.BitsetProvenance` that answers one shard's
+"which rows are destroyed by each mask?" question without the kernel, the
+database, or any other mutable state.
+
+The snapshot answers a chunk two ways, both bit-identical:
+
+* **vectorized** (default when numpy + scipy are importable): the chunk's
+  masks become a sparse bit × candidate incidence matrix; one sparse matmul
+  against the witness × bit matrix marks every (witness, candidate) pair
+  that intersects, a second aggregates per row, and a row is destroyed by a
+  candidate exactly when *all* of its witnesses intersect it.  Work is
+  proportional to the number of nonzeros — the same sparsity the serial
+  path's inverted source-bit index exploits — but runs in C and releases
+  the GIL, so thread shards scale on multicore hosts;
+* **pure Python fallback** (:data:`HAVE_NUMPY` false, or forced in tests):
+  the serial algorithm over the snapshot's integer row indices.
+
+Answers are tuples of ascending row *indices* into :attr:`ShardSnapshot.rows`
+— compact to pickle back from worker processes and directly usable as
+interning keys by the merge step.  Candidates with identical answers within
+a chunk share one tuple object, so duplicate-heavy vectors cost one answer
+materialization per *distinct* answer.
+
+A vector element may be an ``int`` mask or a sequence of source-bit ids
+(:meth:`~repro.provenance.interning.SourceIndex.encode_ids`) — the flat
+form lets callers that hold deletion *sets* skip building big-int masks
+they would only decompose again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.provenance.interning import iter_bits
+
+try:  # numpy + scipy accelerate the chunk kernel; the library runs without.
+    import numpy as _np
+    from scipy import sparse as _sparse
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via the force_python flag
+    _np = None
+    _sparse = None
+    HAVE_NUMPY = False
+
+__all__ = ["HAVE_NUMPY", "plan_shards", "ShardSnapshot"]
+
+#: The empty answer, shared so empty-heavy vectors intern for free.
+_EMPTY: Tuple[int, ...] = ()
+
+#: A candidate in a mask vector: an int mask or a sequence of bit ids.
+MaskLike = "int | Sequence[int]"
+
+
+def _mask_bits(value: MaskLike) -> "Sequence[int]":
+    """The set bit ids of a vector element, whichever form it arrived in."""
+    if isinstance(value, int):
+        return tuple(iter_bits(value))
+    return value
+
+
+def plan_shards(
+    total: int, workers: int, chunk_size: "int | None" = None
+) -> Tuple[Tuple[int, int], ...]:
+    """Partition ``range(total)`` into contiguous ``[start, stop)`` shards.
+
+    With ``chunk_size`` unset the vector is split into at most ``workers``
+    shards whose sizes differ by at most one — candidate masks cost roughly
+    the same to answer, so balanced ranges balance work.  An explicit
+    ``chunk_size`` yields fixed-size shards instead (the last may be
+    short).  Deterministic: the same arguments always produce the same
+    plan, and concatenating the shards in order reproduces the vector.
+
+    >>> plan_shards(10, 4)
+    ((0, 3), (3, 6), (6, 8), (8, 10))
+    >>> plan_shards(5, 8)
+    ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5))
+    >>> plan_shards(0, 4)
+    ()
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if total == 0:
+        return ()
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        return tuple(
+            (start, min(start + chunk_size, total))
+            for start in range(0, total, chunk_size)
+        )
+    shards = min(workers, total)
+    base, extra = divmod(total, shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return tuple(ranges)
+
+
+class ShardSnapshot:
+    """An immutable view of a witness table, answerable without the kernel.
+
+    Built once per :class:`~repro.provenance.bitset.BitsetProvenance` (and
+    cached there); rows are frozen into a tuple whose *indices* are the
+    currency of the sharded path.  All derived structures are functions of
+    ``(rows, witness masks)`` alone, so a pickled copy in a worker process
+    answers identically to the original.
+    """
+
+    __slots__ = ("rows", "nbits", "_row_offsets", "_wit_masks", "_touched", "_np")
+
+    def __init__(
+        self,
+        rows: Sequence[Tuple],
+        row_witnesses: Sequence[Sequence[int]],
+        nbits: int,
+    ):
+        self.rows: Tuple[Tuple, ...] = tuple(rows)
+        self.nbits = max(1, nbits)
+        offsets = [0]
+        masks: List[int] = []
+        for wits in row_witnesses:
+            masks.extend(wits)
+            offsets.append(len(masks))
+        #: CSR layout: row i's witness masks are _wit_masks[o[i]:o[i+1]].
+        self._row_offsets = offsets
+        self._wit_masks = masks
+        self._touched: "Dict[int, Tuple[int, ...]] | None" = None
+        self._np = None  # lazy numpy artifacts; rebuilt after unpickling
+
+    @classmethod
+    def from_witnesses(
+        cls, witnesses: "Dict[Tuple, Tuple[int, ...]]", nbits: int
+    ) -> "ShardSnapshot":
+        """Snapshot a kernel's row → witness-mask table (insertion order)."""
+        return cls(list(witnesses), list(witnesses.values()), nbits)
+
+    def __getstate__(self):
+        return (self.rows, self.nbits, self._row_offsets, self._wit_masks)
+
+    def __setstate__(self, state):
+        self.rows, self.nbits, self._row_offsets, self._wit_masks = state
+        self._touched = None
+        self._np = None
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def _touched_index(self) -> Dict[int, Tuple[int, ...]]:
+        """source bit → ascending indices of rows whose universe has it."""
+        if self._touched is None:
+            touched: Dict[int, List[int]] = {}
+            offsets, masks = self._row_offsets, self._wit_masks
+            for i in range(len(self.rows)):
+                universe = 0
+                for mask in masks[offsets[i] : offsets[i + 1]]:
+                    universe |= mask
+                for bit in iter_bits(universe):
+                    touched.setdefault(bit, []).append(i)
+            self._touched = {bit: tuple(ids) for bit, ids in touched.items()}
+        return self._touched
+
+    def _numpy_tables(self):
+        """(B, R, row_nwit): witness×bit and row×witness incidence matrices."""
+        if self._np is None:
+            offsets, masks = self._row_offsets, self._wit_masks
+            wit_ids: List[int] = []
+            bit_ids: List[int] = []
+            wit_row: List[int] = []
+            for i in range(len(self.rows)):
+                for mask in masks[offsets[i] : offsets[i + 1]]:
+                    wit = len(wit_row)
+                    for bit in iter_bits(mask):
+                        wit_ids.append(wit)
+                        bit_ids.append(bit)
+                    wit_row.append(i)
+            nwit = len(wit_row)
+            B = _sparse.csr_matrix(
+                (_np.ones(len(wit_ids), dtype=_np.int32), (wit_ids, bit_ids)),
+                shape=(nwit, self.nbits),
+            )
+            R = _sparse.csr_matrix(
+                (_np.ones(nwit, dtype=_np.int32), (wit_row, _np.arange(nwit))),
+                shape=(len(self.rows), nwit),
+            )
+            row_nwit = _np.diff(_np.asarray(self._row_offsets, dtype=_np.int64))
+            self._np = (B, R, row_nwit.astype(_np.int32))
+        return self._np
+
+    def prepare(self, force_python: bool = False) -> None:
+        """Build the derived structures eagerly (thread-safety, fork COW).
+
+        Thread shards share this object, so the lazily built tables must
+        exist before workers race for them; forked processes inherit them
+        copy-on-write for free.
+        """
+        if HAVE_NUMPY and not force_python:
+            self._numpy_tables()
+        else:
+            self._touched_index()
+
+    # ------------------------------------------------------------------
+    # Chunk answering
+    # ------------------------------------------------------------------
+    def destroyed_indices_chunk(
+        self,
+        masks: Sequence[MaskLike],
+        start: int,
+        stop: int,
+        force_python: bool = False,
+    ) -> List[Tuple[int, ...]]:
+        """Per-candidate destroyed row indices for ``masks[start:stop]``.
+
+        Each answer is the ascending tuple of indices (into :attr:`rows`)
+        of the rows whose every witness intersects the candidate — exactly
+        :meth:`BitsetProvenance._destroyed`, re-expressed over indices.
+        Vector elements may be int masks or bit-id sequences.  Candidates
+        with identical answers share one tuple object.  ``force_python``
+        pins the fallback kernel (the property tests run both against the
+        serial oracle).
+        """
+        if HAVE_NUMPY and not force_python:
+            return self._chunk_numpy(masks, start, stop)
+        return self._chunk_python(masks, start, stop)
+
+    def _chunk_python(
+        self, masks: Sequence[MaskLike], start: int, stop: int
+    ) -> List[Tuple[int, ...]]:
+        touched = self._touched_index()
+        offsets, wit_masks = self._row_offsets, self._wit_masks
+        interned: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        out: List[Tuple[int, ...]] = []
+        for pos in range(start, stop):
+            value = masks[pos]
+            if isinstance(value, int):
+                mask = value
+                bits = iter_bits(value)
+            else:
+                mask = 0
+                for bit in value:
+                    mask |= 1 << bit
+                bits = value
+            candidates: set = set()
+            for bit in bits:
+                rows = touched.get(bit)
+                if rows:
+                    candidates.update(rows)
+            destroyed: List[int] = []
+            for i in candidates:
+                for wmask in wit_masks[offsets[i] : offsets[i + 1]]:
+                    if not (wmask & mask):
+                        break
+                else:
+                    destroyed.append(i)
+            if not destroyed:
+                out.append(_EMPTY)
+                continue
+            destroyed.sort()
+            answer = tuple(destroyed)
+            out.append(interned.setdefault(answer, answer))
+        return out
+
+    def _chunk_numpy(
+        self, masks: Sequence[MaskLike], start: int, stop: int
+    ) -> List[Tuple[int, ...]]:
+        m = stop - start
+        if m <= 0 or not self.rows:
+            return [_EMPTY] * max(m, 0)
+        B, R, row_nwit = self._numpy_tables()
+        nbits = self.nbits
+        # Encode the chunk's masks as a bit × candidate incidence matrix.
+        # Bits past nbits belong to no witness, so dropping them is sound.
+        # Int masks that are dense relative to the m × nbits bit matrix are
+        # unpacked in one C call; everything else extracts bits per mask.
+        ints_only = all(
+            isinstance(masks[pos], int) for pos in range(start, stop)
+        )
+        dense = False
+        if ints_only:
+            total_bits = sum(masks[pos].bit_count() for pos in range(start, stop))
+            dense = total_bits * 32 >= m * nbits
+        if dense:
+            width = max(
+                nbits, max(masks[pos].bit_length() for pos in range(start, stop))
+            )
+            nbytes = (width + 7) // 8
+            buf = b"".join(
+                masks[pos].to_bytes(nbytes, "little") for pos in range(start, stop)
+            )
+            bits = _np.unpackbits(
+                _np.frombuffer(buf, dtype=_np.uint8).reshape(m, nbytes),
+                axis=1,
+                bitorder="little",
+            )[:, :nbits]
+            cand_ids, bit_ids = _np.nonzero(bits)
+        else:
+            bit_list: List[int] = []
+            cand_list: List[int] = []
+            for pos in range(start, stop):
+                for bit in _mask_bits(masks[pos]):
+                    if bit < nbits:
+                        bit_list.append(bit)
+                        cand_list.append(pos - start)
+            bit_ids = _np.asarray(bit_list, dtype=_np.int64)
+            cand_ids = _np.asarray(cand_list, dtype=_np.int64)
+        D = _sparse.csc_matrix(
+            (_np.ones(cand_ids.size, dtype=_np.int32), (bit_ids, cand_ids)),
+            shape=(nbits, m),
+        )
+        P = B @ D  # (witness, candidate) shared-bit counts
+        if P.nnz:
+            P.data.fill(1)  # indicator: witness intersects candidate
+        cnt = (R @ P).tocsc()  # (row, candidate) intersecting-witness counts
+        cnt.sort_indices()  # ascending row indices per candidate column
+        # A row is destroyed when every one of its witnesses intersects.
+        keep = cnt.data == row_nwit[cnt.indices]
+        counts = _np.zeros(m, dtype=_np.int64)
+        col_has = _np.diff(cnt.indptr) > 0
+        if col_has.any():
+            counts[col_has] = _np.add.reduceat(keep, cnt.indptr[:-1][col_has])
+        ptr = _np.zeros(m + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=ptr[1:])
+        idx = cnt.indices[keep]
+        out: List[Tuple[int, ...]] = [_EMPTY] * m
+        interned: Dict[bytes, Tuple[int, ...]] = {}
+        for j in _np.flatnonzero(counts).tolist():
+            key = idx[ptr[j] : ptr[j + 1]].tobytes()
+            answer = interned.get(key)
+            if answer is None:
+                answer = tuple(idx[ptr[j] : ptr[j + 1]].tolist())
+                interned[key] = answer
+            out[j] = answer
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSnapshot({len(self.rows)} rows, "
+            f"{len(self._wit_masks)} witnesses, {self.nbits} bits)"
+        )

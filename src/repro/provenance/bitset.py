@@ -15,10 +15,19 @@ representation changes:
   witness universe contains it, so candidate evaluation only touches rows
   the deletion can actually reach instead of scanning the whole view;
 * batched hypothetical deletion (:meth:`BitsetProvenance.batch_destroyed`,
-  :meth:`BitsetProvenance.batch_side_effects_mask`) answers "which view rows
+  :meth:`BitsetProvenance.batch_side_effects_mask`,
+  :meth:`BitsetProvenance.batch_surviving_rows`) answers "which view rows
   survive deleting mask ``m``" for whole vectors of candidate masks without
   re-running the query — the vector-level API under
-  :class:`repro.deletion.hypothetical.HypotheticalDeletions`.
+  :class:`repro.deletion.hypothetical.HypotheticalDeletions`;
+* with ``workers > 1`` the batch methods run **sharded**
+  (:mod:`repro.parallel`): the vector is partitioned into chunks, each
+  chunk answered from an immutable :class:`~repro.parallel.shards.
+  ShardSnapshot` of the witness tables (threads share it zero-copy, forked
+  processes copy-on-write), and the merge interns identical answers so a
+  destroyed set — and the surviving view it induces — is materialized once
+  per *distinct* answer instead of once per candidate.  Answers are
+  bit-identical to the serial path.
 
 The annotated evaluation itself runs on the **compiled plan layer**
 (:mod:`repro.algebra.plan`): :func:`bitset_why_provenance` compiles the
@@ -40,6 +49,7 @@ from repro.algebra.evaluate import DEFAULT_VIEW_NAME
 from repro.algebra.plan import CompiledPlan
 from repro.algebra.relation import Database, Relation, Row
 from repro.algebra.schema import Schema
+from repro.parallel import ShardSnapshot, sharded_destroyed_indices
 from repro.provenance.cache import cached_plan
 from repro.provenance.interning import SourceIndex, iter_bits
 from repro.provenance.locations import SourceTuple
@@ -57,6 +67,11 @@ Mask = int
 
 #: A tuple's witness basis: its minimal monomials, as masks.
 MaskWitnesses = Tuple[int, ...]
+
+#: Vectors shorter than this answer serially even when ``workers`` > 1:
+#: below it the sharded chunk kernel's per-batch set-up costs more than
+#: the whole serial scan, and there is nothing to parallelize anyway.
+SHARD_MIN_BATCH = 128
 
 
 def minimize_masks(masks: "Set[int] | Iterable[int]") -> MaskWitnesses:
@@ -115,7 +130,14 @@ class BitsetProvenance:
     :class:`~repro.provenance.why.WhyProvenance` wrapper.
     """
 
-    __slots__ = ("_schema", "_view_name", "_index", "_witnesses", "_touched")
+    __slots__ = (
+        "_schema",
+        "_view_name",
+        "_index",
+        "_witnesses",
+        "_touched",
+        "_snapshot",
+    )
 
     def __init__(
         self,
@@ -130,6 +152,8 @@ class BitsetProvenance:
         self._view_name = view_name
         #: Lazy inverted index: source bit id -> rows whose universe has it.
         self._touched: "Dict[int, Tuple[Row, ...]] | None" = None
+        #: Lazy immutable snapshot backing the sharded batch path.
+        self._snapshot: "ShardSnapshot | None" = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -214,6 +238,16 @@ class BitsetProvenance:
     # Batched hypothetical deletion
     # ------------------------------------------------------------------
     @staticmethod
+    def _as_mask(value: "int | Sequence[int]") -> int:
+        """Normalize a vector element (int mask or bit-id sequence) to int."""
+        if isinstance(value, int):
+            return value
+        mask = 0
+        for bit in value:
+            mask |= 1 << bit
+        return mask
+
+    @staticmethod
     def _destroyed(
         deletion_mask: int,
         touched: Dict[int, Tuple[Row, ...]],
@@ -249,7 +283,9 @@ class BitsetProvenance:
             return frozenset(self._witnesses)
         return frozenset(row for row in self._witnesses if row not in destroyed)
 
-    def batch_destroyed(self, masks: Sequence[int]) -> List[FrozenSet[Row]]:
+    def batch_destroyed(
+        self, masks: Sequence[int], workers: "int | None" = None
+    ) -> List[FrozenSet[Row]]:
         """Destroyed-row sets for a whole vector of candidate deletion masks.
 
         The vector-level API of the exact solvers' candidate scans.  Each
@@ -258,27 +294,120 @@ class BitsetProvenance:
         masks instead of re-running the query per candidate (see
         ``benchmarks/bench_plan_compile.py``'s per-candidate-vs-batched
         ablation).
+
+        ``workers`` > 1 answers the vector sharded (:mod:`repro.parallel`):
+        chunks are evaluated on worker threads/processes from an immutable
+        snapshot and the merged answers are interned, so identical
+        destroyed sets are materialized once.  Answers are bit-identical to
+        the serial path (``workers`` ``None``/0/1); vectors shorter than
+        :data:`SHARD_MIN_BATCH` stay serial regardless.
         """
+        if workers is not None and workers > 1 and len(masks) >= SHARD_MIN_BATCH:
+            interned: Dict[Tuple[int, ...], FrozenSet[Row]] = {}
+            return [
+                self._intern_destroyed(indices, interned)
+                for indices in self._sharded_indices(masks, workers)
+            ]
         touched = self._touched_rows()
         witnesses = self._witnesses
         return [
-            frozenset(self._destroyed(mask, touched, witnesses))
+            frozenset(self._destroyed(self._as_mask(mask), touched, witnesses))
             for mask in masks
         ]
 
     def batch_side_effects_mask(
-        self, target: Row, masks: Sequence[int]
+        self, target: Row, masks: Sequence[int], workers: "int | None" = None
     ) -> List[FrozenSet[Row]]:
-        """:meth:`side_effects_mask` for a whole vector of masks."""
+        """:meth:`side_effects_mask` for a whole vector of masks.
+
+        ``workers`` shards the vector exactly as in :meth:`batch_destroyed`.
+        """
         target = tuple(target)
+        if workers is not None and workers > 1 and len(masks) >= SHARD_MIN_BATCH:
+            interned: Dict[Tuple[int, ...], FrozenSet[Row]] = {}
+            out: List[FrozenSet[Row]] = []
+            for indices in self._sharded_indices(masks, workers):
+                effects = interned.get(indices)
+                if effects is None:
+                    rows = self._shard_snapshot().rows
+                    effects = frozenset(
+                        row
+                        for row in map(rows.__getitem__, indices)
+                        if row != target
+                    )
+                    interned[indices] = effects
+                out.append(effects)
+            return out
         touched = self._touched_rows()
         witnesses = self._witnesses
-        out: List[FrozenSet[Row]] = []
+        out = []
         for mask in masks:
-            destroyed = self._destroyed(mask, touched, witnesses)
+            destroyed = self._destroyed(self._as_mask(mask), touched, witnesses)
             destroyed.discard(target)
             out.append(frozenset(destroyed))
         return out
+
+    def batch_surviving_rows(
+        self, masks: Sequence[int], workers: "int | None" = None
+    ) -> List[FrozenSet[Row]]:
+        """:meth:`surviving_rows` for a whole vector of masks.
+
+        The literal "what survives after deleting ``T``?" vector — the
+        question the exact solvers spend their time on.  Candidates that
+        destroy nothing share one baseline frozenset; on the sharded path
+        (``workers`` > 1) candidates with identical destroyed sets also
+        share one surviving view, so the per-answer set difference is paid
+        once per distinct answer.
+        """
+        all_rows = frozenset(self._witnesses)
+        if workers is not None and workers > 1 and len(masks) >= SHARD_MIN_BATCH:
+            snapshot = self._shard_snapshot()
+            rows = snapshot.rows
+            interned: Dict[Tuple[int, ...], FrozenSet[Row]] = {(): all_rows}
+            out: List[FrozenSet[Row]] = []
+            for indices in self._sharded_indices(masks, workers):
+                survivors = interned.get(indices)
+                if survivors is None:
+                    survivors = all_rows.difference(
+                        map(rows.__getitem__, indices)
+                    )
+                    interned[indices] = survivors
+                out.append(survivors)
+            return out
+        touched = self._touched_rows()
+        witnesses = self._witnesses
+        out = []
+        for mask in masks:
+            destroyed = self._destroyed(self._as_mask(mask), touched, witnesses)
+            out.append(all_rows if not destroyed else all_rows - destroyed)
+        return out
+
+    def _shard_snapshot(self) -> ShardSnapshot:
+        """The immutable snapshot worker shards answer from (built once)."""
+        if self._snapshot is None:
+            self._snapshot = ShardSnapshot.from_witnesses(
+                self._witnesses, len(self._index)
+            )
+        return self._snapshot
+
+    def _sharded_indices(
+        self, masks: Sequence[int], workers: int
+    ) -> List[Tuple[int, ...]]:
+        """Destroyed row-index tuples for ``masks``, answered sharded."""
+        return sharded_destroyed_indices(self._shard_snapshot(), masks, workers)
+
+    def _intern_destroyed(
+        self,
+        indices: Tuple[int, ...],
+        interned: "Dict[Tuple[int, ...], FrozenSet[Row]]",
+    ) -> FrozenSet[Row]:
+        """The destroyed frozenset for an index tuple, built once per answer."""
+        answer = interned.get(indices)
+        if answer is None:
+            rows = self._shard_snapshot().rows
+            answer = frozenset(map(rows.__getitem__, indices))
+            interned[indices] = answer
+        return answer
 
     def _touched_rows(self) -> Dict[int, Tuple[Row, ...]]:
         """source bit id → view rows whose witness universe contains it."""

@@ -177,9 +177,23 @@ class ProvenanceCache:
         return plan
 
     def clear(self) -> None:
-        """Drop every entry (used by benchmarks to time cold paths)."""
+        """Drop every entry and reset the hit/miss counters.
+
+        Benchmarks clear the cache to time cold paths and then report the
+        counters; resetting them here keeps those reports scoped to the
+        timed run instead of polluted by whatever ran earlier.  Use
+        :meth:`reset_stats` to zero the counters without dropping entries.
+        """
         self._entries.clear()
         self._plans.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping the cached entries."""
+        self._hits = 0
+        self._misses = 0
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters and current size, for tests and diagnostics."""

@@ -112,6 +112,24 @@ class SourceIndex:
                 mask |= 1 << bit
         return mask
 
+    def encode_ids(self, sources: Iterable[SourceTuple]) -> Tuple[int, ...]:
+        """The ids of ``sources`` as an ascending tuple (unknown skipped).
+
+        The flat-id twin of :meth:`encode`: the batch mask APIs
+        (:meth:`~repro.provenance.bitset.BitsetProvenance.batch_destroyed`
+        and friends) accept vector elements in this form as well as int
+        masks, for callers that already hold ids and would rather not
+        build masks they do not otherwise need.
+        """
+        ids = self._ids
+        found = [
+            bit
+            for bit in (ids.get((name, tuple(row))) for name, row in sources)
+            if bit is not None
+        ]
+        found.sort()
+        return tuple(found)
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------

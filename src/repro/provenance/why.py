@@ -214,19 +214,24 @@ class WhyProvenance:
         )
 
     def batch_side_effects(
-        self, target: Row, deletion_sets: "Sequence[FrozenSet[SourceTuple]]"
+        self,
+        target: Row,
+        deletion_sets: "Sequence[FrozenSet[SourceTuple]]",
+        workers: "int | None" = None,
     ) -> "List[FrozenSet[Row]]":
         """:meth:`side_effects` for a whole vector of candidate deletions.
 
         The batched inner loop of the exact deletion solvers: on the bitset
         kernel the whole candidate vector is answered from the witness
-        masks through the inverted index.  Without a kernel (legacy engine)
-        this degrades to a per-candidate loop with identical answers.
+        masks through the inverted index — sharded across ``workers`` when
+        more than one is requested (:mod:`repro.parallel`).  Without a
+        kernel (legacy engine) this degrades to a per-candidate loop with
+        identical answers, and ``workers`` is ignored.
         """
         if self._kernel is not None:
             kernel = self._kernel
             masks = [kernel.encode_deletions(d) for d in deletion_sets]
-            return kernel.batch_side_effects_mask(target, masks)
+            return kernel.batch_side_effects_mask(target, masks, workers=workers)
         return [self.side_effects(target, d) for d in deletion_sets]
 
     def __len__(self) -> int:

@@ -1,0 +1,93 @@
+"""The --compare perf gate handles degenerate baselines cleanly.
+
+``benchmarks/run_all.py`` is a script, not a package module; load it by
+path and exercise :func:`evaluate_gate` — the pure decision function the
+CI gate runs — against healthy, regressed, and degenerate baselines.  A
+missing or zero/near-zero baseline median must produce a named skip
+warning (never a ``KeyError``/``ZeroDivisionError`` traceback), and a
+median missing from the fresh run must fail by name.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+_RUN_ALL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "run_all.py",
+)
+
+
+@pytest.fixture(scope="module")
+def run_all():
+    spec = importlib.util.spec_from_file_location("bench_run_all", _RUN_ALL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+TRACKED = ("alpha", "nested.beta")
+
+
+def test_healthy_baseline_passes(run_all):
+    baseline = {"alpha": 4.0, "nested": {"beta": 2.0}}
+    fresh = {"alpha": 3.9, "nested": {"beta": 2.2}}
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    assert failures == []
+    assert any("alpha" in line and "ok" in line for line in lines)
+
+
+def test_regression_fails_by_name(run_all):
+    baseline = {"alpha": 4.0, "nested": {"beta": 2.0}}
+    fresh = {"alpha": 1.0, "nested": {"beta": 2.0}}
+    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    assert len(failures) == 1
+    assert failures[0].startswith("alpha:")
+
+
+def test_missing_baseline_key_skips_with_warning(run_all):
+    baseline = {"nested": {"beta": 2.0}}
+    fresh = {"alpha": 9.0, "nested": {"beta": 2.0}}
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    assert failures == []
+    assert any("alpha" in line and "skipped" in line for line in lines)
+
+
+def test_zero_baseline_median_skips_with_warning(run_all):
+    baseline = {"alpha": 0.0, "nested": {"beta": 2.0}}
+    fresh = {"alpha": 0.0, "nested": {"beta": 2.0}}
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    assert failures == []
+    assert any(
+        "alpha" in line and "zero/near-zero" in line for line in lines
+    )
+
+
+def test_near_zero_baseline_median_skips(run_all):
+    baseline = {"alpha": 1e-9, "nested": {"beta": 2.0}}
+    fresh = {"alpha": 5.0, "nested": {"beta": 2.0}}
+    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    assert failures == []
+
+
+def test_non_numeric_baseline_skips_with_warning(run_all):
+    baseline = {"alpha": "fast", "nested": {"beta": True}}
+    fresh = {"alpha": 5.0, "nested": {"beta": 2.0}}
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    assert failures == []
+    assert sum("not a number" in line for line in lines) == 2
+
+
+def test_missing_fresh_median_fails(run_all):
+    baseline = {"alpha": 4.0, "nested": {"beta": 2.0}}
+    fresh = {"alpha": 4.0}
+    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    assert failures == ["nested.beta: missing from the fresh run"]
+
+
+def test_tracked_medians_include_sharded(run_all):
+    assert "sharded.median_speedup_workers4" in run_all.TRACKED_MEDIANS
