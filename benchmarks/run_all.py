@@ -11,15 +11,27 @@ Three modes:
   Finishes in seconds, so kernel regressions (correctness or a gross perf
   cliff tripping an assertion) surface without paying full benchmark cost.
 * ``python benchmarks/run_all.py --compare BASELINE.json`` — the CI perf
-  gate: regenerate the tracked plan/optimizer/sharded medians into a
-  scratch file (``bench_plan_compile.py`` + ``bench_optimizer.py`` +
-  ``bench_sharded.py``), then fail if any tracked median regressed more
-  than 25% against the committed baseline (normally the repository's
-  ``BENCH_plan.json``).  Medians are speedup *ratios* measured
-  baseline-vs-new on the same machine, so they transfer across hosts far
-  better than absolute timings.  Degenerate baselines (missing keys,
-  zero/near-zero medians) are skipped with a named warning, never a
-  traceback.
+  gate: regenerate the tracked plan/optimizer/sharded/service medians into
+  a scratch file (``bench_plan_compile.py`` + ``bench_optimizer.py`` +
+  ``bench_sharded.py`` + ``bench_service.py``), then fail if any tracked
+  median regressed more than 25% against the committed baseline (normally
+  the repository's ``BENCH_plan.json``).  Most medians are speedup
+  *ratios* measured baseline-vs-new on the same machine, so they transfer
+  across hosts far better than absolute timings;
+  ``service.median_throughput_batched`` is requests/second — absolute, so
+  host-sensitive, but it is the serving number the ROADMAP's north star
+  cares about and the same 25% tolerance applies (the host-transferable
+  ``service.median_speedup_batched`` ratio is gated alongside it; on a
+  slower host the throughput line may warn/fail while the ratio still
+  pins the batching win).  Degenerate baselines
+  (missing keys, zero/near-zero medians) are skipped with a named
+  warning, never a traceback.
+
+The ``--smoke`` sweep includes the **service smoke leg**
+(``bench_service.py``'s ``bench_smoke`` entries): an in-process engine is
+spun up, driven with mixed evaluate/provenance/deletion traffic through
+the micro-batcher, and every answer is asserted bit-identical to the
+direct library call.
 
 ``--smoke --workers 2`` additionally pins the worker count the sharded
 smoke entries exercise (exported as ``REPRO_BENCH_WORKERS``) — the CI leg
@@ -50,6 +62,8 @@ TRACKED_MEDIANS = (
     "compile_median_speedup",
     "optimizer.median_speedup",
     "sharded.median_speedup_workers4",
+    "service.median_speedup_batched",
+    "service.median_throughput_batched",
 )
 REGRESSION_TOLERANCE = 0.25
 
@@ -142,6 +156,7 @@ def run_compare(baseline_path: str) -> int:
             "bench_plan_compile.py",
             "bench_optimizer.py",
             "bench_sharded.py",
+            "bench_service.py",
         ):
             code = subprocess.call(
                 [

@@ -158,6 +158,12 @@ from repro.annotation import (
     spu_placement,
     verify_placement,
 )
+from repro.service import (
+    MicroBatcher,
+    ServiceClient,
+    ServiceEngine,
+    ServiceServer,
+)
 
 __version__ = "1.0.0"
 
@@ -271,4 +277,9 @@ __all__ = [
     "exhaustive_placement",
     "side_effect_free_annotation_exists",
     "verify_placement",
+    # service
+    "ServiceEngine",
+    "MicroBatcher",
+    "ServiceClient",
+    "ServiceServer",
 ]

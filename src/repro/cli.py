@@ -22,10 +22,20 @@ Sub-commands (query syntax is the DSL of :mod:`repro.algebra.parser`)::
     repro delete DB.json QUERY '["joe", "f1"]' --objective view
     repro delete DB.json QUERY '["joe", "f1"]' --workers 4
     repro annotate DB.json QUERY '["joe", "f1"]' file
+    repro serve DB.json --port 7464 --workers 4
 
 ``delete --workers N`` shards the solvers' candidate-batch evaluation over
 ``N`` worker threads/processes (:mod:`repro.parallel`); the plan printed is
 identical for every worker count.
+
+``serve`` starts the long-lived serving engine (:mod:`repro.service`): an
+asyncio front door speaking newline-delimited JSON request/response
+envelopes (see :mod:`repro.service.requests`), with micro-batching of
+hypothetical-deletion candidates and a persistent worker pool.  ``--name``
+sets the registry name requests address the database by (default ``db``);
+``--max-requests N`` serves N requests and exits (smoke tests);
+``--port-file PATH`` writes the bound ``host port`` once listening, so
+callers that passed ``--port 0`` learn the kernel-chosen port.
 
 Exit status is 0 on success, 2 on usage errors, 1 on library errors (which
 are printed, not raised).
@@ -244,6 +254,44 @@ def _cmd_delete(args: argparse.Namespace) -> None:
         print("side effects: none")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.service import MicroBatcher, ServiceEngine, ServiceServer
+
+    db = load_database(args.database)
+
+    async def run() -> None:
+        with ServiceEngine({args.name: db}, workers=args.workers) as engine:
+            with MicroBatcher(
+                engine,
+                max_batch=args.max_batch,
+                max_delay_s=args.batch_delay_ms / 1000.0,
+                max_pending=args.max_pending,
+            ) as batcher:
+                server = ServiceServer(
+                    engine,
+                    host=args.host,
+                    port=args.port,
+                    batcher=batcher,
+                    max_requests=args.max_requests,
+                )
+                host, port = await server.start()
+                print(f"serving {args.name!r} on {host}:{port}", flush=True)
+                if args.port_file:
+                    with open(args.port_file, "w") as handle:
+                        handle.write(f"{host} {port}\n")
+                try:
+                    await server.wait_closed()
+                finally:
+                    await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+
+
 def _cmd_annotate(args: argparse.Namespace) -> None:
     db = load_database(args.database)
     query = _parse_query_cli(args.query)
@@ -331,6 +379,66 @@ def build_parser() -> argparse.ArgumentParser:
         "threads/processes (default: serial; answers are identical)",
     )
     p_del.set_defaults(handler=_cmd_delete)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the database long-lived over newline-delimited JSON",
+    )
+    p_serve.add_argument("database", help="path to a JSON database file")
+    p_serve.add_argument(
+        "--name",
+        default="db",
+        help="registry name requests address the database by (default: db)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=7464,
+        help="TCP port (0 lets the kernel choose; see --port-file)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard batched candidate evaluation over N persistent workers",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        help="most deletion candidates coalesced into one kernel call",
+    )
+    p_serve.add_argument(
+        "--batch-delay-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="longest a candidate waits for company before executing",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=10_000,
+        metavar="N",
+        help="bounded request queue; beyond it requests answer overload",
+    )
+    p_serve.add_argument(
+        "--max-requests",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="serve N requests then exit (smoke tests; default: forever)",
+    )
+    p_serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound 'host port' here once listening",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
 
     p_ann = sub.add_parser("annotate", help="plan an annotation placement")
     p_ann.add_argument("database")

@@ -20,21 +20,43 @@ Backends:
   available, and the vector is large enough to amortize pool start-up;
   ``thread`` otherwise.
 
-Pools are created per call and torn down with it: the snapshot is
-per-provenance state and pinning pools to long-lived caches would leak OS
-resources into a library that is otherwise pure data structures.
+**Pools are persistent.**  A long-lived serving process answers thousands
+of batch calls; creating and tearing a pool down per call (the pre-serving
+behaviour) pays thread/process start-up on every one of them.  Pools are
+now owned by a process-wide :class:`PoolRegistry`: created on first use,
+health-checked on every reuse (a closed or worker-dead pool is discarded
+and rebuilt), and shared across batch calls.  Thread pools are keyed by
+worker count alone; process pools additionally key on the snapshot they
+were initialized with — the snapshot is delivered once through the pool
+initializer, so a pool can only answer chunks of *its* snapshot — and the
+registry keeps at most :data:`MAX_PROCESS_POOLS` of them alive (LRU),
+bounding worker-side snapshot memory.  ``close_pools()`` (also registered
+``atexit``) and the registry's context-manager form release everything
+explicitly; the next call after a close simply builds fresh pools.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.parallel.shards import ShardSnapshot, plan_shards
 
-__all__ = ["resolve_backend", "sharded_destroyed_indices", "PROCESS_MIN_BATCH"]
+__all__ = [
+    "resolve_backend",
+    "sharded_destroyed_indices",
+    "WorkerPool",
+    "PoolRegistry",
+    "pool_registry",
+    "close_pools",
+    "PROCESS_MIN_BATCH",
+    "MAX_PROCESS_POOLS",
+]
 
 #: Below this many masks, "auto" never picks processes: pool start-up and
 #: per-task pickling would dominate the answer time.
@@ -43,6 +65,10 @@ PROCESS_MIN_BATCH = 2048
 #: Smallest default chunk: each chunk pays a fixed kernel set-up cost, so
 #: small vectors use fewer chunks than workers rather than drown in it.
 MIN_CHUNK_SIZE = 4096
+
+#: Most process pools the registry keeps alive at once.  Each one pins a
+#: snapshot copy in every worker, so the LRU bound is a memory bound.
+MAX_PROCESS_POOLS = 4
 
 #: Worker-process-side snapshot, set by the pool initializer.  Each pool
 #: delivers its own snapshot through initargs, so concurrent pools in the
@@ -78,6 +104,245 @@ def resolve_backend(backend: str, workers: int, total: int) -> str:
     ):
         return "process"
     return "thread"
+
+
+class WorkerPool:
+    """One persistent chunk-execution pool (thread or process backend).
+
+    Thread pools answer chunks of any snapshot — threads share the parent's
+    memory.  Process pools are bound to the single snapshot their workers
+    adopted through the initializer; :meth:`run` refuses any other.
+    """
+
+    __slots__ = ("backend", "workers", "_executor", "_mp_pool", "_snapshot", "_closed")
+
+    def __init__(
+        self,
+        backend: str,
+        workers: int,
+        snapshot: "ShardSnapshot | None" = None,
+    ):
+        if backend not in ("thread", "process"):
+            raise ValueError(f"pools exist for thread/process, not {backend!r}")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.backend = backend
+        self.workers = workers
+        self._closed = False
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._mp_pool = None
+        self._snapshot = snapshot
+        if backend == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        else:
+            if snapshot is None:
+                raise ValueError("a process pool needs its snapshot up front")
+            start_methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in start_methods else start_methods[0]
+            ctx = multiprocessing.get_context(method)
+            self._mp_pool = ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(snapshot,),
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        """True when the pool can still accept work.
+
+        A closed pool is unhealthy by definition.  For process pools the
+        worker processes are additionally checked alive — a worker killed
+        by the OS (OOM, signal) would otherwise wedge the next ``map``.
+        """
+        if self._closed:
+            return False
+        if self._mp_pool is not None:
+            try:
+                if getattr(self._mp_pool, "_state", "RUN") != "RUN":
+                    return False
+                procs = getattr(self._mp_pool, "_pool", None)
+                if procs is not None and not all(p.is_alive() for p in procs):
+                    return False
+            except Exception:  # pragma: no cover - defensive on mp internals
+                return False
+        return True
+
+    def close(self) -> None:
+        """Release the OS resources.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self._mp_pool is not None:
+            self._mp_pool.terminate()
+            self._mp_pool.join()
+        self._snapshot = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        snapshot: ShardSnapshot,
+        masks: Sequence[int],
+        shards: Sequence[Tuple[int, int]],
+        force_python: bool = False,
+    ) -> List[List[Tuple[int, ...]]]:
+        """Answer every shard, returning the per-shard parts in shard order."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._executor is not None:
+            return list(
+                self._executor.map(
+                    lambda rng: snapshot.destroyed_indices_chunk(
+                        masks, rng[0], rng[1], force_python=force_python
+                    ),
+                    shards,
+                )
+            )
+        if snapshot is not self._snapshot:
+            raise RuntimeError(
+                "process pool was initialized for a different snapshot"
+            )
+        return self._mp_pool.map(
+            _run_chunk,
+            [(list(masks[a:b]), 0, b - a) for a, b in shards],
+        )
+
+
+class PoolRegistry:
+    """Process-wide cache of live :class:`WorkerPool` objects.
+
+    ``get`` creates a pool on first use and hands the same object back on
+    every later call with the same key — after a health check; an unhealthy
+    pool is closed, discarded, and transparently rebuilt.  The registry is
+    thread-safe and usable as a context manager (closing every pool on
+    exit), and ``stats()`` exposes created/reused/evicted counters so tests
+    can pin the reuse behaviour.
+    """
+
+    __slots__ = (
+        "_threads",
+        "_processes",
+        "_max_process_pools",
+        "_lock",
+        "_created",
+        "_reused",
+        "_evicted",
+        "_rebuilt",
+    )
+
+    def __init__(self, max_process_pools: int = MAX_PROCESS_POOLS):
+        if max_process_pools < 1:
+            raise ValueError("max_process_pools must be positive")
+        #: workers -> pool (thread pools serve any snapshot).
+        self._threads: Dict[int, WorkerPool] = {}
+        #: (id(snapshot), workers) -> pool; the pool holds the snapshot
+        #: ref, so the id cannot be recycled while the entry lives.
+        self._processes: "OrderedDict[Tuple[int, int], WorkerPool]" = OrderedDict()
+        self._max_process_pools = max_process_pools
+        self._lock = threading.Lock()
+        self._created = 0
+        self._reused = 0
+        self._evicted = 0
+        self._rebuilt = 0
+
+    def get(
+        self,
+        backend: str,
+        workers: int,
+        snapshot: "ShardSnapshot | None" = None,
+    ) -> WorkerPool:
+        """The live pool for ``(backend, workers[, snapshot])``."""
+        with self._lock:
+            if backend == "thread":
+                pool = self._threads.get(workers)
+                if pool is not None and pool.healthy():
+                    self._reused += 1
+                    return pool
+                if pool is not None:
+                    pool.close()
+                    self._rebuilt += 1
+                pool = WorkerPool("thread", workers)
+                self._threads[workers] = pool
+                self._created += 1
+                return pool
+            if backend != "process":
+                raise ValueError(f"no pools for backend {backend!r}")
+            if snapshot is None:
+                raise ValueError("a process pool needs a snapshot")
+            key = (id(snapshot), workers)
+            pool = self._processes.get(key)
+            if pool is not None and pool.healthy():
+                self._reused += 1
+                self._processes.move_to_end(key)
+                return pool
+            if pool is not None:
+                pool.close()
+                del self._processes[key]
+                self._rebuilt += 1
+            pool = WorkerPool("process", workers, snapshot)
+            self._processes[key] = pool
+            self._created += 1
+            while len(self._processes) > self._max_process_pools:
+                _, evicted = self._processes.popitem(last=False)
+                evicted.close()
+                self._evicted += 1
+            return pool
+
+    def stats(self) -> Dict[str, int]:
+        """Created/reused/evicted/rebuilt counters and live pool counts."""
+        with self._lock:
+            return {
+                "created": self._created,
+                "reused": self._reused,
+                "evicted": self._evicted,
+                "rebuilt": self._rebuilt,
+                "live_thread_pools": len(self._threads),
+                "live_process_pools": len(self._processes),
+            }
+
+    def close(self) -> None:
+        """Close every pool and forget it.  The registry stays usable."""
+        with self._lock:
+            for pool in self._threads.values():
+                pool.close()
+            self._threads.clear()
+            for pool in self._processes.values():
+                pool.close()
+            self._processes.clear()
+
+    def __enter__(self) -> "PoolRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: The registry every sharded batch call draws its pool from.
+_POOLS = PoolRegistry()
+atexit.register(_POOLS.close)
+
+
+def pool_registry() -> PoolRegistry:
+    """The process-wide pool registry (for stats, tests, and lifecycle)."""
+    return _POOLS
+
+
+def close_pools() -> None:
+    """Release every cached worker pool.  Later calls rebuild lazily."""
+    _POOLS.close()
 
 
 def sharded_destroyed_indices(
@@ -123,29 +388,30 @@ def sharded_destroyed_indices(
             )
         return out
 
-    if chosen == "thread":
-        with ThreadPoolExecutor(max_workers=min(workers, len(shards))) as pool:
-            parts = list(
-                pool.map(
-                    lambda rng: snapshot.destroyed_indices_chunk(
-                        masks, rng[0], rng[1], force_python=force_python
-                    ),
-                    shards,
-                )
+    # Persistent pools are shared process-wide, so a concurrent
+    # close_pools() (another engine shutting down) or an LRU eviction can
+    # close the pool between get() and run().  Retry once with a fresh
+    # pool; if pools keep dying, answer serially — always correct, just
+    # unsharded.
+    parts: "List[List[Tuple[int, ...]]] | None" = None
+    for _attempt in range(2):
+        pool = _POOLS.get(
+            chosen, workers, snapshot if chosen == "process" else None
+        )
+        try:
+            parts = pool.run(snapshot, masks, shards, force_python=force_python)
+            break
+        except (RuntimeError, ValueError, OSError):
+            if pool.healthy():
+                raise  # a real task error, not a pool-lifecycle race
+            continue
+    if parts is None:
+        parts = [
+            snapshot.destroyed_indices_chunk(
+                masks, start, stop, force_python=force_python
             )
-    else:  # process
-        start_methods = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in start_methods else start_methods[0]
-        ctx = multiprocessing.get_context(method)
-        with ctx.Pool(
-            processes=min(workers, len(shards)),
-            initializer=_init_worker,
-            initargs=(snapshot,),
-        ) as pool:
-            parts = pool.map(
-                _run_chunk,
-                [(list(masks[a:b]), 0, b - a) for a, b in shards],
-            )
+            for start, stop in shards
+        ]
 
     merged: List[Tuple[int, ...]] = []
     for part in parts:

@@ -21,6 +21,21 @@ Keying and invalidation rules:
   recently used entry, releasing its references.  There is no explicit
   invalidation — updated databases are *new* objects
   (``Database.delete`` returns a copy), which simply miss.
+* Long-lived serving processes (:mod:`repro.service`) can additionally
+  bound the cache by **approximate bytes** (``max_bytes`` /
+  :meth:`ProvenanceCache.set_capacity`): each entry's value is sized with
+  a bounded recursive ``sys.getsizeof`` walk at insert time, and inserts
+  evict LRU entries until the running total fits.  The default stays
+  unbounded by bytes, so batch/benchmark behaviour is unchanged.
+  Eviction counts are surfaced in :meth:`ProvenanceCache.stats` next to
+  the hit/miss counters.
+* All operations are **thread-safe**: a lock guards lookup, insert, and
+  the counters, so concurrent readers never tear the stats, and per-key
+  *in-flight claims* make a given ``(query, db)`` pair compute/compile at
+  most once under races — the first thread claims the key and computes
+  **outside** the lock (so a slow cold build never serializes unrelated
+  requests, and the compute may freely reenter the cache); racers on the
+  same key wait for the claim to resolve and count as hits.
 
 The cache also memoizes **compiled physical plans**
 (:func:`repro.algebra.plan.compile_plan`).  An *unoptimized* plan depends
@@ -39,6 +54,8 @@ coexist under distinct keys.
 
 from __future__ import annotations
 
+import sys
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Tuple, TYPE_CHECKING
 
@@ -63,6 +80,69 @@ __all__ = [
 #: (kind, id(query), id(db), view_name)
 _Key = Tuple[str, int, int, str]
 
+#: Bounded-walk limits for the approximate entry sizing: provenance objects
+#: can hold millions of interned rows, and an exact deep walk would cost as
+#: much as the computation it sizes.  The walk visits at most this many
+#: nodes and extrapolates containers it truncates.
+_SIZE_WALK_LIMIT = 4096
+
+
+def approx_object_bytes(value: Any, limit: int = _SIZE_WALK_LIMIT) -> int:
+    """Approximate deep size of ``value`` in bytes, by bounded traversal.
+
+    ``sys.getsizeof`` over a breadth-first walk of containers, ``__dict__``
+    and ``__slots__``, deduplicated by object identity.  Containers whose
+    iteration is cut off by the node ``limit`` are extrapolated linearly
+    from the sampled prefix, so a huge witness table is *estimated* in
+    O(limit) instead of walked in O(table).  This is deliberately an
+    estimate — the byte bound it feeds is a memory-pressure valve, not an
+    accounting ledger.
+    """
+    seen = set()
+    total = 0
+    visited = 0
+    stack = [value]
+    while stack and visited < limit:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        visited += 1
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic objects without size
+            continue
+        if isinstance(obj, (str, bytes, int, float, bool)) or obj is None:
+            continue
+        children: "list" = []
+        if isinstance(obj, dict):
+            for key, val in obj.items():
+                children.append(key)
+                children.append(val)
+        elif isinstance(obj, (tuple, list, set, frozenset)):
+            children.extend(obj)
+        else:
+            inner = getattr(obj, "__dict__", None)
+            if inner is not None:
+                children.append(inner)
+            for slot in getattr(type(obj), "__slots__", ()):
+                child = getattr(obj, slot, None)
+                if child is not None:
+                    children.append(child)
+        budget = limit - visited
+        if len(children) > budget:
+            # Extrapolate the truncated tail from the sampled prefix.
+            sample = children[:budget] if budget else []
+            if sample:
+                sampled = sum(
+                    approx_object_bytes(c, limit=64) for c in sample
+                )
+                total += int(sampled * (len(children) / len(sample))) - sampled
+            stack.extend(sample)
+        else:
+            stack.extend(children)
+    return total
+
 
 class ProvenanceCache:
     """Bounded identity-keyed LRU memo for provenance objects.
@@ -75,26 +155,44 @@ class ProvenanceCache:
     __slots__ = (
         "_entries",
         "_maxsize",
+        "_max_bytes",
+        "_bytes",
         "_hits",
         "_misses",
+        "_evictions",
         "_plans",
         "_plan_maxsize",
         "_plan_hits",
         "_plan_misses",
+        "_plan_evictions",
+        "_lock",
+        "_inflight",
+        "_plan_inflight",
     )
 
-    def __init__(self, maxsize: int = 64, plan_maxsize: int = 256):
+    def __init__(
+        self,
+        maxsize: int = 64,
+        plan_maxsize: int = 256,
+        max_bytes: "int | None" = None,
+    ):
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         if plan_maxsize < 1:
             raise ValueError("plan_maxsize must be positive")
-        #: key -> (query, db, value); query/db kept alive to pin their ids.
-        self._entries: "OrderedDict[_Key, Tuple[Query, Database, Any]]" = (
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None: unbounded)")
+        #: key -> (query, db, value, approx bytes); query/db kept alive to
+        #: pin their ids.
+        self._entries: "OrderedDict[_Key, Tuple[Query, Database, Any, int]]" = (
             OrderedDict()
         )
         self._maxsize = maxsize
+        self._max_bytes = max_bytes
+        self._bytes = 0
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         #: (id(query), schema signature, optimizer level, stats version) ->
         #: plan; CompiledPlan.query keeps the query alive, so its id is
         #: never recycled while the entry lives.
@@ -104,6 +202,93 @@ class ProvenanceCache:
         self._plan_maxsize = plan_maxsize
         self._plan_hits = 0
         self._plan_misses = 0
+        self._plan_evictions = 0
+        # Reentrant for the bookkeeping paths; computes run *outside* it.
+        self._lock = threading.RLock()
+        #: key -> (owner thread id, event): claims for in-flight computes,
+        #: so racers wait instead of duplicating work — and so the owner
+        #: thread itself may reenter the cache mid-compute.
+        self._inflight: Dict[_Key, Tuple[int, threading.Event]] = {}
+        self._plan_inflight: "Dict[Tuple[int, Tuple], Tuple[int, threading.Event]]" = {}
+
+    def set_capacity(
+        self,
+        maxsize: "int | None" = None,
+        plan_maxsize: "int | None" = None,
+        max_bytes: "int | None | type(...)" = ...,
+    ) -> None:
+        """Rebound a live cache (``None``/``...`` keeps a limit unchanged).
+
+        ``max_bytes`` accepts ``None`` explicitly to lift the byte bound,
+        so its "leave unchanged" sentinel is ``...``.  Tightening a bound
+        evicts LRU entries immediately.  This is how a long-lived serving
+        process (:class:`repro.service.engine.ServiceEngine`) bounds the
+        shared process-wide cache without touching library defaults.
+        """
+        with self._lock:
+            if maxsize is not None:
+                if maxsize < 1:
+                    raise ValueError("maxsize must be positive")
+                self._maxsize = maxsize
+            if plan_maxsize is not None:
+                if plan_maxsize < 1:
+                    raise ValueError("plan_maxsize must be positive")
+                self._plan_maxsize = plan_maxsize
+            if max_bytes is not ...:
+                if max_bytes is not None and max_bytes < 1:
+                    raise ValueError(
+                        "max_bytes must be positive (or None: unbounded)"
+                    )
+                self._max_bytes = max_bytes
+            if self._max_bytes is not None:
+                # Entries inserted while unbounded were never sized; size
+                # them now so the new bound accounts for the whole cache.
+                total = 0
+                for key, entry in self._entries.items():
+                    if entry[3] == 0:
+                        entry = entry[:3] + (approx_object_bytes(entry[2]),)
+                        self._entries[key] = entry
+                    total += entry[3]
+                self._bytes = total
+            self._evict_entries()
+            while len(self._plans) > self._plan_maxsize:
+                self._plans.popitem(last=False)
+                self._plan_evictions += 1
+
+    def _evict_entries(self) -> None:
+        """Drop LRU entries until both the entry and byte bounds hold.
+
+        The newest entry always survives, even when it alone exceeds
+        ``max_bytes`` — evicting the value just computed would turn an
+        over-large result into a recompute-every-call livelock.
+        """
+        while len(self._entries) > self._maxsize or (
+            self._max_bytes is not None
+            and self._bytes > self._max_bytes
+            and len(self._entries) > 1
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted[3]
+            self._evictions += 1
+
+    def _claim(self, inflight: Dict, key) -> "threading.Event | None":
+        """Under the lock: claim ``key`` for this thread, or return the
+        event to wait on.  ``None`` means we own the compute (including
+        the reentrant case: this thread already owns it)."""
+        holder = inflight.get(key)
+        if holder is None:
+            inflight[key] = (threading.get_ident(), threading.Event())
+            return None
+        if holder[0] == threading.get_ident():
+            return None  # reentrant compute on our own claim
+        return holder[1]
+
+    def _release(self, inflight: Dict, key) -> None:
+        """Under the lock: resolve our claim and wake the waiters."""
+        holder = inflight.get(key)
+        if holder is not None and holder[0] == threading.get_ident():
+            del inflight[key]
+            holder[1].set()
 
     def get_or_compute(
         self,
@@ -113,19 +298,46 @@ class ProvenanceCache:
         view_name: str,
         compute: Callable[[], Any],
     ) -> Any:
-        """The cached value for ``(kind, query, db, view_name)``, or compute it."""
+        """The cached value for ``(kind, query, db, view_name)``, or compute it.
+
+        Under concurrency the first caller claims the key and runs
+        ``compute`` *outside* the lock; racing callers wait for the claim
+        and take the cached value (counted as hits).  Only the claimant
+        counts a miss, so each key computes once however many threads race.
+        """
         key = (kind, id(query), id(db), view_name)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._hits += 1
-            self._entries.move_to_end(key)
-            return entry[2]
-        self._misses += 1
-        value = compute()
-        self._entries[key] = (query, db, value)
-        while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-        return value
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                    return entry[2]
+                event = self._claim(self._inflight, key)
+                if event is None:
+                    self._misses += 1
+                    break
+            # Another thread is computing this key: wait off-lock, then
+            # re-check (its compute may also have failed — then we claim).
+            event.wait()
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                self._release(self._inflight, key)
+            raise
+        with self._lock:
+            if key not in self._entries:  # reentrant compute may have won
+                size = (
+                    approx_object_bytes(value)
+                    if self._max_bytes is not None
+                    else 0
+                )
+                self._entries[key] = (query, db, value, size)
+                self._bytes += size
+                self._evict_entries()
+            self._release(self._inflight, key)
+            return value
 
     def plan_for(
         self,
@@ -156,25 +368,41 @@ class ProvenanceCache:
         )
         version = stats_version(db, names) if level > 0 else None
         key = (id(query), signature, level, version)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plan_hits += 1
-            self._plans.move_to_end(key)
+        while True:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    self._plan_hits += 1
+                    self._plans.move_to_end(key)
+                    return plan
+                event = self._claim(self._plan_inflight, key)
+                if event is None:
+                    self._plan_misses += 1
+                    break
+            event.wait()
+        try:
+            catalog = {name: db[name].schema for name in names if name in db}
+            # Lazy: statistics walk every row of the referenced relations,
+            # and the optimizer only consults them when it actually
+            # reorders a bush.
+            stats = (
+                (lambda: TableStatistics.from_database(db, names))
+                if level > 0
+                else None
+            )
+            plan = compile_plan(query, catalog, optimizer_level=level, stats=stats)
+        except BaseException:
+            with self._lock:
+                self._release(self._plan_inflight, key)
+            raise
+        with self._lock:
+            if key not in self._plans:
+                self._plans[key] = plan
+                while len(self._plans) > self._plan_maxsize:
+                    self._plans.popitem(last=False)
+                    self._plan_evictions += 1
+            self._release(self._plan_inflight, key)
             return plan
-        self._plan_misses += 1
-        catalog = {name: db[name].schema for name in names if name in db}
-        # Lazy: statistics walk every row of the referenced relations, and
-        # the optimizer only consults them when it actually reorders a bush.
-        stats = (
-            (lambda: TableStatistics.from_database(db, names))
-            if level > 0
-            else None
-        )
-        plan = compile_plan(query, catalog, optimizer_level=level, stats=stats)
-        self._plans[key] = plan
-        while len(self._plans) > self._plan_maxsize:
-            self._plans.popitem(last=False)
-        return plan
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters.
@@ -184,30 +412,41 @@ class ProvenanceCache:
         timed run instead of polluted by whatever ran earlier.  Use
         :meth:`reset_stats` to zero the counters without dropping entries.
         """
-        self._entries.clear()
-        self._plans.clear()
-        self.reset_stats()
+        with self._lock:
+            self._entries.clear()
+            self._plans.clear()
+            self._bytes = 0
+            self.reset_stats()
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss counters, keeping the cached entries."""
-        self._hits = 0
-        self._misses = 0
-        self._plan_hits = 0
-        self._plan_misses = 0
+        """Zero the hit/miss/eviction counters, keeping the cached entries."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._plan_hits = 0
+            self._plan_misses = 0
+            self._plan_evictions = 0
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters and current size, for tests and diagnostics."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "size": len(self._entries),
-            "plan_hits": self._plan_hits,
-            "plan_misses": self._plan_misses,
-            "plan_size": len(self._plans),
-        }
+        """Hit/miss/eviction counters and current sizes, for diagnostics."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "evictions": self._evictions,
+                "approx_bytes": self._bytes,
+                "max_bytes": self._max_bytes,
+                "plan_hits": self._plan_hits,
+                "plan_misses": self._plan_misses,
+                "plan_size": len(self._plans),
+                "plan_evictions": self._plan_evictions,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: The process-wide cache all solvers share.

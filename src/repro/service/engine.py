@@ -1,0 +1,384 @@
+"""The long-lived serving engine.
+
+:class:`ServiceEngine` turns the library into an engine a process keeps
+alive across requests:
+
+* a **named-database registry** — requests address databases by name, and
+  re-registering a name atomically swaps in the new snapshot (databases
+  are immutable, so in-flight answers keep the object they started with);
+* an **interned query parse** per DSL text — every cache in the library
+  (:mod:`repro.provenance.cache`, the plan memo) is identity-keyed, so
+  handing equal texts the *same* :class:`~repro.algebra.ast.Query` object
+  is what makes the shared caches hit across requests;
+* **warm per-(database, query) state** — a
+  :class:`~repro.deletion.hypothetical.HypotheticalDeletions` oracle per
+  pair, holding the compiled plan, the
+  :class:`~repro.provenance.interning.SourceIndex`, and the
+  :class:`~repro.provenance.bitset.BitsetProvenance` witness masks, built
+  on first touch and reused by every later request;
+* the **persistent worker pool** (:mod:`repro.parallel.executor`) — batch
+  calls shard over pools that are created once and reused, not rebuilt per
+  call; ``close()`` (or the context-manager exit) releases them.
+
+The engine itself is synchronous and thread-safe; batching and the async
+front door live in :mod:`repro.service.batcher` and
+:mod:`repro.service.server`.  Every answer is **bit-identical** to the
+corresponding direct library call — the engine only routes to the same
+shared caches and kernels the library uses standalone (pinned by
+``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.ast import Query
+from repro.algebra.evaluate import evaluate
+from repro.algebra.parser import parse_query
+from repro.algebra.relation import Database, Row
+from repro.deletion.api import delete_view_tuple, minimum_source_deletion
+from repro.deletion.hypothetical import HypotheticalDeletions
+from repro.parallel.executor import close_pools, pool_registry
+from repro.provenance.cache import (
+    cached_where_provenance,
+    cached_why_provenance,
+    provenance_cache,
+)
+from repro.provenance.locations import SourceTuple
+from repro.service.requests import (
+    DeleteRequest,
+    DeleteResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    HypotheticalRequest,
+    HypotheticalResponse,
+    Response,
+    ServiceError,
+    WhereRequest,
+    WhereResponse,
+    WhyRequest,
+    WhyResponse,
+    error_response,
+)
+
+__all__ = ["ServiceEngine"]
+
+
+def _sorted_rows(rows) -> Tuple[Row, ...]:
+    return tuple(sorted(rows, key=repr))
+
+
+class ServiceEngine:
+    """A registry of databases plus warm execution state, behind one lock.
+
+    ``workers`` is the shard count batch calls run with (``None`` = serial;
+    the sharded path falls back to serial below its amortization floor
+    regardless).  ``cache_entries``/``cache_bytes`` bound the shared
+    process-wide :data:`~repro.provenance.cache.provenance_cache` for
+    long-lived operation — they apply :meth:`~repro.provenance.cache.
+    ProvenanceCache.set_capacity` on construction and default to leaving
+    the library defaults untouched.  Note the bound is **process state**:
+    the cache (like the worker-pool registry) is shared by every engine
+    and library caller in the process, so it persists after this engine
+    closes, and when several engines set bounds the last constructor wins.
+
+    Use as a context manager, or call :meth:`close` when done: it drops
+    the warm state and releases the **process-wide** persistent worker
+    pools — in-flight batch calls of other engines fall back to fresh
+    pools or serial execution, with identical answers.
+    """
+
+    def __init__(
+        self,
+        databases: "Dict[str, Database] | None" = None,
+        *,
+        workers: Optional[int] = None,
+        optimizer_level: Optional[int] = None,
+        cache_entries: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+    ):
+        self._lock = threading.RLock()
+        self._databases: Dict[str, Database] = {}
+        self._queries: Dict[str, Query] = {}
+        #: (database name, query text) -> warm oracle; dropped when the
+        #: name is re-registered.
+        self._oracles: Dict[Tuple[str, str], HypotheticalDeletions] = {}
+        self._workers = workers
+        self._optimizer_level = optimizer_level
+        self._closed = False
+        self._counters = {
+            "requests": 0,
+            "errors": 0,
+            "batch_calls": 0,
+            "batched_candidates": 0,
+            "deduped_candidates": 0,
+        }
+        if cache_entries is not None or cache_bytes is not None:
+            provenance_cache.set_capacity(
+                maxsize=cache_entries,
+                max_bytes=cache_bytes if cache_bytes is not None else ...,
+            )
+        for name, db in (databases or {}).items():
+            self.register_database(name, db)
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register_database(self, name: str, db: Database) -> None:
+        """Add or atomically replace the database served under ``name``."""
+        if not isinstance(db, Database):
+            raise ServiceError(f"expected a Database for {name!r}, got {db!r}")
+        with self._lock:
+            self._check_open()
+            self._databases[name] = db
+            # Warm state for the displaced snapshot can never be asked for
+            # again under this name; drop it so the registry does not pin
+            # dead databases alive.
+            for key in [k for k in self._oracles if k[0] == name]:
+                del self._oracles[key]
+
+    def database(self, name: str) -> Database:
+        """The database registered under ``name``."""
+        with self._lock:
+            try:
+                return self._databases[name]
+            except KeyError:
+                raise ServiceError(
+                    f"no database registered as {name!r}; known: "
+                    f"{sorted(self._databases)}"
+                ) from None
+
+    def database_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._databases))
+
+    def query(self, text: str) -> Query:
+        """The interned parse of ``text`` (one Query object per text)."""
+        with self._lock:
+            query = self._queries.get(text)
+            if query is None:
+                query = parse_query(text)
+                self._queries[text] = query
+            return query
+
+    def register_query(self, text: str, query: Query) -> None:
+        """Pre-intern ``query`` under the alias ``text``.
+
+        Callers that already hold an AST (workload generators, benchmarks)
+        can serve it under any name without round-tripping through the DSL
+        renderer; requests naming ``text`` hit this exact object — and
+        therefore its warm identity-keyed cache entries.
+        """
+        if not isinstance(query, Query):
+            raise ServiceError(f"expected a Query for {text!r}, got {query!r}")
+        with self._lock:
+            self._check_open()
+            self._queries[text] = query
+
+    def oracle(self, database: str, query_text: str) -> HypotheticalDeletions:
+        """The warm per-(database, query) oracle, built on first touch.
+
+        The build (provenance, compiled plan) runs *outside* the engine
+        lock so a cold pair never stalls unrelated requests; rare racing
+        builds are cheap because the underlying provenance/plan come from
+        the shared in-flight-deduplicated cache, and one build wins the
+        slot.
+        """
+        key = (database, query_text)
+        with self._lock:
+            self._check_open()
+            oracle = self._oracles.get(key)
+            if oracle is not None:
+                return oracle
+            query = self.query(query_text)
+            db = self.database(database)
+        oracle = HypotheticalDeletions(
+            query,
+            db,
+            optimizer_level=self._optimizer_level,
+            workers=self._workers,
+        )
+        with self._lock:
+            self._check_open()
+            return self._oracles.setdefault(key, oracle)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, request) -> Response:
+        """Answer one request; failures become ``ok=False`` responses.
+
+        *Every* exception converts — not just :class:`ReproError`.  A
+        malformed payload that slips past the wire decoder (an unhashable
+        row value, a non-string database name) must answer an error, never
+        take down the serving loop that called us.
+        """
+        with self._lock:
+            self._counters["requests"] += 1
+        try:
+            if isinstance(request, EvaluateRequest):
+                return self._evaluate(request)
+            if isinstance(request, WhyRequest):
+                return self._why(request)
+            if isinstance(request, WhereRequest):
+                return self._where(request)
+            if isinstance(request, HypotheticalRequest):
+                return self.execute_hypothetical_batch(
+                    request.database, request.query, [request.deletions]
+                )[0]
+            if isinstance(request, DeleteRequest):
+                return self._delete(request)
+            raise ServiceError(f"unknown request type {type(request).__name__}")
+        except ReproError as err:
+            with self._lock:
+                self._counters["errors"] += 1
+            return error_response(str(err))
+        except Exception as err:  # noqa: BLE001 - the serving boundary
+            with self._lock:
+                self._counters["errors"] += 1
+            return error_response(f"{type(err).__name__}: {err}")
+
+    def _evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
+        query = self.query(request.query)
+        db = self.database(request.database)
+        view = evaluate(query, db)
+        return EvaluateResponse(
+            schema=view.schema.attributes, rows=_sorted_rows(view.rows)
+        )
+
+    def _why(self, request: WhyRequest) -> WhyResponse:
+        prov = cached_why_provenance(
+            self.query(request.query), self.database(request.database)
+        )
+        witnesses = prov.witnesses(request.row)
+        return WhyResponse(
+            witnesses=tuple(
+                sorted(
+                    (tuple(sorted(w, key=repr)) for w in witnesses), key=repr
+                )
+            )
+        )
+
+    def _where(self, request: WhereRequest) -> WhereResponse:
+        prov = cached_where_provenance(
+            self.query(request.query), self.database(request.database)
+        )
+        locations = prov.backward(request.row, request.attribute)
+        return WhereResponse(locations=tuple(sorted(locations, key=repr)))
+
+    def _delete(self, request: DeleteRequest) -> DeleteResponse:
+        query = self.query(request.query)
+        db = self.database(request.database)
+        solve = (
+            delete_view_tuple
+            if request.objective == "view"
+            else minimum_source_deletion
+        )
+        plan = solve(
+            query,
+            db,
+            request.target,
+            allow_exponential=request.exact,
+            workers=self._workers,
+        )
+        return DeleteResponse(
+            algorithm=plan.algorithm,
+            optimal=plan.optimal,
+            deletions=plan.sorted_deletions(),
+            side_effects=_sorted_rows(plan.side_effects),
+        )
+
+    def execute_hypothetical_batch(
+        self,
+        database: str,
+        query_text: str,
+        deletion_sets: Sequence[FrozenSet[SourceTuple]],
+    ) -> List[HypotheticalResponse]:
+        """Answer a whole vector of hypothetical-deletion candidates.
+
+        The batcher's entry point: identical candidates are answered once
+        (the vector is de-duplicated here as well, so direct callers get
+        the same interning), and the distinct vector is answered by one
+        mask-vector kernel pass — sharded over the persistent worker pool
+        when the engine was built with ``workers`` > 1.  Answer lists are
+        positionally aligned with ``deletion_sets`` and bit-identical to
+        per-candidate :meth:`~repro.deletion.hypothetical.
+        HypotheticalDeletions.view_after` calls.
+        """
+        oracle = self.oracle(database, query_text)
+        distinct: Dict[FrozenSet[SourceTuple], int] = {}
+        order: List[FrozenSet[SourceTuple]] = []
+        for deletions in deletion_sets:
+            if deletions not in distinct:
+                distinct[deletions] = len(order)
+                order.append(deletions)
+        with self._lock:
+            self._counters["batch_calls"] += 1
+            self._counters["batched_candidates"] += len(deletion_sets)
+            self._counters["deduped_candidates"] += len(deletion_sets) - len(order)
+        answers = self._destroyed_vector(oracle, order)
+        view_size = len(oracle.rows)
+        by_candidate = [
+            HypotheticalResponse(
+                destroyed=answer, surviving=view_size - len(answer)
+            )
+            for answer in answers
+        ]
+        return [by_candidate[distinct[d]] for d in deletion_sets]
+
+    def _destroyed_vector(
+        self,
+        oracle: HypotheticalDeletions,
+        deletion_sets: Sequence[FrozenSet[SourceTuple]],
+    ) -> List[Tuple[Row, ...]]:
+        """Sorted destroyed-row tuples per candidate, mask path or fallback."""
+        kernel = oracle.provenance.kernel if oracle.provenance else None
+        if kernel is not None:
+            masks = [kernel.encode_deletions(d) for d in deletion_sets]
+            destroyed = kernel.batch_destroyed(masks, workers=self._workers)
+            return [_sorted_rows(rows) for rows in destroyed]
+        baseline = oracle.rows
+        return [
+            _sorted_rows(baseline - after)
+            for after in oracle.batch_view_after(deletion_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Request counters plus the shared cache and pool-registry stats."""
+        with self._lock:
+            counters = dict(self._counters)
+            counters["databases"] = len(self._databases)
+            counters["warm_oracles"] = len(self._oracles)
+        counters["cache"] = provenance_cache.stats()
+        counters["pools"] = pool_registry().stats()
+        return counters
+
+    @property
+    def workers(self) -> Optional[int]:
+        return self._workers
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("engine is closed")
+
+    def close(self) -> None:
+        """Drop warm state and release the persistent worker pools."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._oracles.clear()
+            self._databases.clear()
+            self._queries.clear()
+        close_pools()
+
+    def __enter__(self) -> "ServiceEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,382 @@
+"""Typed requests and responses for the serving engine, plus the wire codec.
+
+One dataclass per core operation the engine serves:
+
+* :class:`EvaluateRequest` — the view of a query (``repro eval``);
+* :class:`WhyRequest` — a view row's minimal witnesses;
+* :class:`WhereRequest` — a view field's where-provenance (source
+  locations);
+* :class:`HypotheticalRequest` — "which view rows are destroyed by
+  hypothetically deleting the source set ``T``?"; the one operation the
+  micro-batcher (:mod:`repro.service.batcher`) coalesces, because whole
+  vectors of candidates are answered by one
+  :meth:`~repro.provenance.bitset.BitsetProvenance.batch_destroyed` /
+  ``batch_side_effects_mask`` pass;
+* :class:`DeleteRequest` — a full deletion solve through the dichotomy
+  dispatchers (exact by default, ``exact=False`` refuses/avoids the
+  exponential algorithms exactly like ``allow_exponential=False``).
+
+Requests name their database by *registry name* (the engine owns a
+named-database registry) and their query by *DSL text* (the engine interns
+parses, so equal texts hit the same warm provenance).  All payload values
+are JSON scalars; rows travel as JSON arrays and deletion sets as arrays of
+``[relation, row]`` pairs.
+
+The wire format is newline-delimited JSON envelopes::
+
+    {"id": 7, "kind": "hypothetical", "database": "db", "query": "...",
+     "deletions": [["R", [0, 1]]], "timeout_ms": 250}
+    {"id": 7, "ok": true, "kind": "hypothetical", "destroyed": [[0]], ...}
+
+``encode_request``/``decode_request`` and ``encode_response``/
+``decode_response`` are exact inverses for every request/response type
+(pinned by tests), so the same-process :class:`~repro.service.server.
+ServiceClient` and the TCP front door answer bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.algebra.relation import Row
+from repro.provenance.locations import Location, SourceTuple
+
+__all__ = [
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "EvaluateRequest",
+    "WhyRequest",
+    "WhereRequest",
+    "HypotheticalRequest",
+    "DeleteRequest",
+    "Response",
+    "EvaluateResponse",
+    "WhyResponse",
+    "WhereResponse",
+    "HypotheticalResponse",
+    "DeleteResponse",
+    "error_response",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "REQUEST_KINDS",
+]
+
+
+class ServiceError(ReproError):
+    """A serving-layer failure (bad request, unknown database, ...)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The bounded request queue is full; the caller should back off."""
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before an answer was produced."""
+
+
+def _freeze_row(row) -> Row:
+    return tuple(row)
+
+
+def _freeze_deletions(deletions) -> FrozenSet[SourceTuple]:
+    return frozenset((rel, tuple(row)) for rel, row in deletions)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """Evaluate ``query`` over the named database; answer the view rows."""
+
+    database: str
+    query: str
+    kind = "evaluate"
+
+
+@dataclass(frozen=True)
+class WhyRequest:
+    """The minimal witnesses of ``row`` in the view of ``query``."""
+
+    database: str
+    query: str
+    row: Row
+    kind = "why"
+
+    def __post_init__(self):
+        object.__setattr__(self, "row", _freeze_row(self.row))
+
+
+@dataclass(frozen=True)
+class WhereRequest:
+    """The source locations propagating to view field ``(row, attribute)``."""
+
+    database: str
+    query: str
+    row: Row
+    attribute: str
+    kind = "where"
+
+    def __post_init__(self):
+        object.__setattr__(self, "row", _freeze_row(self.row))
+
+
+@dataclass(frozen=True)
+class HypotheticalRequest:
+    """Which view rows does hypothetically deleting ``deletions`` destroy?
+
+    The batchable operation: concurrently arriving candidates for the same
+    ``(database, query)`` coalesce into one mask-vector call, and identical
+    candidates are answered once.
+    """
+
+    database: str
+    query: str
+    deletions: FrozenSet[SourceTuple]
+    kind = "hypothetical"
+
+    def __post_init__(self):
+        object.__setattr__(self, "deletions", _freeze_deletions(self.deletions))
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """Solve a deletion-propagation problem for ``target``.
+
+    ``objective`` is ``"view"`` (minimize collateral view deletions) or
+    ``"source"`` (minimize source deletions); ``exact=False`` maps to the
+    dispatchers' ``allow_exponential=False``.
+    """
+
+    database: str
+    query: str
+    target: Row
+    objective: str = "view"
+    exact: bool = True
+    kind = "delete"
+
+    def __post_init__(self):
+        object.__setattr__(self, "target", _freeze_row(self.target))
+        if self.objective not in ("view", "source"):
+            raise ServiceError(
+                f"objective must be 'view' or 'source', got {self.objective!r}"
+            )
+
+
+#: Every request type, keyed by its wire ``kind``.
+REQUEST_KINDS = {
+    cls.kind: cls
+    for cls in (
+        EvaluateRequest,
+        WhyRequest,
+        WhereRequest,
+        HypotheticalRequest,
+        DeleteRequest,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Response:
+    """Base response: ``ok`` plus an error message when ``ok`` is false."""
+
+    ok: bool = True
+    error: Optional[str] = None
+    kind = "error"
+
+
+@dataclass(frozen=True)
+class EvaluateResponse(Response):
+    schema: Tuple[str, ...] = ()
+    rows: Tuple[Row, ...] = ()
+    kind = "evaluate"
+
+
+@dataclass(frozen=True)
+class WhyResponse(Response):
+    #: Each witness a sorted tuple of (relation, row) pairs; witnesses sorted.
+    witnesses: Tuple[Tuple[SourceTuple, ...], ...] = ()
+    kind = "why"
+
+
+@dataclass(frozen=True)
+class WhereResponse(Response):
+    #: Source locations as (relation, row, attribute) triples, sorted.
+    locations: Tuple[Location, ...] = ()
+    kind = "where"
+
+
+@dataclass(frozen=True)
+class HypotheticalResponse(Response):
+    #: View rows destroyed by the candidate, deterministically ordered.
+    destroyed: Tuple[Row, ...] = ()
+    #: How many view rows survive (len(view) - len(destroyed)).
+    surviving: int = 0
+    kind = "hypothetical"
+
+
+@dataclass(frozen=True)
+class DeleteResponse(Response):
+    algorithm: str = ""
+    optimal: bool = False
+    deletions: Tuple[SourceTuple, ...] = ()
+    side_effects: Tuple[Row, ...] = ()
+    kind = "delete"
+
+
+def error_response(message: str) -> Response:
+    """The failure envelope every request kind shares."""
+    return Response(ok=False, error=message)
+
+
+# ----------------------------------------------------------------------
+# Wire codec (newline-delimited JSON payloads)
+# ----------------------------------------------------------------------
+
+def encode_request(request) -> Dict[str, object]:
+    """A JSON-ready dict for ``request`` (sans transport envelope fields)."""
+    kind = request.kind
+    out: Dict[str, object] = {
+        "kind": kind,
+        "database": request.database,
+        "query": request.query,
+    }
+    if kind == "why":
+        out["row"] = list(request.row)
+    elif kind == "where":
+        out["row"] = list(request.row)
+        out["attribute"] = request.attribute
+    elif kind == "hypothetical":
+        out["deletions"] = [
+            [rel, list(row)] for rel, row in sorted(request.deletions, key=repr)
+        ]
+    elif kind == "delete":
+        out["target"] = list(request.target)
+        out["objective"] = request.objective
+        out["exact"] = request.exact
+    return out
+
+
+def decode_request(payload: Dict[str, object]):
+    """The typed request a wire dict denotes; raises :class:`ServiceError`."""
+    if not isinstance(payload, dict):
+        raise ServiceError(f"request must be a JSON object, got {payload!r}")
+    kind = payload.get("kind")
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise ServiceError(
+            f"unknown request kind {kind!r}; expected one of "
+            f"{sorted(REQUEST_KINDS)}"
+        )
+    try:
+        database = payload["database"]
+        query = payload["query"]
+        if kind == "evaluate":
+            return EvaluateRequest(database, query)
+        if kind == "why":
+            return WhyRequest(database, query, tuple(payload["row"]))
+        if kind == "where":
+            return WhereRequest(
+                database, query, tuple(payload["row"]), payload["attribute"]
+            )
+        if kind == "hypothetical":
+            return HypotheticalRequest(
+                database,
+                query,
+                _freeze_deletions(payload.get("deletions", ())),
+            )
+        return DeleteRequest(
+            database,
+            query,
+            tuple(payload["target"]),
+            objective=payload.get("objective", "view"),
+            exact=bool(payload.get("exact", True)),
+        )
+    except (KeyError, TypeError) as err:
+        raise ServiceError(f"malformed {kind!r} request: {err!r}") from None
+
+
+def encode_response(response: Response) -> Dict[str, object]:
+    """A JSON-ready dict for ``response``."""
+    out: Dict[str, object] = {"ok": response.ok, "kind": response.kind}
+    if response.error is not None:
+        out["error"] = response.error
+    if not response.ok:
+        return out
+    if isinstance(response, EvaluateResponse):
+        out["schema"] = list(response.schema)
+        out["rows"] = [list(row) for row in response.rows]
+    elif isinstance(response, WhyResponse):
+        out["witnesses"] = [
+            [[rel, list(row)] for rel, row in witness]
+            for witness in response.witnesses
+        ]
+    elif isinstance(response, WhereResponse):
+        out["locations"] = [
+            [loc.relation, list(loc.row), loc.attribute]
+            for loc in response.locations
+        ]
+    elif isinstance(response, HypotheticalResponse):
+        out["destroyed"] = [list(row) for row in response.destroyed]
+        out["surviving"] = response.surviving
+    elif isinstance(response, DeleteResponse):
+        out["algorithm"] = response.algorithm
+        out["optimal"] = response.optimal
+        out["deletions"] = [
+            [rel, list(row)] for rel, row in response.deletions
+        ]
+        out["side_effects"] = [list(row) for row in response.side_effects]
+    return out
+
+
+def decode_response(payload: Dict[str, object]) -> Response:
+    """The typed response a wire dict denotes (inverse of the encoder)."""
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ServiceError(f"response must be a JSON object with 'ok': {payload!r}")
+    if not payload["ok"]:
+        return Response(ok=False, error=payload.get("error"))
+    kind = payload.get("kind")
+    if kind == "evaluate":
+        return EvaluateResponse(
+            schema=tuple(payload["schema"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+        )
+    if kind == "why":
+        return WhyResponse(
+            witnesses=tuple(
+                tuple((rel, tuple(row)) for rel, row in witness)
+                for witness in payload["witnesses"]
+            )
+        )
+    if kind == "where":
+        return WhereResponse(
+            locations=tuple(
+                Location(rel, tuple(row), attr)
+                for rel, row, attr in payload["locations"]
+            )
+        )
+    if kind == "hypothetical":
+        return HypotheticalResponse(
+            destroyed=tuple(tuple(row) for row in payload["destroyed"]),
+            surviving=payload["surviving"],
+        )
+    if kind == "delete":
+        return DeleteResponse(
+            algorithm=payload["algorithm"],
+            optimal=payload["optimal"],
+            deletions=tuple(
+                (rel, tuple(row)) for rel, row in payload["deletions"]
+            ),
+            side_effects=tuple(tuple(row) for row in payload["side_effects"]),
+        )
+    raise ServiceError(f"unknown response kind {kind!r}")

@@ -1,0 +1,550 @@
+"""The serving engine: bit-identical answers, batching, deadlines, wire.
+
+The invariant every test here circles: the serving path — engine dispatch,
+micro-batched execution, the same-process client, the TCP front door —
+answers **bit-identically** to the corresponding direct library call.
+Batching and pooling change cost, never semantics.
+"""
+
+import asyncio
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.algebra import Database, Relation, evaluate, parse_query
+from repro.deletion import HypotheticalDeletions, delete_view_tuple, minimum_source_deletion
+from repro.provenance import where_provenance, why_provenance
+from repro.service import (
+    DeleteRequest,
+    DeleteResponse,
+    EvaluateRequest,
+    HypotheticalRequest,
+    MicroBatcher,
+    Response,
+    ServiceClient,
+    ServiceEngine,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceServer,
+    WhereRequest,
+    WhyRequest,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.workloads import usergroup_workload
+
+QUERY = "PROJECT[user, file](UserGroup JOIN GroupFile)"
+
+
+@pytest.fixture
+def db(usergroup_db):
+    return usergroup_db
+
+
+@pytest.fixture
+def engine(db):
+    with ServiceEngine({"db": db}) as eng:
+        yield eng
+
+
+def _candidates(db):
+    """Every single-tuple deletion: the component scans' vector."""
+    return [frozenset({source}) for source in db.all_source_tuples()]
+
+
+def _requests(db):
+    """One request of every kind plus a spread of hypothetical candidates."""
+    reqs = [
+        EvaluateRequest("db", QUERY),
+        WhyRequest("db", QUERY, ("joe", "f1")),
+        WhereRequest("db", QUERY, ("joe", "f1"), "file"),
+        DeleteRequest("db", QUERY, ("joe", "f1")),
+        DeleteRequest("db", QUERY, ("ann", "f1"), objective="source"),
+    ]
+    reqs.extend(HypotheticalRequest("db", QUERY, c) for c in _candidates(db))
+    return reqs
+
+
+class TestEngineAnswersMatchDirectCalls:
+    def test_evaluate(self, engine, db):
+        query = parse_query(QUERY)
+        response = engine.execute(EvaluateRequest("db", QUERY))
+        view = evaluate(query, db)
+        assert response.ok
+        assert response.schema == view.schema.attributes
+        assert frozenset(response.rows) == view.rows
+        assert list(response.rows) == sorted(response.rows, key=repr)
+
+    def test_why(self, engine, db):
+        response = engine.execute(WhyRequest("db", QUERY, ("joe", "f1")))
+        direct = why_provenance(parse_query(QUERY), db).witnesses(("joe", "f1"))
+        assert response.ok
+        assert frozenset(frozenset(w) for w in response.witnesses) == direct
+
+    def test_where(self, engine, db):
+        response = engine.execute(
+            WhereRequest("db", QUERY, ("joe", "f1"), "file")
+        )
+        direct = where_provenance(parse_query(QUERY), db).backward(
+            ("joe", "f1"), "file"
+        )
+        assert response.ok
+        assert frozenset(response.locations) == direct
+
+    def test_hypothetical(self, engine, db):
+        oracle = HypotheticalDeletions(parse_query(QUERY), db)
+        for candidate in _candidates(db):
+            response = engine.execute(
+                HypotheticalRequest("db", QUERY, candidate)
+            )
+            after = oracle.view_after(candidate)
+            assert response.ok
+            assert frozenset(response.destroyed) == oracle.rows - after
+            assert response.surviving == len(after)
+
+    @pytest.mark.parametrize("objective", ["view", "source"])
+    def test_delete(self, engine, db, objective):
+        solve = delete_view_tuple if objective == "view" else minimum_source_deletion
+        response = engine.execute(
+            DeleteRequest("db", QUERY, ("joe", "f1"), objective=objective)
+        )
+        plan = solve(parse_query(QUERY), db, ("joe", "f1"))
+        assert response.ok
+        assert response.algorithm == plan.algorithm
+        assert response.optimal == plan.optimal
+        assert frozenset(response.deletions) == plan.deletions
+        assert frozenset(response.side_effects) == plan.side_effects
+
+    def test_inexact_delete_routes_like_allow_exponential_false(self, engine, db):
+        response = engine.execute(
+            DeleteRequest("db", QUERY, ("joe", "f1"), objective="source", exact=False)
+        )
+        plan = minimum_source_deletion(
+            parse_query(QUERY), db, ("joe", "f1"), allow_exponential=False
+        )
+        assert response.ok and response.algorithm == plan.algorithm
+
+
+class TestEngineErrorsAndRegistry:
+    def test_unknown_database(self, engine):
+        response = engine.execute(EvaluateRequest("nope", QUERY))
+        assert not response.ok and "no database" in response.error
+
+    def test_unknown_relation(self, engine):
+        response = engine.execute(EvaluateRequest("db", "PROJECT[x](Missing)"))
+        assert not response.ok and "Missing" in response.error
+
+    def test_parse_error(self, engine):
+        response = engine.execute(EvaluateRequest("db", "PROJECT[("))
+        assert not response.ok
+
+    def test_row_not_in_view(self, engine):
+        response = engine.execute(WhyRequest("db", QUERY, ("zoe", "f9")))
+        assert not response.ok and "not in the view" in response.error
+
+    def test_exponential_refusal_is_an_error_response(self, engine):
+        response = engine.execute(
+            DeleteRequest("db", QUERY, ("joe", "f1"), exact=False)
+        )
+        assert not response.ok and "NP-hard" in response.error
+
+    def test_interned_query_object(self, engine):
+        assert engine.query(QUERY) is engine.query(QUERY)
+
+    def test_reregister_swaps_answers_and_drops_warm_state(self, engine, db):
+        engine.execute(HypotheticalRequest("db", QUERY, frozenset()))
+        assert engine.stats()["warm_oracles"] == 1
+        smaller = db.delete([("GroupFile", ("g3", "f3"))])
+        engine.register_database("db", smaller)
+        assert engine.stats()["warm_oracles"] == 0
+        response = engine.execute(EvaluateRequest("db", QUERY))
+        assert frozenset(response.rows) == evaluate(parse_query(QUERY), smaller).rows
+
+    def test_closed_engine_refuses(self, db):
+        engine = ServiceEngine({"db": db})
+        engine.close()
+        assert not engine.execute(EvaluateRequest("db", QUERY)).ok
+        with pytest.raises(ServiceError):
+            engine.register_database("db", db)
+        engine.close()  # idempotent
+
+    def test_register_rejects_non_database(self, engine):
+        with pytest.raises(ServiceError):
+            engine.register_database("x", {"not": "a database"})
+
+
+class TestWireCodec:
+    def test_request_round_trip(self, db):
+        for request in _requests(db):
+            wire = json.loads(json.dumps(encode_request(request)))
+            assert decode_request(wire) == request
+
+    def test_response_round_trip(self, engine, db):
+        for request in _requests(db):
+            response = engine.execute(request)
+            wire = json.loads(json.dumps(encode_response(response)))
+            assert decode_response(wire) == response
+
+    def test_error_response_round_trip(self):
+        wire = encode_response(Response(ok=False, error="boom"))
+        decoded = decode_response(json.loads(json.dumps(wire)))
+        assert decoded == Response(ok=False, error="boom")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ServiceError):
+            decode_request(["not", "a", "dict"])
+        with pytest.raises(ServiceError):
+            decode_request({"kind": "teleport"})
+        with pytest.raises(ServiceError):
+            decode_request({"kind": "why", "database": "db"})  # row missing
+        with pytest.raises(ServiceError):
+            decode_response({"kind": "why"})  # no ok
+        with pytest.raises(ServiceError):
+            DeleteRequest("db", QUERY, ("joe", "f1"), objective="sideways")
+
+
+class TestBatchedExecution:
+    def test_batch_alignment_and_dedup(self, engine, db):
+        candidates = _candidates(db)
+        vector = candidates + candidates[::-1] + [candidates[0]] * 5
+        before = engine.stats()
+        responses = engine.execute_hypothetical_batch("db", QUERY, vector)
+        after = engine.stats()
+        oracle = HypotheticalDeletions(parse_query(QUERY), db)
+        assert len(responses) == len(vector)
+        for deletions, response in zip(vector, responses):
+            assert frozenset(response.destroyed) == (
+                oracle.rows - oracle.view_after(deletions)
+            )
+        # Identical candidates share one answer object and were deduped.
+        assert responses[0] is responses[-1]
+        assert (
+            after["deduped_candidates"] - before["deduped_candidates"]
+            == len(vector) - len(candidates)
+        )
+
+    def test_batcher_coalesces_concurrent_candidates(self, engine, db):
+        candidates = _candidates(db)
+        serial = [
+            engine.execute(HypotheticalRequest("db", QUERY, c))
+            for c in candidates
+        ]
+        with MicroBatcher(engine, max_batch=256, max_delay_s=0.05) as batcher:
+            futures = [
+                batcher.submit(HypotheticalRequest("db", QUERY, c))
+                for c in candidates * 10
+            ]
+            answers = [f.result(timeout=10) for f in futures]
+            stats = batcher.stats()
+        assert answers == serial * 10  # bit-identical to unbatched execution
+        assert stats["batches_issued"] < len(futures)
+        assert stats["coalesced_requests"] > 0
+
+    def test_mixed_kinds_through_batcher(self, engine, db):
+        requests = _requests(db)
+        serial = [engine.execute(r) for r in requests]
+        with ServiceClient(engine) as client:
+            answers = [client.request(r) for r in requests]
+        assert answers == serial
+
+    def test_overlapping_client_requests_match_serial(self, engine, db):
+        requests = _requests(db) * 4
+        serial = [engine.execute(r) for r in requests]
+        results: dict = {}
+        with ServiceClient(engine, max_delay_s=0.01) as client:
+
+            def worker(indices):
+                for i in indices:
+                    results[i] = client.request(requests[i])
+
+            threads = [
+                threading.Thread(target=worker, args=(range(k, len(requests), 8),))
+                for k in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert [results[i] for i in range(len(requests))] == serial
+
+
+class TestDeadlinesAndBackpressure:
+    def test_expired_request_fails_fast(self, engine, db):
+        with MicroBatcher(engine) as batcher:
+            # A deadline already in the past when the scheduler pops it.
+            future = batcher.submit(
+                HypotheticalRequest("db", QUERY, frozenset()), timeout_s=0.0
+            )
+            response = future.result(timeout=5)
+        assert not response.ok and "deadline exceeded" in response.error
+
+    def test_bounded_queue_overloads(self, engine, db):
+        release = threading.Event()
+        original = engine.execute_hypothetical_batch
+
+        def stalled(*args, **kwargs):
+            release.wait(timeout=10)
+            return original(*args, **kwargs)
+
+        engine.execute_hypothetical_batch = stalled
+        try:
+            with MicroBatcher(engine, max_pending=1, max_delay_s=0.0) as batcher:
+                first = batcher.submit(
+                    HypotheticalRequest("db", QUERY, frozenset())
+                )
+                deadline = time.monotonic() + 5
+                overloaded = False
+                pending = []
+                while time.monotonic() < deadline and not overloaded:
+                    try:
+                        pending.append(
+                            batcher.submit(
+                                HypotheticalRequest("db", QUERY, frozenset())
+                            )
+                        )
+                    except ServiceOverloadError:
+                        overloaded = True
+                assert overloaded
+                release.set()
+                assert first.result(timeout=10).ok
+        finally:
+            engine.execute_hypothetical_batch = original
+            release.set()
+
+    def test_closed_batcher_rejects_and_drains(self, engine, db):
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        with pytest.raises(ServiceOverloadError):
+            batcher.submit(EvaluateRequest("db", QUERY))
+
+    def test_malformed_payload_cannot_kill_the_scheduler(self, engine, db):
+        """Regression: a request whose payload blows up outside ReproError
+        (an unhashable row that slipped past the decoder) must answer an
+        error — and the scheduler must keep serving afterwards."""
+        poison = WhyRequest.__new__(WhyRequest)
+        object.__setattr__(poison, "database", "db")
+        object.__setattr__(poison, "query", QUERY)
+        object.__setattr__(poison, "row", ([1],))  # unhashable inside
+        direct = engine.execute(poison)
+        assert not direct.ok and "TypeError" in direct.error
+        with MicroBatcher(engine) as batcher:
+            bad = batcher.submit(poison).result(timeout=10)
+            assert not bad.ok
+            good = batcher.submit(EvaluateRequest("db", QUERY)).result(timeout=10)
+            assert good.ok  # the scheduler survived the poison request
+
+
+def _run_server_session(engine, lines, max_requests=None, **server_kw):
+    """Start a server, pipeline ``lines``, return the decoded responses."""
+
+    async def session():
+        server = ServiceServer(engine, max_requests=max_requests, **server_kw)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        for line in lines:
+            writer.write((line + "\n").encode())
+        await writer.drain()
+        writer.write_eof()
+        responses = []
+        while len(responses) < len(lines):
+            raw = await asyncio.wait_for(reader.readline(), timeout=15)
+            if not raw:
+                break
+            responses.append(json.loads(raw))
+        writer.close()
+        await server.aclose()
+        return responses
+
+    return asyncio.run(session())
+
+
+class TestServer:
+    def test_pipelined_mixed_traffic_matches_direct(self, engine, db):
+        requests = _requests(db)
+        lines = []
+        for i, request in enumerate(requests):
+            envelope = encode_request(request)
+            envelope["id"] = i
+            lines.append(json.dumps(envelope))
+        raw = _run_server_session(engine, lines)
+        assert len(raw) == len(requests)
+        by_id = {r["id"]: r for r in raw}
+        for i, request in enumerate(requests):
+            assert decode_response(by_id[i]) == engine.execute(request)
+
+    def test_malformed_lines_answer_errors(self, engine):
+        raw = _run_server_session(
+            engine,
+            [
+                "this is not json",
+                json.dumps({"id": 9, "kind": "teleport"}),
+                json.dumps({"id": 10, "kind": "why", "database": "db"}),
+            ],
+        )
+        assert [r["ok"] for r in raw] == [False, False, False]
+        by_id = {r.get("id"): r for r in raw}
+        assert "invalid JSON" in by_id[None]["error"]
+        assert "unknown request kind" in by_id[9]["error"]
+        assert "malformed" in by_id[10]["error"]
+
+    def test_deadline_exceeded_on_slow_request(self, engine, db):
+        original = engine.execute
+
+        def slow(request):
+            time.sleep(0.3)
+            return original(request)
+
+        engine.execute = slow
+        try:
+            envelope = encode_request(EvaluateRequest("db", QUERY))
+            envelope.update(id=1, timeout_ms=30)
+            raw = _run_server_session(engine, [json.dumps(envelope)])
+        finally:
+            engine.execute = original
+        assert not raw[0]["ok"] and "deadline exceeded" in raw[0]["error"]
+
+    def test_max_requests_stops_the_server(self, engine):
+        async def session():
+            server = ServiceServer(engine, max_requests=2)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            for i in range(2):
+                envelope = encode_request(EvaluateRequest("db", QUERY))
+                envelope["id"] = i
+                writer.write((json.dumps(envelope) + "\n").encode())
+            await writer.drain()
+            out = [json.loads(await reader.readline()) for _ in range(2)]
+            await asyncio.wait_for(server.wait_closed(), timeout=10)
+            await server.aclose()
+            return out, server.requests_served
+
+        # The server answers both, then closes itself.
+        out, served = asyncio.run(session())
+        assert all(r["ok"] for r in out) and served == 2
+
+
+class TestServeCli:
+    def test_serve_cli_end_to_end(self, tmp_path):
+        from repro.cli import main
+
+        db_path = tmp_path / "db.json"
+        db_path.write_text(
+            json.dumps(
+                {
+                    "relations": [
+                        {
+                            "name": "UserGroup",
+                            "schema": ["user", "group"],
+                            "rows": [["joe", "g1"], ["ann", "g1"]],
+                        },
+                        {
+                            "name": "GroupFile",
+                            "schema": ["group", "file"],
+                            "rows": [["g1", "f1"]],
+                        },
+                    ]
+                }
+            )
+        )
+        port_file = tmp_path / "port"
+        exit_codes: list = []
+        thread = threading.Thread(
+            target=lambda: exit_codes.append(
+                main(
+                    [
+                        "serve",
+                        str(db_path),
+                        "--port",
+                        "0",
+                        "--port-file",
+                        str(port_file),
+                        "--max-requests",
+                        "2",
+                        "--workers",
+                        "2",
+                    ]
+                )
+            )
+        )
+        thread.start()
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            if port_file.exists() and port_file.read_text().strip():
+                break
+            time.sleep(0.02)
+        host, port = port_file.read_text().split()
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            payload = (
+                json.dumps(
+                    {
+                        "id": 1,
+                        "kind": "evaluate",
+                        "database": "db",
+                        "query": QUERY,
+                    }
+                )
+                + "\n"
+                + json.dumps(
+                    {
+                        "id": 2,
+                        "kind": "hypothetical",
+                        "database": "db",
+                        "query": QUERY,
+                        "deletions": [["GroupFile", ["g1", "f1"]]],
+                    }
+                )
+                + "\n"
+            )
+            sock.sendall(payload.encode())
+            buf = b""
+            while buf.count(b"\n") < 2:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
+        responses = {r["id"]: r for r in map(json.loads, buf.splitlines())}
+        assert responses[1]["ok"]
+        assert sorted(responses[1]["rows"]) == [["ann", "f1"], ["joe", "f1"]]
+        assert responses[2]["ok"]
+        assert sorted(responses[2]["destroyed"]) == [["ann", "f1"], ["joe", "f1"]]
+
+    def test_serve_is_in_the_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "DB.json", "--port", "0", "--max-requests", "3"]
+        )
+        assert args.command == "serve" and args.max_requests == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "DB.json", "--workers", "0"])
+
+
+class TestScaledServingEquivalence:
+    def test_scaling_workload_served_answers_match(self):
+        db, query, target = usergroup_workload(40, 12, 12, seed=9)
+        text = "PROJECT[user, file](UserGroup JOIN GroupFile)"
+        assert parse_query(text) == query
+        candidates = [frozenset({s}) for s in db.all_source_tuples()]
+        oracle = HypotheticalDeletions(query, db)
+        with ServiceEngine({"big": db}, workers=2) as engine:
+            with ServiceClient(engine, max_delay_s=0.01) as client:
+                futures = [
+                    client.submit(HypotheticalRequest("big", text, c))
+                    for c in candidates
+                ]
+                for candidate, future in zip(candidates, futures):
+                    response = future.result(timeout=30)
+                    assert response.ok
+                    assert frozenset(response.destroyed) == (
+                        oracle.rows - oracle.view_after(candidate)
+                    )

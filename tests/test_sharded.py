@@ -367,9 +367,13 @@ class TestCacheCounters:
             "hits": 0,
             "misses": 0,
             "size": 0,
+            "evictions": 0,
+            "approx_bytes": 0,
+            "max_bytes": None,
             "plan_hits": 0,
             "plan_misses": 0,
             "plan_size": 0,
+            "plan_evictions": 0,
         }
 
     def test_reset_stats_keeps_entries(self):
