@@ -1,0 +1,350 @@
+"""Segmented witness masks, measured: int-mask kernel vs SegmentedMask.
+
+PR 6 re-represents deletion masks sparsely — ``segment id -> word`` over
+the :data:`~repro.provenance.segmask.SEGMENT_BITS`-bit shards of the
+interned id space — so that encoding a candidate and testing it against
+the witness tables costs O(touched segments) instead of O(universe).
+This harness measures that ablation end-to-end on
+:meth:`~repro.provenance.bitset.BitsetProvenance.batch_surviving_rows`:
+the same deletion-set vectors answered once through ``encode_deletions``
+(whole-universe int masks, the PR 1–5 representation, kept as the
+construction-time source of truth and the oracle here) and once through
+``encode_deletions_segmented``.
+
+Two instance groups:
+
+* **sparse-touch (tracked)** — the scaling families (SPU, SJ, chain,
+  star) with the view's source tuples interned *after*
+  :data:`PAD_SEGMENTS` segments of unrelated ids, the shape of a shared
+  :class:`~repro.provenance.interning.SourceIndex` after heavy
+  interleaved loads (the serving engine's warm oracles).  Every int mask
+  then carries ~``PAD_SEGMENTS * 512`` dead bits through each encode and
+  AND; segmented masks touch only the handful of live segments.  This is
+  the regime the representation targets, and the one the
+  ``segmask.median_speedup`` gate tracks (target ≥ :data:`TARGET_MEDIAN`).
+* **compact (reported, untracked)** — the largest Table 1 / Table 2
+  instances exactly as ``bench_provenance_kernel.py`` builds them: the
+  universe fits in one or two segments, so there is nothing for sparsity
+  to win and the honest expectation is parity-ish (the same precedent as
+  ``bench_sharded.py``'s constant-size ``pj_``/``ju_`` gadgets).
+
+Plus the **snapshot-shipping ablation** behind
+``sharded_destroyed_indices(ship_segments=True)``: on the largest padded
+workload, the pickle of the full :class:`~repro.parallel.shards.
+ShardSnapshot` (what a spawn-start process pool ships per worker) is
+compared against the largest per-chunk segment-restricted snapshot; the
+acceptance bar is a ≥ :data:`TARGET_PICKLE_REDUCTION`× reduction.
+
+Both paths are warmed (and asserted equal) before timing, so the lazy
+inverted-index/segmented-table builds are excluded from both sides.
+Results merge into ``BENCH_plan.json`` under the ``segmask`` key;
+``run_all.py --compare`` gates ``segmask.median_speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import random
+from statistics import median
+from typing import Callable, Dict, FrozenSet, List, Tuple
+
+import pytest
+
+from repro.parallel import ShardSnapshot, plan_shards
+from repro.provenance import provenance_cache
+from repro.provenance.bitset import bitset_why_provenance
+from repro.provenance.interning import SourceIndex
+from repro.provenance.locations import SourceTuple
+from repro.provenance.segmask import SEGMENT_BITS
+from repro.workloads import chain_workload, sj_workload, spu_workload, star_workload
+
+from _report import format_table, time_call, write_report
+from bench_provenance_kernel import _instances
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_plan.json")
+
+#: Segments of unrelated interned ids placed *before* the padded
+#: instances' own source tuples (512 segments = 262144 dead bits that
+#: every whole-universe int mask drags through every encode and AND).
+PAD_SEGMENTS = 512
+
+#: Candidate deletion sets per instance (single-tuple deletions plus
+#: random witness-universe subsets, the hitting-set enumerators' draw).
+N_CANDIDATES = 2000
+
+#: The acceptance bar on the sparse-touch group's median speedup.
+TARGET_MEDIAN = 1.0
+
+#: The acceptance bar on full-vs-restricted snapshot pickle bytes.
+TARGET_PICKLE_REDUCTION = 4.0
+
+#: Chunks the pickle ablation restricts the candidate vector into.
+PICKLE_CHUNKS = 8
+
+
+def _padded_kernel(db, query, pad_segments: int):
+    """The instance's kernel over an index with ``pad_segments`` of
+    unrelated ids interned first, so its live bits sit far from zero."""
+    index = SourceIndex()
+    for i in range(pad_segments * SEGMENT_BITS):
+        index.intern(("__pad__", (i,)))
+    return bitset_why_provenance(query, db, index=index)
+
+
+def _candidate_sets(db, kernel, target, n: int, seed: int = 0):
+    """Single-tuple deletions plus random witness-universe subsets."""
+    universe = sorted(
+        kernel.index.decode_mask(kernel.universe_mask(tuple(target))), key=repr
+    )
+    rng = random.Random(seed)
+    sets: List[FrozenSet[SourceTuple]] = [
+        frozenset({source}) for source in db.all_source_tuples()
+    ]
+    while len(sets) < n:
+        size = rng.randint(1, min(4, len(universe)))
+        sets.append(frozenset(rng.sample(universe, size)))
+    return sets
+
+
+def _scenario(kernel, db, target, n_candidates: int, seed: int = 0):
+    """(int-mask callable, segmented callable) answering the same vector.
+
+    Each callable covers the full per-batch cost a caller pays: encoding
+    the deletion sets in its representation, then the serial batch kernel.
+    """
+    sets = _candidate_sets(db, kernel, target, n_candidates, seed=seed)
+
+    def int_path():
+        masks = [kernel.encode_deletions(d) for d in sets]
+        return kernel.batch_surviving_rows(masks)
+
+    def seg_path():
+        masks = [kernel.encode_deletions_segmented(d) for d in sets]
+        return kernel.batch_surviving_rows(masks)
+
+    return int_path, seg_path
+
+
+def build_scenarios() -> Dict[str, Tuple[str, Tuple[Callable, Callable]]]:
+    """name -> (group, scenario); group "sparse" feeds the tracked median."""
+    scenarios: Dict[str, Tuple[str, Tuple[Callable, Callable]]] = {}
+    families = {
+        "spu_rows200": spu_workload(200, seed=3),
+        "sj_rows60": sj_workload(60, seed=4),
+        "chain_3rels_rows12": chain_workload(3, 12, seed=5),
+        "star_3arms_rows5": star_workload(3, 5, seed=6),
+    }
+    for name, (db, query, target) in families.items():
+        kernel = _padded_kernel(db, query, PAD_SEGMENTS)
+        scenarios[f"segmask_padded_{name}"] = (
+            "sparse",
+            _scenario(kernel, db, target, N_CANDIDATES),
+        )
+    for name, (_table, (db, query, target)) in _instances().items():
+        kernel = bitset_why_provenance(query, db)
+        scenarios[f"segmask_compact_{name}"] = (
+            "compact",
+            _scenario(kernel, db, target, N_CANDIDATES),
+        )
+    return scenarios
+
+
+def build_smoke_scenarios() -> Dict[str, Tuple[Callable, Callable]]:
+    """Tiny padded equivalence subset for ``run_all.py --smoke``."""
+    out: Dict[str, Tuple[Callable, Callable]] = {}
+    for name, (db, query, target) in {
+        "spu_rows30": spu_workload(30, seed=1),
+        "sj_rows15": sj_workload(15, seed=1),
+    }.items():
+        kernel = _padded_kernel(db, query, pad_segments=8)
+        out[f"smoke_segmask_{name}"] = _scenario(
+            kernel, db, target, n_candidates=120
+        )
+    return out
+
+
+def _pickle_ablation() -> Dict[str, object]:
+    """Full-snapshot vs per-chunk restricted-snapshot pickle bytes.
+
+    The largest padded workload: the witness tables' live bits sit past
+    :data:`PAD_SEGMENTS` segments of dead universe, exactly the shape in
+    which a spawn-start process pool used to ship ~whole-universe int
+    masks to every worker.
+    """
+    db, query, target = spu_workload(200, seed=3)
+    kernel = _padded_kernel(db, query, PAD_SEGMENTS)
+    sets = _candidate_sets(db, kernel, target, N_CANDIDATES, seed=9)
+    masks = [kernel.encode_deletions_segmented(d) for d in sets]
+    snapshot = ShardSnapshot.from_witnesses(kernel._witnesses, len(kernel.index))
+    full_bytes = len(pickle.dumps(snapshot))
+    chunk_bytes: List[int] = []
+    serial = snapshot.destroyed_indices_chunk(masks, 0, len(masks))
+    restricted: List[Tuple[int, ...]] = []
+    for start, stop in plan_shards(len(masks), PICKLE_CHUNKS):
+        sub = snapshot.restrict(snapshot.chunk_segments(masks, start, stop))
+        chunk_bytes.append(len(pickle.dumps(sub)))
+        local = [sub.rebase_mask(masks[pos]) for pos in range(start, stop)]
+        restricted.extend(sub.destroyed_indices_chunk(local, 0, len(local)))
+    return {
+        "workload": "padded spu_rows200",
+        "full_snapshot_bytes": full_bytes,
+        "max_chunk_snapshot_bytes": max(chunk_bytes),
+        "reduction": full_bytes / max(max(chunk_bytes), 1),
+        "answers_match": restricted == serial,
+    }
+
+
+def _measure(
+    scenarios: Dict[str, Tuple[str, Tuple[Callable, Callable]]], repeats: int
+) -> List[Dict[str, object]]:
+    entries: List[Dict[str, object]] = []
+    for name, (group, (int_path, seg_path)) in scenarios.items():
+        # Warm both paths (lazy inverted/segmented tables) and pin the
+        # equivalence before anything is timed.
+        match = seg_path() == int_path()
+        int_s = time_call(int_path, repeats=repeats)
+        seg_s = time_call(seg_path, repeats=repeats)
+        entries.append(
+            {
+                "name": name,
+                "group": group,
+                "int_s": int_s,
+                "seg_s": seg_s,
+                "speedup": int_s / max(seg_s, 1e-9),
+                "match": match,
+            }
+        )
+    return entries
+
+
+def _emit(
+    entries: List[Dict[str, object]],
+    pickle_stats: Dict[str, object],
+    json_path: str = JSON_PATH,
+) -> Dict[str, object]:
+    def group_median(group: str) -> float:
+        return median(e["speedup"] for e in entries if e["group"] == group)
+
+    section: Dict[str, object] = {
+        "generated_by": "benchmarks/bench_segmask.py",
+        "ablation": "batch_surviving_rows over encode_deletions (whole-"
+        "universe int masks) vs encode_deletions_segmented (sparse "
+        "SegmentedMask), single-tuple + witness-universe candidate "
+        "vectors, both paths warmed before timing",
+        "tracked_group": "sparse (scaling families padded behind "
+        f"{PAD_SEGMENTS} segments of unrelated interned ids; compact "
+        "single-segment instances are reported but untracked)",
+        "pad_segments": PAD_SEGMENTS,
+        "entries": entries,
+        "all_answers_match": all(e["match"] for e in entries)
+        and bool(pickle_stats["answers_match"]),
+        "median_speedup": group_median("sparse"),
+        "median_speedup_compact": group_median("compact"),
+        "snapshot_pickle": pickle_stats,
+    }
+    data: Dict[str, object] = {}
+    if os.path.exists(json_path):
+        with open(json_path) as handle:
+            data = json.load(handle)
+    data["segmask"] = section
+    with open(json_path, "w") as handle:
+        json.dump(data, handle, indent=2)
+
+    rows = [
+        (
+            e["name"],
+            f"{e['int_s'] * 1e3:.2f} ms",
+            f"{e['seg_s'] * 1e3:.2f} ms",
+            f"{e['speedup']:.2f}x",
+            e["match"],
+        )
+        for e in entries
+    ]
+    lines = ["Segmented witness masks — whole-universe int vs SegmentedMask", ""]
+    lines += format_table(
+        ("Scenario", "Int masks", "Segmented", "Speedup", "Match"), rows
+    )
+    lines += [
+        "",
+        f"median speedup (sparse-touch padded group, tracked): "
+        f"{section['median_speedup']:.2f}x (target ≥ {TARGET_MEDIAN}x)",
+        f"median speedup (compact single-segment group, untracked): "
+        f"{section['median_speedup_compact']:.2f}x",
+        f"snapshot pickle: full {pickle_stats['full_snapshot_bytes']} B vs "
+        f"largest restricted chunk {pickle_stats['max_chunk_snapshot_bytes']} "
+        f"B — {pickle_stats['reduction']:.1f}x reduction "
+        f"(target ≥ {TARGET_PICKLE_REDUCTION}x)",
+        f"provenance cache during the run: {provenance_cache.stats()}",
+        f"json: {json_path} (key: segmask)",
+    ]
+    write_report("segmask", lines)
+    return section
+
+
+# ----------------------------------------------------------------------
+# Harness entry points
+# ----------------------------------------------------------------------
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("name", sorted(build_smoke_scenarios()))
+def test_segmask_matches_int_smoke(benchmark, name):
+    """bench-smoke: tiny padded equivalence of int and segmented answers."""
+    int_path, seg_path = build_smoke_scenarios()[name]
+    assert seg_path() == int_path()
+    benchmark(seg_path)
+
+
+@pytest.mark.bench_smoke
+def test_segmask_restricted_pickle_smoke(benchmark):
+    """bench-smoke: restricted snapshots answer identically and ship small."""
+    stats = _pickle_ablation()
+    assert stats["answers_match"]
+    assert stats["reduction"] >= TARGET_PICKLE_REDUCTION, stats
+    benchmark(lambda: None)
+
+
+def test_regenerate_bench_segmask(benchmark):
+    """Full comparison: padded scaling families + compact Table 1/2 sizes."""
+    provenance_cache.clear()  # counters scoped to this run (reset by clear)
+    entries = _measure(build_scenarios(), repeats=5)
+    section = _emit(entries, _pickle_ablation())
+    assert section["all_answers_match"]
+    assert section["median_speedup"] >= TARGET_MEDIAN, section["median_speedup"]
+    assert (
+        section["snapshot_pickle"]["reduction"] >= TARGET_PICKLE_REDUCTION
+    ), section["snapshot_pickle"]
+    benchmark(lambda: None)  # regeneration is correctness-, not time-bound
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=JSON_PATH,
+        help="path of the BENCH_plan.json file to merge results into",
+    )
+    args = parser.parse_args(argv)
+    provenance_cache.clear()  # counters scoped to this run (reset by clear)
+    entries = _measure(build_scenarios(), repeats=5)
+    section = _emit(entries, _pickle_ablation(), json_path=args.json)
+    if not section["all_answers_match"]:
+        raise SystemExit("answer mismatch — see report")
+    if section["median_speedup"] < TARGET_MEDIAN:
+        raise SystemExit(
+            f"segmask speedup {section['median_speedup']:.2f}x is below "
+            f"{TARGET_MEDIAN}x on the sparse-touch group"
+        )
+    if section["snapshot_pickle"]["reduction"] < TARGET_PICKLE_REDUCTION:
+        raise SystemExit(
+            f"snapshot pickle reduction "
+            f"{section['snapshot_pickle']['reduction']:.1f}x is below "
+            f"{TARGET_PICKLE_REDUCTION}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -139,7 +139,7 @@ class HypotheticalDeletions:
         """
         if self._kernel is not None:
             kernel = self._kernel
-            masks = [kernel.encode_deletions(d) for d in deletion_sets]
+            masks = [kernel.encode_deletions_auto(d) for d in deletion_sets]
             return kernel.batch_surviving_rows(
                 masks, workers=self._effective_workers(workers)
             )

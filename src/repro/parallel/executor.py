@@ -15,7 +15,11 @@ Backends:
   multicore hosts while sharing the snapshot zero-copy.
 * ``"process"`` — a process pool.  The snapshot travels to each worker
   once, through the pool initializer; per task only the chunk's masks
-  travel.
+  travel.  With ``ship_segments`` (automatic on spawn-only hosts, where
+  the initializer pickles the whole snapshot per pool) each shard instead
+  ships a **restricted** snapshot covering only the segments its chunk
+  touches (:meth:`~repro.parallel.shards.ShardSnapshot.restrict`), so the
+  bytes on the wire are proportional to the shard, not the universe.
 * ``"auto"`` — ``process`` when the host has more than one CPU, fork is
   available, and the vector is large enough to amortize pool start-up;
   ``thread`` otherwise.
@@ -89,6 +93,14 @@ def _run_chunk(args: Tuple[Sequence[int], int, int]) -> List[Tuple[int, ...]]:
     return _WORKER_SNAPSHOT.destroyed_indices_chunk(masks, start, stop)
 
 
+def _run_chunk_payload(
+    args: Tuple[ShardSnapshot, Sequence],
+) -> List[Tuple[int, ...]]:
+    """Worker-side: answer one self-contained (snapshot, masks) task."""
+    snapshot, masks = args
+    return snapshot.destroyed_indices_chunk(masks, 0, len(masks))
+
+
 def resolve_backend(backend: str, workers: int, total: int) -> str:
     """The concrete backend for an ``"auto"`` (or explicit) request."""
     if backend != "auto":
@@ -111,7 +123,10 @@ class WorkerPool:
 
     Thread pools answer chunks of any snapshot — threads share the parent's
     memory.  Process pools are bound to the single snapshot their workers
-    adopted through the initializer; :meth:`run` refuses any other.
+    adopted through the initializer; :meth:`run` refuses any other.  A
+    process pool built with ``snapshot=None`` is a **payload pool**: its
+    workers adopt nothing, and each :meth:`run_payload` task carries its
+    own (restricted) snapshot instead.
     """
 
     __slots__ = ("backend", "workers", "_executor", "_mp_pool", "_snapshot", "_closed")
@@ -137,16 +152,17 @@ class WorkerPool:
                 max_workers=workers, thread_name_prefix="repro-shard"
             )
         else:
-            if snapshot is None:
-                raise ValueError("a process pool needs its snapshot up front")
             start_methods = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in start_methods else start_methods[0]
             ctx = multiprocessing.get_context(method)
-            self._mp_pool = ctx.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(snapshot,),
-            )
+            if snapshot is None:  # payload pool: tasks carry their snapshot
+                self._mp_pool = ctx.Pool(processes=workers)
+            else:
+                self._mp_pool = ctx.Pool(
+                    processes=workers,
+                    initializer=_init_worker,
+                    initargs=(snapshot,),
+                )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -220,6 +236,34 @@ class WorkerPool:
             [(list(masks[a:b]), 0, b - a) for a, b in shards],
         )
 
+    def run_payload(
+        self,
+        tasks: Sequence[Tuple[ShardSnapshot, Sequence]],
+        force_python: bool = False,
+    ) -> List[List[Tuple[int, ...]]]:
+        """Answer self-contained ``(snapshot, masks)`` tasks in task order.
+
+        Process pools must be payload pools (built without a snapshot);
+        each task's restricted snapshot travels with the task, which is the
+        whole point on spawn-only hosts.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._executor is not None:
+            return list(
+                self._executor.map(
+                    lambda task: task[0].destroyed_indices_chunk(
+                        task[1], 0, len(task[1]), force_python=force_python
+                    ),
+                    tasks,
+                )
+            )
+        if self._snapshot is not None:
+            raise RuntimeError(
+                "snapshot-bound pools cannot run payload tasks"
+            )
+        return self._mp_pool.map(_run_chunk_payload, list(tasks))
+
 
 class PoolRegistry:
     """Process-wide cache of live :class:`WorkerPool` objects.
@@ -280,9 +324,12 @@ class PoolRegistry:
                 return pool
             if backend != "process":
                 raise ValueError(f"no pools for backend {backend!r}")
-            if snapshot is None:
-                raise ValueError("a process pool needs a snapshot")
-            key = (id(snapshot), workers)
+            # snapshot None -> one shared payload pool per worker count.
+            key = (
+                ("payload", workers)
+                if snapshot is None
+                else (id(snapshot), workers)
+            )
             pool = self._processes.get(key)
             if pool is not None and pool.healthy():
                 self._reused += 1
@@ -352,16 +399,26 @@ def sharded_destroyed_indices(
     backend: str = "auto",
     chunk_size: "int | None" = None,
     force_python: bool = False,
+    ship_segments: "bool | None" = None,
 ) -> List[Tuple[int, ...]]:
     """Answer a whole mask vector through sharded execution.
 
     Returns one ascending row-index tuple per mask, in mask order —
     bit-identical to answering the vector serially, for every ``workers``
-    count, ``backend``, and ``chunk_size`` (property-tested).
+    count, ``backend``, ``chunk_size``, and ``ship_segments`` setting
+    (property-tested).
 
     ``force_python`` pins the pure-Python chunk kernel; it implies the
     thread/serial backends because worker processes re-detect numpy on
     their own import.
+
+    ``ship_segments`` replaces each shard's task with a segment-restricted
+    snapshot plus the chunk's masks rebased onto it
+    (:meth:`~repro.parallel.shards.ShardSnapshot.restrict`), answered on a
+    snapshot-less payload pool.  ``None`` (the default) enables it exactly
+    when the process backend would otherwise pickle the full snapshot per
+    pool — i.e. on hosts without ``fork``, where the initializer cannot
+    ride copy-on-write.
     """
     total = len(masks)
     if total == 0:
@@ -376,16 +433,46 @@ def sharded_destroyed_indices(
     chosen = resolve_backend(backend, workers, total)
     if force_python and chosen == "process":
         chosen = "thread"
-    snapshot.prepare(force_python=force_python)
+    ship = (
+        ship_segments
+        if ship_segments is not None
+        else (
+            chosen == "process"
+            and "fork" not in multiprocessing.get_all_start_methods()
+        )
+    )
+
+    tasks: "List[Tuple[ShardSnapshot, List]] | None" = None
+    if ship:
+        # Each task is self-contained: a snapshot restricted to the
+        # segments its chunk touches, plus the chunk rebased onto it.
+        # Answers come back in original row indices (restrict() keeps the
+        # row map), so the merge below is oblivious to the restriction.
+        tasks = []
+        for start, stop in shards:
+            sub = snapshot.restrict(snapshot.chunk_segments(masks, start, stop))
+            tasks.append(
+                (sub, [sub.rebase_mask(masks[pos]) for pos in range(start, stop)])
+            )
+    else:
+        snapshot.prepare(force_python=force_python)
 
     if chosen == "serial" or len(shards) == 1 or workers <= 1:
         out: List[Tuple[int, ...]] = []
-        for start, stop in shards:
-            out.extend(
-                snapshot.destroyed_indices_chunk(
-                    masks, start, stop, force_python=force_python
+        if tasks is not None:
+            for sub, local in tasks:
+                out.extend(
+                    sub.destroyed_indices_chunk(
+                        local, 0, len(local), force_python=force_python
+                    )
                 )
-            )
+        else:
+            for start, stop in shards:
+                out.extend(
+                    snapshot.destroyed_indices_chunk(
+                        masks, start, stop, force_python=force_python
+                    )
+                )
         return out
 
     # Persistent pools are shared process-wide, so a concurrent
@@ -396,22 +483,37 @@ def sharded_destroyed_indices(
     parts: "List[List[Tuple[int, ...]]] | None" = None
     for _attempt in range(2):
         pool = _POOLS.get(
-            chosen, workers, snapshot if chosen == "process" else None
+            chosen,
+            workers,
+            snapshot if chosen == "process" and not ship else None,
         )
         try:
-            parts = pool.run(snapshot, masks, shards, force_python=force_python)
+            if tasks is not None:
+                parts = pool.run_payload(tasks, force_python=force_python)
+            else:
+                parts = pool.run(
+                    snapshot, masks, shards, force_python=force_python
+                )
             break
         except (RuntimeError, ValueError, OSError):
             if pool.healthy():
                 raise  # a real task error, not a pool-lifecycle race
             continue
     if parts is None:
-        parts = [
-            snapshot.destroyed_indices_chunk(
-                masks, start, stop, force_python=force_python
-            )
-            for start, stop in shards
-        ]
+        if tasks is not None:
+            parts = [
+                sub.destroyed_indices_chunk(
+                    local, 0, len(local), force_python=force_python
+                )
+                for sub, local in tasks
+            ]
+        else:
+            parts = [
+                snapshot.destroyed_indices_chunk(
+                    masks, start, stop, force_python=force_python
+                )
+                for start, stop in shards
+            ]
 
     merged: List[Tuple[int, ...]] = []
     for part in parts:

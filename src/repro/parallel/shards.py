@@ -34,9 +34,10 @@ they would only decompose again.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.provenance.interning import iter_bits
+from repro.provenance.segmask import SEGMENT_BITS, SegmentedMask
 
 try:  # numpy + scipy accelerate the chunk kernel; the library runs without.
     import numpy as _np
@@ -53,14 +54,17 @@ __all__ = ["HAVE_NUMPY", "plan_shards", "ShardSnapshot"]
 #: The empty answer, shared so empty-heavy vectors intern for free.
 _EMPTY: Tuple[int, ...] = ()
 
-#: A candidate in a mask vector: an int mask or a sequence of bit ids.
-MaskLike = "int | Sequence[int]"
+#: A candidate in a mask vector: an int mask, a sequence of bit ids, or a
+#: :class:`~repro.provenance.segmask.SegmentedMask`.
+MaskLike = "int | Sequence[int] | SegmentedMask"
 
 
 def _mask_bits(value: MaskLike) -> "Sequence[int]":
     """The set bit ids of a vector element, whichever form it arrived in."""
     if isinstance(value, int):
         return tuple(iter_bits(value))
+    if isinstance(value, SegmentedMask):
+        return tuple(value.iter_bits())
     return value
 
 
@@ -117,13 +121,26 @@ class ShardSnapshot:
     answers identically to the original.
     """
 
-    __slots__ = ("rows", "nbits", "_row_offsets", "_wit_masks", "_touched", "_np")
+    __slots__ = (
+        "rows",
+        "nbits",
+        "_row_offsets",
+        "_wit_masks",
+        "_touched",
+        "_np",
+        "_wit_segs",
+        "_row_map",
+        "_seg_rank",
+        "_restricted",
+    )
 
     def __init__(
         self,
         rows: Sequence[Tuple],
         row_witnesses: Sequence[Sequence[int]],
         nbits: int,
+        row_map: "Tuple[int, ...] | None" = None,
+        seg_rank: "Dict[int, int] | None" = None,
     ):
         self.rows: Tuple[Tuple, ...] = tuple(rows)
         self.nbits = max(1, nbits)
@@ -137,6 +154,14 @@ class ShardSnapshot:
         self._wit_masks = masks
         self._touched: "Dict[int, Tuple[int, ...]] | None" = None
         self._np = None  # lazy numpy artifacts; rebuilt after unpickling
+        self._wit_segs: "List[SegmentedMask] | None" = None
+        #: For restricted snapshots: local row index -> original row index
+        #: (answers are translated back, so callers never see local ids).
+        self._row_map = row_map
+        #: For restricted snapshots: original segment id -> compact rank.
+        self._seg_rank = seg_rank
+        #: Cache of segment-set -> restricted snapshot (parent side only).
+        self._restricted: "Dict[FrozenSet[int], ShardSnapshot] | None" = None
 
     @classmethod
     def from_witnesses(
@@ -146,12 +171,27 @@ class ShardSnapshot:
         return cls(list(witnesses), list(witnesses.values()), nbits)
 
     def __getstate__(self):
-        return (self.rows, self.nbits, self._row_offsets, self._wit_masks)
+        return (
+            self.rows,
+            self.nbits,
+            self._row_offsets,
+            self._wit_masks,
+            self._row_map,
+        )
 
     def __setstate__(self, state):
-        self.rows, self.nbits, self._row_offsets, self._wit_masks = state
+        (
+            self.rows,
+            self.nbits,
+            self._row_offsets,
+            self._wit_masks,
+            self._row_map,
+        ) = state
         self._touched = None
         self._np = None
+        self._wit_segs = None
+        self._seg_rank = None
+        self._restricted = None
 
     # ------------------------------------------------------------------
     # Derived structures
@@ -169,6 +209,115 @@ class ShardSnapshot:
                     touched.setdefault(bit, []).append(i)
             self._touched = {bit: tuple(ids) for bit, ids in touched.items()}
         return self._touched
+
+    def _witness_segments(self) -> "List[SegmentedMask]":
+        """Each witness mask in segmented form, aligned with the CSR layout."""
+        if self._wit_segs is None:
+            from_int = SegmentedMask.from_int
+            self._wit_segs = [from_int(mask) for mask in self._wit_masks]
+        return self._wit_segs
+
+    # ------------------------------------------------------------------
+    # Segment restriction (what ships to spawned workers)
+    # ------------------------------------------------------------------
+    def chunk_segments(
+        self, masks: Sequence[MaskLike], start: int, stop: int
+    ) -> "FrozenSet[int]":
+        """The segment ids ``masks[start:stop]`` touch, in any element form."""
+        segs: set = set()
+        for pos in range(start, stop):
+            value = masks[pos]
+            if isinstance(value, SegmentedMask):
+                segs.update(value.segment_ids())
+            else:
+                for bit in _mask_bits(value):
+                    segs.add(bit // SEGMENT_BITS)
+        return frozenset(segs)
+
+    def restrict(self, segments: "Iterable[int]") -> "ShardSnapshot":
+        """A snapshot answering identically for candidates confined to
+        ``segments``, rebased onto a compact bit space.
+
+        Soundness: a candidate whose bits all lie inside ``segments`` can
+        only intersect a witness through those segments.  A row with any
+        witness whose restriction to ``segments`` is empty therefore
+        survives *every* such candidate (that witness can never be hit), so
+        the row is dropped entirely; the kept rows' witnesses are rebased
+        to ``rank(segment) * SEGMENT_BITS + offset``, making the restricted
+        masks small ints regardless of how high the original bits sit.
+        Answers from :meth:`destroyed_indices_chunk` are translated back to
+        original row indices through the retained ``row_map``, so the
+        merge step cannot tell a restricted snapshot from the full one.
+
+        Restrictions are cached per segment set (bounded); the restricted
+        snapshot's pickle is proportional to the chunk's touched segments,
+        not the universe — the point of shipping one to a spawned worker.
+        """
+        key = frozenset(segments)
+        cache = self._restricted
+        if cache is None:
+            cache = self._restricted = {}
+        snap = cache.get(key)
+        if snap is not None:
+            return snap
+        rank = {seg: i for i, seg in enumerate(sorted(key))}
+        wit_segs = self._witness_segments()
+        offsets = self._row_offsets
+        row_map: List[int] = []
+        row_wits: List[List[int]] = []
+        for i in range(len(self.rows)):
+            wits: List[int] = []
+            droppable = False
+            for w in range(offsets[i], offsets[i + 1]):
+                local = 0
+                for seg, word in wit_segs[w].items():
+                    j = rank.get(seg)
+                    if j is not None:
+                        local |= word << (j * SEGMENT_BITS)
+                if not local:
+                    droppable = True  # an unhittable witness: always survives
+                    break
+                wits.append(local)
+            if not droppable:
+                row_map.append(i)
+                row_wits.append(wits)
+        snap = ShardSnapshot(
+            (None,) * len(row_map),  # row content is never read here
+            row_wits,
+            len(rank) * SEGMENT_BITS,
+            row_map=tuple(row_map),
+            seg_rank=rank,
+        )
+        if len(cache) >= 64:
+            cache.clear()
+        cache[key] = snap
+        return snap
+
+    def rebase_mask(self, value: MaskLike) -> Tuple[int, ...]:
+        """A candidate's bit ids in this restricted snapshot's local space.
+
+        Only valid on snapshots produced by :meth:`restrict`; bits outside
+        the restriction's segments are dropped (they can hit nothing here).
+        """
+        rank = self._seg_rank
+        if rank is None:
+            raise ValueError("rebase_mask needs a restricted snapshot")
+        out: List[int] = []
+        if isinstance(value, SegmentedMask):
+            for seg, word in sorted(value.items()):
+                j = rank.get(seg)
+                if j is None:
+                    continue
+                base = j * SEGMENT_BITS
+                for offset in iter_bits(word):
+                    out.append(base + offset)
+        else:
+            for bit in _mask_bits(value):
+                j = rank.get(bit // SEGMENT_BITS)
+                if j is not None:
+                    out.append(j * SEGMENT_BITS + bit % SEGMENT_BITS)
+        out.sort()
+        return tuple(out)
 
     def _numpy_tables(self):
         """(B, R, row_nwit): witness×bit and row×witness incidence matrices."""
@@ -208,6 +357,7 @@ class ShardSnapshot:
             self._numpy_tables()
         else:
             self._touched_index()
+            self._witness_segments()
 
     # ------------------------------------------------------------------
     # Chunk answering
@@ -230,8 +380,20 @@ class ShardSnapshot:
         serial oracle).
         """
         if HAVE_NUMPY and not force_python:
-            return self._chunk_numpy(masks, start, stop)
-        return self._chunk_python(masks, start, stop)
+            out = self._chunk_numpy(masks, start, stop)
+        else:
+            out = self._chunk_python(masks, start, stop)
+        if self._row_map is not None:
+            rm = self._row_map
+            memo: Dict[Tuple[int, ...], Tuple[int, ...]] = {_EMPTY: _EMPTY}
+            for j, ans in enumerate(out):
+                translated = memo.get(ans)
+                if translated is None:
+                    # row_map is ascending, so ascending order is preserved.
+                    translated = tuple(map(rm.__getitem__, ans))
+                    memo[ans] = translated
+                out[j] = translated
+        return out
 
     def _chunk_python(
         self, masks: Sequence[MaskLike], start: int, stop: int
@@ -242,7 +404,12 @@ class ShardSnapshot:
         out: List[Tuple[int, ...]] = []
         for pos in range(start, stop):
             value = masks[pos]
-            if isinstance(value, int):
+            segmented = isinstance(value, SegmentedMask)
+            if segmented:
+                mask = value
+                bits = value.iter_bits()
+                seg_wits = self._witness_segments()
+            elif isinstance(value, int):
                 mask = value
                 bits = iter_bits(value)
             else:
@@ -256,12 +423,20 @@ class ShardSnapshot:
                 if rows:
                     candidates.update(rows)
             destroyed: List[int] = []
-            for i in candidates:
-                for wmask in wit_masks[offsets[i] : offsets[i + 1]]:
-                    if not (wmask & mask):
-                        break
-                else:
-                    destroyed.append(i)
+            if segmented:
+                for i in candidates:
+                    for w in range(offsets[i], offsets[i + 1]):
+                        if seg_wits[w].isdisjoint(mask):
+                            break
+                    else:
+                        destroyed.append(i)
+            else:
+                for i in candidates:
+                    for wmask in wit_masks[offsets[i] : offsets[i + 1]]:
+                        if not (wmask & mask):
+                            break
+                    else:
+                        destroyed.append(i)
             if not destroyed:
                 out.append(_EMPTY)
                 continue

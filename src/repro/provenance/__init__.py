@@ -24,6 +24,11 @@ from repro.provenance.locations import (
     validate_location,
 )
 from repro.provenance.interning import SourceIndex, iter_bits
+from repro.provenance.segmask import (
+    SEGMENT_BITS,
+    SegmentedMask,
+    popcount,
+)
 from repro.provenance.bitset import (
     BitsetProvenance,
     bitset_why_provenance,
@@ -66,6 +71,9 @@ __all__ = [
     "validate_location",
     "SourceIndex",
     "iter_bits",
+    "SEGMENT_BITS",
+    "SegmentedMask",
+    "popcount",
     "BitsetProvenance",
     "bitset_why_provenance",
     "minimize_masks",

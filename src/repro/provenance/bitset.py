@@ -53,6 +53,7 @@ from repro.parallel import ShardSnapshot, sharded_destroyed_indices
 from repro.provenance.cache import cached_plan
 from repro.provenance.interning import SourceIndex, iter_bits
 from repro.provenance.locations import SourceTuple
+from repro.provenance.segmask import SEGMENT_BITS, SegmentedMask, popcount
 
 __all__ = [
     "Mask",
@@ -65,6 +66,11 @@ __all__ = [
 #: A monomial as an integer bitmask over interned source-tuple ids.
 Mask = int
 
+#: A deletion, in any form the survival APIs take: a whole-universe int
+#: mask, a sequence of source-bit ids, or a :class:`SegmentedMask` —
+#: answers are bit-identical across the three (property-tested).
+DeletionLike = "int | Sequence[int] | SegmentedMask"
+
 #: A tuple's witness basis: its minimal monomials, as masks.
 MaskWitnesses = Tuple[int, ...]
 
@@ -72,6 +78,12 @@ MaskWitnesses = Tuple[int, ...]
 #: below it the sharded chunk kernel's per-batch set-up costs more than
 #: the whole serial scan, and there is nothing to parallelize anyway.
 SHARD_MIN_BATCH = 128
+
+#: ``encode_deletions_auto`` stays on plain int masks until the interned
+#: universe spans more than this many segments: at or below it the masks
+#: are at most a few machine words, so segmented per-segment dict traffic
+#: costs more than it saves.
+SEGMENTED_AUTO_MIN_SEGMENTS = 4
 
 
 def minimize_masks(masks: "Set[int] | Iterable[int]") -> MaskWitnesses:
@@ -89,7 +101,7 @@ def minimize_masks(masks: "Set[int] | Iterable[int]") -> MaskWitnesses:
         masks = set(masks)
     if len(masks) <= 1:
         return tuple(masks)
-    ordered = sorted(masks, key=int.bit_count)
+    ordered = sorted(masks, key=popcount)
     kept: List[int] = []
     if len(ordered) <= 16:
         for mask in ordered:
@@ -135,6 +147,7 @@ class BitsetProvenance:
         "_view_name",
         "_index",
         "_witnesses",
+        "_seg_witnesses",
         "_touched",
         "_snapshot",
     )
@@ -152,6 +165,9 @@ class BitsetProvenance:
         self._view_name = view_name
         #: Lazy inverted index: source bit id -> rows whose universe has it.
         self._touched: "Dict[int, Tuple[Row, ...]] | None" = None
+        #: Lazy segmented view of the witness table (built on first
+        #: SegmentedMask query; the int table stays the source of truth).
+        self._seg_witnesses: "Dict[Row, Tuple[SegmentedMask, ...]] | None" = None
         #: Lazy immutable snapshot backing the sharded batch path.
         self._snapshot: "ShardSnapshot | None" = None
 
@@ -213,14 +229,56 @@ class BitsetProvenance:
         """A deletion set as a mask (unknown tuples hit nothing, so skipped)."""
         return self._index.encode(deletions)
 
-    def survives_mask(self, row: Row, deletion_mask: int) -> bool:
+    def encode_deletions_segmented(
+        self, deletions: Iterable[SourceTuple]
+    ) -> SegmentedMask:
+        """A deletion set as a :class:`SegmentedMask` (same skipped-tuple
+        semantics as :meth:`encode_deletions`, identical answers).
+
+        The encoding the deletion solvers and the serving engine use on
+        large universes: encoding and every downstream survival test then
+        cost the deletion's touched segments, not the interned universe.
+        """
+        return self._index.encode_segmented(deletions)
+
+    def encode_deletions_auto(
+        self, deletions: Iterable[SourceTuple]
+    ) -> "int | SegmentedMask":
+        """The cheaper of the two deletion encodings for this universe.
+
+        Both forms give identical answers everywhere a mask is accepted;
+        which one runs faster depends only on how many segments the
+        interned universe spans.  Small universes favour plain int masks
+        (CPython's word-at-a-time big-int ops beat per-segment dict
+        traffic), while large sparse universes flip — whole-universe ints
+        cost the universe per AND, segmented masks cost the touched
+        segments.  The deletion solvers and the serving engine encode
+        through this so compact databases keep int-mask speed and wide
+        ones get the segmented win.
+        """
+        if len(self._index) > SEGMENT_BITS * SEGMENTED_AUTO_MIN_SEGMENTS:
+            return self._index.encode_segmented(deletions)
+        return self._index.encode(deletions)
+
+    def survives_mask(
+        self, row: Row, deletion_mask: "int | SegmentedMask"
+    ) -> bool:
         """True if ``row`` keeps a witness disjoint from ``deletion_mask``."""
+        if isinstance(deletion_mask, SegmentedMask):
+            row = tuple(row)
+            try:
+                seg_wits = self._segmented_witnesses()[row]
+            except KeyError:
+                raise InfeasibleError(f"row {row!r} is not in the view") from None
+            return any(m.isdisjoint(deletion_mask) for m in seg_wits)
         for mask in self.witness_masks(row):
             if not (mask & deletion_mask):
                 return True
         return False
 
-    def side_effects_mask(self, target: Row, deletion_mask: int) -> FrozenSet[Row]:
+    def side_effects_mask(
+        self, target: Row, deletion_mask: "int | SegmentedMask"
+    ) -> FrozenSet[Row]:
         """View rows other than ``target`` destroyed by ``deletion_mask``.
 
         Only rows whose witness universe intersects the deletion mask can be
@@ -228,9 +286,7 @@ class BitsetProvenance:
         affected rows — not the whole view.
         """
         target = tuple(target)
-        destroyed = self._destroyed(
-            deletion_mask, self._touched_rows(), self._witnesses
-        )
+        destroyed = self._destroyed_value(deletion_mask)
         destroyed.discard(target)
         return frozenset(destroyed)
 
@@ -266,7 +322,76 @@ class BitsetProvenance:
                 destroyed.add(row)
         return destroyed
 
-    def surviving_rows(self, deletion_mask: int) -> FrozenSet[Row]:
+    @staticmethod
+    def _destroyed_segmented(
+        deletion: SegmentedMask,
+        touched: Dict[int, Tuple[Row, ...]],
+        seg_witnesses: "Dict[Row, Tuple[SegmentedMask, ...]]",
+    ) -> Set[Row]:
+        """:meth:`_destroyed`, run entirely on segmented masks.
+
+        The inverted index is shared with the int path (bit ids are global
+        either way); only the per-witness intersection test changes, from a
+        whole-universe int AND to a touched-segment probe.
+        """
+        candidates: Set[Row] = set()
+        deletion_items = tuple(deletion.items())
+        for seg, bits in deletion_items:  # inline word peel, no generator
+            base = seg * SEGMENT_BITS
+            while bits:
+                low = bits & -bits
+                rows = touched.get(base + low.bit_length() - 1)
+                if rows:
+                    candidates.update(rows)
+                bits ^= low
+        destroyed: Set[Row] = set()
+        if len(deletion_items) == 1:
+            # The dominant shape (a compact universe is one segment; a
+            # hitting-set candidate rarely straddles several): one dict
+            # probe + one word AND per witness, like the int path.
+            seg, word = deletion_items[0]
+            for row in candidates:
+                for seg_mask in seg_witnesses[row]:
+                    if not (seg_mask._segs.get(seg, 0) & word):
+                        break  # a disjoint witness: the row survives
+                else:
+                    destroyed.add(row)
+            return destroyed
+        for row in candidates:
+            for seg_mask in seg_witnesses[row]:
+                segs = seg_mask._segs
+                for seg, word in deletion_items:
+                    if segs.get(seg, 0) & word:
+                        break  # this witness is hit; try the next one
+                else:
+                    break  # a disjoint witness: the row survives
+            else:
+                destroyed.add(row)
+        return destroyed
+
+    def _segmented_witnesses(self) -> "Dict[Row, Tuple[SegmentedMask, ...]]":
+        """The witness table in segmented form, built once on demand."""
+        if self._seg_witnesses is None:
+            from_int = SegmentedMask.from_int
+            self._seg_witnesses = {
+                row: tuple(from_int(mask) for mask in masks)
+                for row, masks in self._witnesses.items()
+            }
+        return self._seg_witnesses
+
+    def _destroyed_value(self, value: DeletionLike) -> Set[Row]:
+        """Destroyed rows for one deletion, whichever form it arrived in."""
+        if isinstance(value, SegmentedMask):
+            return self._destroyed_segmented(
+                value, self._touched_rows(), self._segmented_witnesses()
+            )
+        return self._destroyed(
+            self._as_mask(value), self._touched_rows(), self._witnesses
+        )
+
+    def surviving_rows(
+        self, deletion_mask: "int | SegmentedMask"
+    ) -> FrozenSet[Row]:
         """The view after hypothetically deleting ``deletion_mask``.
 
         Equal to re-evaluating the query over the deleted database, but
@@ -276,15 +401,15 @@ class BitsetProvenance:
         """
         if not deletion_mask:
             return frozenset(self._witnesses)
-        destroyed = self._destroyed(
-            deletion_mask, self._touched_rows(), self._witnesses
-        )
+        destroyed = self._destroyed_value(deletion_mask)
         if not destroyed:
             return frozenset(self._witnesses)
         return frozenset(row for row in self._witnesses if row not in destroyed)
 
     def batch_destroyed(
-        self, masks: Sequence[int], workers: "int | None" = None
+        self,
+        masks: "Sequence[int | Sequence[int] | SegmentedMask]",
+        workers: "int | None" = None,
     ) -> List[FrozenSet[Row]]:
         """Destroyed-row sets for a whole vector of candidate deletion masks.
 
@@ -308,15 +433,13 @@ class BitsetProvenance:
                 self._intern_destroyed(indices, interned)
                 for indices in self._sharded_indices(masks, workers)
             ]
-        touched = self._touched_rows()
-        witnesses = self._witnesses
-        return [
-            frozenset(self._destroyed(self._as_mask(mask), touched, witnesses))
-            for mask in masks
-        ]
+        return [frozenset(self._destroyed_value(mask)) for mask in masks]
 
     def batch_side_effects_mask(
-        self, target: Row, masks: Sequence[int], workers: "int | None" = None
+        self,
+        target: Row,
+        masks: "Sequence[int | Sequence[int] | SegmentedMask]",
+        workers: "int | None" = None,
     ) -> List[FrozenSet[Row]]:
         """:meth:`side_effects_mask` for a whole vector of masks.
 
@@ -338,17 +461,17 @@ class BitsetProvenance:
                     interned[indices] = effects
                 out.append(effects)
             return out
-        touched = self._touched_rows()
-        witnesses = self._witnesses
         out = []
         for mask in masks:
-            destroyed = self._destroyed(self._as_mask(mask), touched, witnesses)
+            destroyed = self._destroyed_value(mask)
             destroyed.discard(target)
             out.append(frozenset(destroyed))
         return out
 
     def batch_surviving_rows(
-        self, masks: Sequence[int], workers: "int | None" = None
+        self,
+        masks: "Sequence[int | Sequence[int] | SegmentedMask]",
+        workers: "int | None" = None,
     ) -> List[FrozenSet[Row]]:
         """:meth:`surviving_rows` for a whole vector of masks.
 
@@ -374,11 +497,9 @@ class BitsetProvenance:
                     interned[indices] = survivors
                 out.append(survivors)
             return out
-        touched = self._touched_rows()
-        witnesses = self._witnesses
         out = []
         for mask in masks:
-            destroyed = self._destroyed(self._as_mask(mask), touched, witnesses)
+            destroyed = self._destroyed_value(mask)
             out.append(all_rows if not destroyed else all_rows - destroyed)
         return out
 
@@ -391,7 +512,7 @@ class BitsetProvenance:
         return self._snapshot
 
     def _sharded_indices(
-        self, masks: Sequence[int], workers: int
+        self, masks: "Sequence[int | Sequence[int] | SegmentedMask]", workers: int
     ) -> List[Tuple[int, ...]]:
         """Destroyed row-index tuples for ``masks``, answered sharded."""
         return sharded_destroyed_indices(self._shard_snapshot(), masks, workers)

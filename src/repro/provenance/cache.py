@@ -64,6 +64,7 @@ from repro.algebra.optimizer import DEFAULT_OPTIMIZER_LEVEL
 from repro.algebra.plan import CompiledPlan, DEFAULT_VIEW_NAME, compile_plan
 from repro.algebra.relation import Database
 from repro.algebra.stats import TableStatistics, stats_version
+from repro.provenance.segmask import SegmentedMask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.provenance.where import WhereProvenance
@@ -112,7 +113,13 @@ def approx_object_bytes(value: Any, limit: int = _SIZE_WALK_LIMIT) -> int:
             total += sys.getsizeof(obj)
         except TypeError:  # pragma: no cover - exotic objects without size
             continue
-        if isinstance(obj, (str, bytes, int, float, bool)) or obj is None:
+        # SegmentedMask sizes itself payload-inclusively (__sizeof__ covers
+        # the segment dict and its words), so it is a leaf here — walking
+        # its internals would double-count every witness mask.
+        if (
+            isinstance(obj, (str, bytes, int, float, bool, SegmentedMask))
+            or obj is None
+        ):
             continue
         children: "list" = []
         if isinstance(obj, dict):
@@ -125,10 +132,18 @@ def approx_object_bytes(value: Any, limit: int = _SIZE_WALK_LIMIT) -> int:
             inner = getattr(obj, "__dict__", None)
             if inner is not None:
                 children.append(inner)
-            for slot in getattr(type(obj), "__slots__", ()):
-                child = getattr(obj, slot, None)
-                if child is not None:
-                    children.append(child)
+            # Walk the full MRO: getattr(type, "__slots__") sees only the
+            # most-derived class, silently skipping every inherited slot
+            # (and a bare-string __slots__ would iterate per character) —
+            # which is how mask-heavy kernels used to under-count.
+            for klass in type(obj).__mro__:
+                slots = klass.__dict__.get("__slots__", ())
+                if isinstance(slots, str):
+                    slots = (slots,)
+                for slot in slots:
+                    child = getattr(obj, slot, None)
+                    if child is not None:
+                        children.append(child)
         budget = limit - visited
         if len(children) > budget:
             # Extrapolate the truncated tail from the sampled prefix.

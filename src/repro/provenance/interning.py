@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 from repro.errors import ReproError
 from repro.algebra.relation import Database, Row
 from repro.provenance.locations import SourceTuple
+from repro.provenance.segmask import SEGMENT_BITS, SegmentedMask
 
 __all__ = ["SourceIndex", "iter_bits"]
 
@@ -130,6 +131,23 @@ class SourceIndex:
         found.sort()
         return tuple(found)
 
+    def encode_segmented(self, sources: Iterable[SourceTuple]) -> SegmentedMask:
+        """The ids of ``sources`` as a :class:`SegmentedMask`.
+
+        The segmented twin of :meth:`encode` (unknown tuples skipped, same
+        bits): the form the deletion solvers and the serving engine hand to
+        the batch mask APIs, so encoding and every downstream mask op cost
+        the touched segments instead of the whole interned universe.
+        """
+        ids = self._ids
+        segs: dict = {}
+        for name, row in sources:  # inlined from_bits: this is a hot path
+            bit = ids.get((name, tuple(row)))
+            if bit is not None:
+                seg, offset = divmod(bit, SEGMENT_BITS)
+                segs[seg] = segs.get(seg, 0) | (1 << offset)
+        return SegmentedMask._trusted(segs)
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
@@ -140,11 +158,14 @@ class SourceIndex:
         except IndexError:
             raise ReproError(f"no source tuple with id {bit_index}") from None
 
-    def decode_mask(self, mask: int) -> FrozenSet[SourceTuple]:
+    def decode_mask(
+        self, mask: "int | SegmentedMask"
+    ) -> FrozenSet[SourceTuple]:
         """The set of source tuples named by the set bits of ``mask``."""
         tuples = self._tuples
         out: Set[SourceTuple] = set()
-        for bit_index in iter_bits(mask):
+        bits = mask.iter_bits() if isinstance(mask, SegmentedMask) else iter_bits(mask)
+        for bit_index in bits:
             try:
                 out.add(tuples[bit_index])
             except IndexError:

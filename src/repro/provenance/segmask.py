@@ -1,0 +1,426 @@
+"""Segmented bitmasks: the source-id bit space sharded into word segments.
+
+The bitset kernel (:mod:`repro.provenance.bitset`) historically held every
+witness and deletion mask as one whole-universe Python ``int``, so each AND
+/OR/popcount — and each pickled :class:`~repro.parallel.shards.ShardSnapshot`
+— cost time and bytes proportional to the *entire* interned source-tuple
+universe, however few bits the mask actually set.  This module partitions
+the id space of a :class:`~repro.provenance.interning.SourceIndex` into
+fixed-width segments of :data:`SEGMENT_BITS` bits and represents a mask
+**sparsely**, as ``segment id -> one <= SEGMENT_BITS-bit word``: every
+operation then scales with the number of *touched* segments.
+
+Representation and equivalence:
+
+* a :class:`SegmentedMask` stores only nonzero segment words, so two masks
+  are equal iff their plain-int forms are equal (:meth:`SegmentedMask.
+  to_int` is an exact inverse of :meth:`SegmentedMask.from_int`) — the
+  property tests pin bit-identical answers against the int kernel;
+* the per-segment word is held as a Python int (fast scalar AND/OR in the
+  hot loops); the numpy view of a segment as :data:`SEGMENT_WORDS` little-
+  endian ``uint64`` words is available through :meth:`SegmentedMask.
+  word_segments`, and bulk conversions (``from_int``, popcount, set-bit
+  iteration) run vectorized through numpy when it is importable;
+* without numpy — or with :func:`set_force_python` — every path falls back
+  to pure Python with bit-identical results, so the library's no-numpy
+  degradation extends to segmented masks (CI runs both legs).
+
+The module is deliberately dependency-free within the package: the cache's
+memory accounting (:func:`repro.provenance.cache.approx_object_bytes`) and
+the parallel layer import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+try:  # numpy vectorizes bulk conversions; the library runs without it.
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+    HAVE_NUMPY = False
+
+__all__ = [
+    "SEGMENT_BITS",
+    "SEGMENT_WORDS",
+    "HAVE_NUMPY",
+    "POPCOUNT_NATIVE",
+    "popcount",
+    "SegmentedMask",
+    "set_force_python",
+    "using_numpy",
+]
+
+#: Width of one segment, in bits.  512 = 8 cache-line-friendly uint64 words:
+#: wide enough that compact universes stay single-segment (no overhead vs a
+#: plain int), narrow enough that a 4-bit deletion in a 10^6-bit universe
+#: touches at most 4 words instead of ~16k.
+SEGMENT_BITS = 512
+
+#: One segment as little-endian ``uint64`` words.
+SEGMENT_WORDS = SEGMENT_BITS // 64
+
+_SEGMENT_BYTES = SEGMENT_BITS // 8
+_SEG_FULL = (1 << SEGMENT_BITS) - 1
+
+#: True when this interpreter provides ``int.bit_count`` (3.10+) and
+#: :func:`popcount` binds it directly instead of the ``bin().count`` shim.
+POPCOUNT_NATIVE = hasattr(int, "bit_count")
+
+if POPCOUNT_NATIVE:
+
+    def popcount(value: int) -> int:
+        """Number of set bits of ``value`` (native ``int.bit_count``)."""
+        return value.bit_count()
+
+else:  # pragma: no cover - pre-3.10 interpreters only
+
+    def popcount(value: int) -> int:
+        """Number of set bits of ``value`` (``bin`` fallback, pre-3.10)."""
+        return bin(value).count("1")
+
+
+#: Tests and the no-numpy CI leg pin the pure-Python paths with this; the
+#: env var mirrors it so subprocess harnesses can inherit the choice.
+_FORCE_PYTHON = os.environ.get("REPRO_SEGMASK_PYTHON", "") not in ("", "0")
+
+
+def set_force_python(flag: bool) -> None:
+    """Pin (or release) the pure-Python conversion paths, for tests.
+
+    Representation and answers are identical either way — this only selects
+    which implementation produces them.
+    """
+    global _FORCE_PYTHON
+    _FORCE_PYTHON = bool(flag)
+
+
+def using_numpy() -> bool:
+    """True when the bulk conversion paths currently run on numpy."""
+    return HAVE_NUMPY and not _FORCE_PYTHON
+
+
+def _segments_from_int_python(mask: int) -> Dict[int, int]:
+    """``mask`` split into nonzero segment words, pure Python, O(bytes)."""
+    nbytes = (mask.bit_length() + 7) // 8
+    padded = -(-nbytes // _SEGMENT_BYTES) * _SEGMENT_BYTES
+    buf = mask.to_bytes(padded, "little")
+    segs: Dict[int, int] = {}
+    for seg in range(padded // _SEGMENT_BYTES):
+        word = int.from_bytes(
+            buf[seg * _SEGMENT_BYTES : (seg + 1) * _SEGMENT_BYTES], "little"
+        )
+        if word:
+            segs[seg] = word
+    return segs
+
+
+def _segments_from_int_numpy(mask: int) -> Dict[int, int]:
+    """Same split, with the touched segments located by one C scan."""
+    nbytes = (mask.bit_length() + 7) // 8
+    padded = -(-nbytes // _SEGMENT_BYTES) * _SEGMENT_BYTES
+    buf = mask.to_bytes(padded, "little")
+    arr = _np.frombuffer(buf, dtype=_np.uint8).reshape(-1, _SEGMENT_BYTES)
+    return {
+        seg: int.from_bytes(
+            buf[seg * _SEGMENT_BYTES : (seg + 1) * _SEGMENT_BYTES], "little"
+        )
+        for seg in _np.nonzero(arr.any(axis=1))[0].tolist()
+    }
+
+
+def _iter_word_bits(word: int) -> Iterator[int]:
+    """Ascending set-bit offsets of one segment word (low-bit peeling)."""
+    while word:
+        low = word & -word
+        yield low.bit_length() - 1
+        word ^= low
+
+
+def _rebuild_mask(state: "Tuple[Tuple[int, int], ...]") -> "SegmentedMask":
+    """Unpickle hook: rebuild a mask from its (segment, word) pairs."""
+    return SegmentedMask._trusted(dict(state))
+
+
+class SegmentedMask:
+    """A sparse bitmask over the interned id space, one word per segment.
+
+    Immutable by convention: every operator returns a new mask and the
+    internal segment dict is never exposed mutably.  Hashable, picklable
+    (the pickle is the sorted ``(segment, word)`` pairs — representation-
+    portable between numpy and pure-Python processes), and usable anywhere
+    the kernel previously took an int deletion mask.
+    """
+
+    __slots__ = ("_segs", "_hash")
+
+    def __init__(self, segments: "Mapping[int, int] | None" = None):
+        segs: Dict[int, int] = {}
+        if segments:
+            for seg, word in segments.items():
+                if seg < 0:
+                    raise ValueError("segment ids must be non-negative")
+                if not 0 <= word <= _SEG_FULL:
+                    raise ValueError(
+                        f"segment word out of range for {SEGMENT_BITS} bits"
+                    )
+                if word:
+                    segs[seg] = word
+        self._segs = segs
+        self._hash: "int | None" = None
+
+    @classmethod
+    def _trusted(cls, segs: Dict[int, int]) -> "SegmentedMask":
+        """Internal: wrap an already-normalized nonzero-word dict."""
+        mask = cls.__new__(cls)
+        mask._segs = segs
+        mask._hash = None
+        return mask
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int(cls, mask: int) -> "SegmentedMask":
+        """The segmented form of a whole-universe int mask (exact)."""
+        if mask < 0:
+            raise ValueError("masks are non-negative")
+        if mask == 0:
+            return cls._trusted({})
+        if HAVE_NUMPY and not _FORCE_PYTHON:
+            return cls._trusted(_segments_from_int_numpy(mask))
+        return cls._trusted(_segments_from_int_python(mask))
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "SegmentedMask":
+        """The mask with exactly ``bits`` set (ids, not masks)."""
+        segs: Dict[int, int] = {}
+        for bit in bits:
+            if bit < 0:
+                raise ValueError("bit ids must be non-negative")
+            seg, offset = divmod(bit, SEGMENT_BITS)
+            segs[seg] = segs.get(seg, 0) | (1 << offset)
+        return cls._trusted(segs)
+
+    @classmethod
+    def union(cls, masks: "Iterable[SegmentedMask]") -> "SegmentedMask":
+        """OR of any number of masks in one pass."""
+        out: Dict[int, int] = {}
+        for mask in masks:
+            for seg, word in mask._segs.items():
+                existing = out.get(seg)
+                out[seg] = word if existing is None else existing | word
+        return cls._trusted(out)
+
+    def to_int(self) -> int:
+        """The equivalent whole-universe int mask (exact inverse)."""
+        out = 0
+        for seg, word in self._segs.items():
+            out |= word << (seg * SEGMENT_BITS)
+        return out
+
+    def word_segments(self):
+        """``segment id -> SEGMENT_WORDS little-endian uint64 words``.
+
+        Numpy arrays when the numpy paths are active, tuples of ints in the
+        pure-Python fallback — same words either way.
+        """
+        out = {}
+        for seg in sorted(self._segs):
+            data = self._segs[seg].to_bytes(_SEGMENT_BYTES, "little")
+            if HAVE_NUMPY and not _FORCE_PYTHON:
+                out[seg] = _np.frombuffer(data, dtype="<u8").copy()
+            else:
+                out[seg] = tuple(
+                    int.from_bytes(data[k * 8 : (k + 1) * 8], "little")
+                    for k in range(SEGMENT_WORDS)
+                )
+        return out
+
+    @classmethod
+    def from_word_segments(cls, mapping) -> "SegmentedMask":
+        """Inverse of :meth:`word_segments` (either value form)."""
+        segs: Dict[int, int] = {}
+        for seg, words in mapping.items():
+            word = int.from_bytes(
+                b"".join(int(w).to_bytes(8, "little") for w in words), "little"
+            )
+            if word:
+                segs[int(seg)] = word
+        return cls._trusted(segs)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def segment_ids(self) -> "frozenset[int]":
+        """The ids of the touched (nonzero) segments."""
+        return frozenset(self._segs)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """The ``(segment id, word)`` pairs, unordered (read-only use)."""
+        return self._segs.items()
+
+    def get_word(self, seg: int, default: int = 0) -> int:
+        """The word of segment ``seg`` (``default`` when untouched)."""
+        return self._segs.get(seg, default)
+
+    def segment_count(self) -> int:
+        """How many segments are touched."""
+        return len(self._segs)
+
+    def bit_count(self) -> int:
+        """Total number of set bits (segment-wise popcount)."""
+        segs = self._segs
+        if (
+            HAVE_NUMPY
+            and not _FORCE_PYTHON
+            and len(segs) >= 16
+            and hasattr(_np, "bitwise_count")
+        ):
+            buf = b"".join(
+                word.to_bytes(_SEGMENT_BYTES, "little") for word in segs.values()
+            )
+            arr = _np.frombuffer(buf, dtype="<u8")
+            return int(_np.bitwise_count(arr).sum())
+        return sum(popcount(word) for word in segs.values())
+
+    def iter_bits(self) -> Iterator[int]:
+        """Yield the set bit ids, ascending."""
+        segs = self._segs
+        if HAVE_NUMPY and not _FORCE_PYTHON and len(segs) >= 8:
+            ordered = sorted(segs)
+            buf = b"".join(
+                segs[seg].to_bytes(_SEGMENT_BYTES, "little") for seg in ordered
+            )
+            positions = _np.nonzero(
+                _np.unpackbits(
+                    _np.frombuffer(buf, dtype=_np.uint8), bitorder="little"
+                )
+            )[0]
+            for pos in positions.tolist():
+                seg, offset = divmod(pos, SEGMENT_BITS)
+                yield ordered[seg] * SEGMENT_BITS + offset
+            return
+        for seg in sorted(segs):
+            base = seg * SEGMENT_BITS
+            for offset in _iter_word_bits(segs[seg]):
+                yield base + offset
+
+    def __bool__(self) -> bool:
+        return bool(self._segs)
+
+    # ------------------------------------------------------------------
+    # Set algebra (all segment-sparse)
+    # ------------------------------------------------------------------
+    def __and__(self, other: "SegmentedMask") -> "SegmentedMask":
+        if not isinstance(other, SegmentedMask):
+            return NotImplemented
+        a, b = self._segs, other._segs
+        if len(b) < len(a):
+            a, b = b, a
+        out: Dict[int, int] = {}
+        for seg, word in a.items():
+            w = b.get(seg)
+            if w is not None:
+                r = word & w
+                if r:
+                    out[seg] = r
+        return SegmentedMask._trusted(out)
+
+    def __or__(self, other: "SegmentedMask") -> "SegmentedMask":
+        if not isinstance(other, SegmentedMask):
+            return NotImplemented
+        a, b = self._segs, other._segs
+        if len(b) > len(a):
+            a, b = b, a
+        out = dict(a)
+        for seg, word in b.items():
+            existing = out.get(seg)
+            out[seg] = word if existing is None else existing | word
+        return SegmentedMask._trusted(out)
+
+    def andnot(self, other: "SegmentedMask") -> "SegmentedMask":
+        """``self & ~other`` (set difference), segment-sparse."""
+        b = other._segs
+        out: Dict[int, int] = {}
+        for seg, word in self._segs.items():
+            w = b.get(seg)
+            if w is not None:
+                word &= ~w
+            if word:
+                out[seg] = word
+        return SegmentedMask._trusted(out)
+
+    def intersects(self, other: "SegmentedMask") -> bool:
+        """True when some bit is set in both masks."""
+        a, b = self._segs, other._segs
+        if len(b) < len(a):
+            a, b = b, a
+        for seg, word in a.items():
+            w = b.get(seg)
+            if w is not None and word & w:
+                return True
+        return False
+
+    def isdisjoint(self, other: "SegmentedMask") -> bool:
+        """True when no bit is set in both masks."""
+        return not self.intersects(other)
+
+    def issubset(self, other: "SegmentedMask") -> bool:
+        """True when every set bit of ``self`` is set in ``other``."""
+        b = other._segs
+        for seg, word in self._segs.items():
+            w = b.get(seg)
+            if w is None or word & w != word:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Identity, pickling, sizing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SegmentedMask):
+            return NotImplemented
+        return self._segs == other._segs
+
+    def __ne__(self, other: object) -> bool:
+        if not isinstance(other, SegmentedMask):
+            return NotImplemented
+        return self._segs != other._segs
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(tuple(sorted(self._segs.items())))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        # Explicit reduce: the sorted (segment, word) pairs are portable
+        # between numpy and pure-Python processes, and an empty state is
+        # handled uniformly (a falsy __getstate__ would skip __setstate__).
+        return (_rebuild_mask, (tuple(sorted(self._segs.items())),))
+
+    def __sizeof__(self) -> int:
+        # Include the segment dict and its words, so sizing a mask as a
+        # *leaf* (the cache's approx_object_bytes walk does) accounts the
+        # real payload without double-walking the dict.
+        return (
+            object.__sizeof__(self)
+            + sys.getsizeof(self._segs)
+            + sum(sys.getsizeof(word) for word in self._segs.values())
+        )
+
+    def nbytes(self) -> int:
+        """Approximate heap payload of this mask, in bytes."""
+        return sys.getsizeof(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedMask({self.bit_count()} bits in "
+            f"{len(self._segs)} segments)"
+        )

@@ -179,7 +179,7 @@ class WhyProvenance:
         """
         if self._kernel is not None:
             return self._kernel.survives_mask(
-                row, self._kernel.encode_deletions(deletions)
+                row, self._kernel.encode_deletions_auto(deletions)
             )
         return any(not (monomial & deletions) for monomial in self.witnesses(row))
 
@@ -190,7 +190,7 @@ class WhyProvenance:
         target = tuple(target)
         if self._kernel is not None:
             return self._kernel.side_effects_mask(
-                target, self._kernel.encode_deletions(deletions)
+                target, self._kernel.encode_deletions_auto(deletions)
             )
         destroyed = {
             row
@@ -207,7 +207,7 @@ class WhyProvenance:
         """
         if self._kernel is not None:
             return self._kernel.surviving_rows(
-                self._kernel.encode_deletions(deletions)
+                self._kernel.encode_deletions_auto(deletions)
             )
         return frozenset(
             row for row in self._witnesses if self.survives(row, deletions)
@@ -230,7 +230,7 @@ class WhyProvenance:
         """
         if self._kernel is not None:
             kernel = self._kernel
-            masks = [kernel.encode_deletions(d) for d in deletion_sets]
+            masks = [kernel.encode_deletions_auto(d) for d in deletion_sets]
             return kernel.batch_side_effects_mask(target, masks, workers=workers)
         return [self.side_effects(target, d) for d in deletion_sets]
 

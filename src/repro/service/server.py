@@ -130,6 +130,7 @@ class ServiceServer:
         self._default_timeout_s = default_timeout_s
         self._max_requests = max_requests
         self._served = 0
+        self._accepted = 0
         self._server: "asyncio.AbstractServer | None" = None
         self._done = asyncio.Event()
 
@@ -202,10 +203,15 @@ class ServiceServer:
                         self._serve_line(text, writer, write_lock)
                     )
                 )
-                if self._max_requests is not None and (
-                    self._served + len(tasks) >= self._max_requests
-                ):
-                    break
+                if self._max_requests is not None:
+                    # Count requests as *accepted*, not served: a finished
+                    # task is in both self._served and tasks, so summing
+                    # the two double-counts it — the server would stop one
+                    # request early, drop the last response, and never
+                    # reach the served >= max_requests shutdown below.
+                    self._accepted += 1
+                    if self._accepted >= self._max_requests:
+                        break
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
         finally:

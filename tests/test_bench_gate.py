@@ -91,3 +91,7 @@ def test_missing_fresh_median_fails(run_all):
 
 def test_tracked_medians_include_sharded(run_all):
     assert "sharded.median_speedup_workers4" in run_all.TRACKED_MEDIANS
+
+
+def test_tracked_medians_include_segmask(run_all):
+    assert "segmask.median_speedup" in run_all.TRACKED_MEDIANS

@@ -47,6 +47,52 @@ class TestApproxBytes:
         a.append(a)
         assert approx_object_bytes(a) > 0
 
+    def test_counts_inherited_slots(self):
+        # The walk must see slots from every class in the MRO, not just
+        # the most-derived one — witness tables hang off base-class slots.
+        class Base:
+            __slots__ = ("payload",)
+
+        class Derived(Base):
+            __slots__ = ("tiny",)
+
+        obj = Derived()
+        obj.payload = tuple(range(5000))
+        obj.tiny = 1
+        assert approx_object_bytes(obj) > approx_object_bytes(obj.payload)
+
+    def test_counts_single_string_slots(self):
+        # A bare-string __slots__ is one slot, not an iterable of chars.
+        class Holder:
+            __slots__ = "payload"
+
+        obj = Holder()
+        obj.payload = tuple(range(5000))
+        assert approx_object_bytes(obj) > approx_object_bytes(obj.payload)
+
+    def test_segmented_mask_is_a_self_sizing_leaf(self):
+        import sys
+
+        from repro.provenance.segmask import SEGMENT_BITS, SegmentedMask
+
+        mask = SegmentedMask.from_bits(
+            [0, SEGMENT_BITS + 1, 40 * SEGMENT_BITS + 7]
+        )
+        # Leaf: sized once, payload-inclusively, with no child walk.
+        assert approx_object_bytes(mask) == sys.getsizeof(mask)
+        small = SegmentedMask.from_bits([0])
+        assert approx_object_bytes(mask) > approx_object_bytes(small)
+        # A witness table of masks accounts for every distinct mask's
+        # payload (the walk dedupes shared objects by identity).
+        masks = [
+            SegmentedMask.from_bits([i * SEGMENT_BITS, 40 * SEGMENT_BITS + 7])
+            for i in range(50)
+        ]
+        table = {("r", i): (m,) for i, m in enumerate(masks)}
+        assert approx_object_bytes(table) >= sum(
+            sys.getsizeof(m) for m in masks
+        )
+
 
 class TestByteBound:
     def test_default_is_byte_unbounded(self, db):

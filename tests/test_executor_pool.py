@@ -130,13 +130,19 @@ class TestHealthAndLifecycle:
             WorkerPool("serial", 2)
         with pytest.raises(ValueError):
             WorkerPool("thread", 0)
-        with pytest.raises(ValueError):
-            WorkerPool("process", 2)  # no snapshot
         registry = PoolRegistry()
         with pytest.raises(ValueError):
             registry.get("serial", 2)
-        with pytest.raises(ValueError):
-            registry.get("process", 2)  # no snapshot
+
+    def test_snapshotless_process_pool_is_payload_only(self, snapshot):
+        # A process pool without a snapshot is a payload pool: legal to
+        # build, but it refuses snapshot-bound run() calls.
+        registry = PoolRegistry()
+        with registry:
+            pool = registry.get("process", 2)
+            with pytest.raises(RuntimeError):
+                pool.run(snapshot, [0], [(0, 1)])
+            assert registry.get("process", 2) is pool  # keyed, reused
 
     def test_process_pool_refuses_foreign_snapshot(self, kernel, snapshot):
         other = ShardSnapshot.from_witnesses(kernel._witnesses, len(kernel.index))

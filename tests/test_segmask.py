@@ -1,0 +1,336 @@
+"""Segmented witness masks: bit-identical to the whole-universe int kernel.
+
+:class:`~repro.provenance.segmask.SegmentedMask` re-represents a mask as a
+sparse ``segment id -> word`` dict; its contract is exact equivalence with
+the plain-int form for every operation, on both the numpy and pure-Python
+conversion paths.  These tests pin:
+
+* the algebra (AND/OR/ANDNOT/popcount/iteration/subset tests) against int
+  semantics over hypothesis-random universes, including segment-boundary
+  ids and empty masks, with both paths exercised;
+* pickling — including the empty mask, whose falsy state historically
+  tempts ``__getstate__``-based pickling into skipping restoration;
+* the kernel: every deletion answer computed from a ``SegmentedMask``
+  equals the int-mask answer (serial, batch, and sharded — including
+  segment-restricted payload shipping);
+* the ``popcount`` satellite: the native ``int.bit_count`` binding on
+  interpreters that have it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import ShardSnapshot, sharded_destroyed_indices
+from repro.provenance.segmask import (
+    HAVE_NUMPY,
+    POPCOUNT_NATIVE,
+    SEGMENT_BITS,
+    SEGMENT_WORDS,
+    SegmentedMask,
+    popcount,
+    set_force_python,
+    using_numpy,
+)
+from repro.provenance.why import why_provenance
+from repro.workloads import sj_workload, spu_workload
+
+# Bit ids cluster near segment boundaries and spread across a sparse
+# multi-segment range — the regimes the representation must get right.
+_BOUNDARY = st.sampled_from(
+    [0, 1, SEGMENT_BITS - 1, SEGMENT_BITS, SEGMENT_BITS + 1,
+     2 * SEGMENT_BITS - 1, 2 * SEGMENT_BITS, 40 * SEGMENT_BITS + 7]
+)
+_BITS = st.sets(
+    st.one_of(st.integers(0, 6 * SEGMENT_BITS), _BOUNDARY), max_size=48
+)
+
+
+def _to_int(bits) -> int:
+    out = 0
+    for bit in bits:
+        out |= 1 << bit
+    return out
+
+
+@pytest.fixture(params=["numpy", "python"])
+def path(request):
+    """Run the decorated test on both conversion paths, restoring after."""
+    if request.param == "numpy" and not HAVE_NUMPY:
+        pytest.skip("numpy not importable")
+    set_force_python(request.param == "python")
+    try:
+        yield request.param
+    finally:
+        set_force_python(False)
+
+
+class TestPopcountSatellite:
+    def test_native_binding_on_modern_interpreters(self):
+        # 3.10+ must bind int.bit_count, not the bin() shim.
+        assert POPCOUNT_NATIVE == hasattr(int, "bit_count")
+        if POPCOUNT_NATIVE:
+            assert "native" in (popcount.__doc__ or "")
+
+    @given(st.integers(min_value=0, max_value=1 << 2048))
+    def test_matches_reference(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(bits=_BITS)
+    def test_int_round_trip(self, path, bits):
+        mask = _to_int(bits)
+        seg = SegmentedMask.from_int(mask)
+        assert seg.to_int() == mask
+        assert seg == SegmentedMask.from_bits(bits)
+        assert list(seg.iter_bits()) == sorted(bits)
+        assert seg.bit_count() == len(bits)
+        assert bool(seg) == bool(bits)
+        assert seg.segment_count() == len({b // SEGMENT_BITS for b in bits})
+
+    def test_empty_mask(self, path):
+        empty = SegmentedMask.from_int(0)
+        assert not empty
+        assert empty.to_int() == 0
+        assert list(empty.iter_bits()) == []
+        assert empty.bit_count() == 0
+        assert empty == SegmentedMask.from_bits([])
+        assert hash(empty) == hash(SegmentedMask())
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            SegmentedMask.from_int(-1)
+        with pytest.raises(ValueError):
+            SegmentedMask.from_bits([-3])
+        with pytest.raises(ValueError):
+            SegmentedMask({-1: 1})
+        with pytest.raises(ValueError):
+            SegmentedMask({0: 1 << SEGMENT_BITS})
+
+    def test_paths_agree(self):
+        # The numpy- and python-built forms of one mask are equal objects.
+        if not HAVE_NUMPY:
+            pytest.skip("numpy not importable")
+        mask = _to_int([0, 511, 512, 513, 9001, 40 * SEGMENT_BITS])
+        set_force_python(False)
+        vec = SegmentedMask.from_int(mask)
+        assert using_numpy()
+        set_force_python(True)
+        try:
+            pure = SegmentedMask.from_int(mask)
+            assert not using_numpy()
+        finally:
+            set_force_python(False)
+        assert vec == pure and hash(vec) == hash(pure)
+
+    def test_word_segments_round_trip(self, path):
+        mask = SegmentedMask.from_bits([0, 65, 511, 513, 9001])
+        words = mask.word_segments()
+        assert all(len(w) == SEGMENT_WORDS for w in words.values())
+        assert SegmentedMask.from_word_segments(words) == mask
+
+
+class TestAlgebra:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(abits=_BITS, bbits=_BITS)
+    def test_matches_int_semantics(self, path, abits, bbits):
+        ia, ib = _to_int(abits), _to_int(bbits)
+        a, b = SegmentedMask.from_int(ia), SegmentedMask.from_int(ib)
+        assert (a & b).to_int() == ia & ib
+        assert (a | b).to_int() == ia | ib
+        assert a.andnot(b).to_int() == ia & ~ib
+        assert a.intersects(b) == bool(ia & ib)
+        assert a.isdisjoint(b) == (not ia & ib)
+        assert a.issubset(b) == (ia & ib == ia)
+        assert SegmentedMask.union([a, b]).to_int() == ia | ib
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(abits=_BITS, bbits=_BITS)
+    def test_equality_and_hash(self, path, abits, bbits):
+        a = SegmentedMask.from_bits(abits)
+        b = SegmentedMask.from_bits(bbits)
+        assert (a == b) == (set(abits) == set(bbits))
+        if a == b:
+            assert hash(a) == hash(b)
+
+
+class TestPickle:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(bits=_BITS)
+    def test_round_trip(self, path, bits):
+        mask = SegmentedMask.from_bits(bits)
+        clone = pickle.loads(pickle.dumps(mask))
+        assert clone == mask
+        assert hash(clone) == hash(mask)
+        assert list(clone.iter_bits()) == sorted(bits)
+
+    def test_empty_mask_round_trip(self, path):
+        # Regression guard: a falsy pickle state must still restore the
+        # slots (a __getstate__ returning () would silently skip them).
+        clone = pickle.loads(pickle.dumps(SegmentedMask()))
+        assert clone == SegmentedMask()
+        assert not clone and clone.to_int() == 0
+
+
+class TestKernelEquivalence:
+    @pytest.fixture(params=["spu", "sj"])
+    def kernel_db(self, request):
+        if request.param == "spu":
+            db, query, target = spu_workload(30, seed=11)
+        else:
+            db, query, target = sj_workload(18, seed=12)
+        return why_provenance(query, db).kernel, db, tuple(target)
+
+    def _deletion_sets(self, db, seed, n):
+        rng = random.Random(seed)
+        sources = db.all_source_tuples()
+        sets = [frozenset({s}) for s in sources[:10]]
+        for _ in range(n):
+            sets.append(
+                frozenset(rng.sample(sources, rng.randint(1, min(4, len(sources)))))
+            )
+        return sets
+
+    def test_serial_answers_match_int_kernel(self, kernel_db, path):
+        kernel, db, target = kernel_db
+        for dels in self._deletion_sets(db, seed=21, n=30):
+            imask = kernel.encode_deletions(dels)
+            smask = kernel.encode_deletions_segmented(dels)
+            assert smask.to_int() == imask
+            for row in kernel.rows:
+                assert kernel.survives_mask(row, smask) == kernel.survives_mask(
+                    row, imask
+                )
+            assert kernel.side_effects_mask(target, smask) == (
+                kernel.side_effects_mask(target, imask)
+            )
+
+    def test_batch_answers_match_int_kernel(self, kernel_db, path):
+        kernel, db, target = kernel_db
+        sets = self._deletion_sets(db, seed=22, n=40)
+        imasks = [kernel.encode_deletions(d) for d in sets]
+        smasks = [kernel.encode_deletions_segmented(d) for d in sets]
+        assert kernel.batch_surviving_rows(smasks) == (
+            kernel.batch_surviving_rows(imasks)
+        )
+        assert kernel.batch_side_effects_mask(target, smasks) == (
+            kernel.batch_side_effects_mask(target, imasks)
+        )
+
+    def test_auto_encoding_dispatches_on_universe_size(self, kernel_db):
+        from repro.provenance.bitset import SEGMENTED_AUTO_MIN_SEGMENTS
+
+        kernel, db, target = kernel_db
+        sets = self._deletion_sets(db, seed=23, n=10)
+        # The workload universes are a handful of hundred ids: int masks.
+        assert len(kernel.index) <= SEGMENT_BITS * SEGMENTED_AUTO_MIN_SEGMENTS
+        for dels in sets:
+            auto = kernel.encode_deletions_auto(dels)
+            assert isinstance(auto, int)
+            assert auto == kernel.encode_deletions(dels)
+        # Pad the shared index past the threshold: the same kernel flips
+        # to segmented masks, with the same bits set.
+        index = kernel.index
+        while len(index) <= SEGMENT_BITS * SEGMENTED_AUTO_MIN_SEGMENTS:
+            index.intern(("__pad__", (len(index),)))
+        for dels in sets:
+            auto = kernel.encode_deletions_auto(dels)
+            assert isinstance(auto, SegmentedMask)
+            assert auto.to_int() == kernel.encode_deletions(dels)
+            assert kernel.side_effects_mask(target, auto) == (
+                kernel.side_effects_mask(target, kernel.encode_deletions(dels))
+            )
+
+
+class TestShardedEquivalence:
+    def _snapshot_and_masks(self):
+        db, query, target = spu_workload(40, seed=13)
+        kernel = why_provenance(query, db).kernel
+        rng = random.Random(99)
+        sources = db.all_source_tuples()
+        sets = [frozenset({s}) for s in sources]
+        for _ in range(60):
+            sets.append(
+                frozenset(rng.sample(sources, rng.randint(1, 4)))
+            )
+        snapshot = ShardSnapshot.from_witnesses(
+            kernel._witnesses, len(kernel.index)
+        )
+        # Mixed element forms: ints, bit-id tuples, and segmented masks.
+        masks = []
+        for i, dels in enumerate(sets):
+            if i % 3 == 0:
+                masks.append(kernel.encode_deletions(dels))
+            elif i % 3 == 1:
+                masks.append(kernel.encode_deletions_segmented(dels))
+            else:
+                masks.append(
+                    tuple(kernel.encode_deletions_segmented(dels).iter_bits())
+                )
+        return snapshot, masks
+
+    @pytest.mark.parametrize("force_python", [False, True])
+    def test_ship_segments_matches_serial(self, force_python):
+        snapshot, masks = self._snapshot_and_masks()
+        serial = sharded_destroyed_indices(
+            snapshot, masks, workers=1, backend="serial",
+            force_python=force_python,
+        )
+        for ship in (False, True):
+            sharded = sharded_destroyed_indices(
+                snapshot, masks, workers=3, backend="thread", chunk_size=17,
+                force_python=force_python, ship_segments=ship,
+            )
+            assert sharded == serial
+
+    def test_restricted_snapshot_answers_in_original_indices(self):
+        snapshot, masks = self._snapshot_and_masks()
+        serial = sharded_destroyed_indices(
+            snapshot, masks, workers=1, backend="serial"
+        )
+        segs = snapshot.chunk_segments(masks, 0, len(masks))
+        sub = snapshot.restrict(segs)
+        local = [sub.rebase_mask(m) for m in masks]
+        assert sub.destroyed_indices_chunk(local, 0, len(local)) == serial
+        assert (
+            sub.destroyed_indices_chunk(local, 0, len(local), force_python=True)
+            == serial
+        )
+
+    def test_restriction_caches_and_prunes(self):
+        snapshot, masks = self._snapshot_and_masks()
+        segs = snapshot.chunk_segments(masks, 0, 5)
+        assert snapshot.restrict(segs) is snapshot.restrict(frozenset(segs))
+        # An empty restriction answers every candidate with "no rows".
+        empty = snapshot.restrict(frozenset())
+        assert len(empty) <= len(snapshot)
+        assert empty.destroyed_indices_chunk([()], 0, 1) == [()]
+
+    def test_restricted_pickle_is_smaller_for_sparse_chunks(self):
+        # Pad the universe: the view's witnesses sit in a narrow segment
+        # band of a much larger interned id space, as after heavy
+        # interleaved loads.  The full snapshot pickles the whole-universe
+        # int masks; the restriction pickles only the touched segments.
+        db, query, target = spu_workload(40, seed=14)
+        kernel = why_provenance(query, db).kernel
+        pad = 300 * SEGMENT_BITS
+        rows = list(kernel.rows)
+        wits = [
+            [m << pad for m in kernel._witnesses[row]] for row in kernel.rows
+        ]
+        snapshot = ShardSnapshot(rows, wits, len(kernel.index) + pad)
+        masks = [
+            SegmentedMask.from_bits([pad + b for b in range(4)])
+            for _ in range(8)
+        ]
+        sub = snapshot.restrict(snapshot.chunk_segments(masks, 0, len(masks)))
+        full_bytes = len(pickle.dumps(snapshot))
+        sub_bytes = len(pickle.dumps(sub))
+        assert sub_bytes * 4 <= full_bytes

@@ -429,6 +429,32 @@ class TestServer:
         out, served = asyncio.run(session())
         assert all(r["ok"] for r in out) and served == 2
 
+    def test_max_requests_counts_sequential_requests_once(self, engine):
+        # Regression: with one request awaited at a time, earlier requests
+        # are finished (counted in ``requests_served``) while still in the
+        # connection's task list — summing the two made the server stop one
+        # request early, drop the final response, and never shut down.
+        async def session():
+            server = ServiceServer(engine, max_requests=3)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            out = []
+            for i in range(3):
+                envelope = encode_request(EvaluateRequest("db", QUERY))
+                envelope["id"] = i
+                writer.write((json.dumps(envelope) + "\n").encode())
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.readline(), timeout=15)
+                assert raw, f"connection dropped before response {i}"
+                out.append(json.loads(raw))
+            await asyncio.wait_for(server.wait_closed(), timeout=10)
+            await server.aclose()
+            return out, server.requests_served
+
+        out, served = asyncio.run(session())
+        assert [r["id"] for r in out] == [0, 1, 2]
+        assert all(r["ok"] for r in out) and served == 3
+
 
 class TestServeCli:
     def test_serve_cli_end_to_end(self, tmp_path):
