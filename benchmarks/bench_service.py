@@ -434,6 +434,9 @@ def _emit(
             e["speedup_batched"] for e in scaling
         ),
         "all_answers_match": all(e["match"] for e in entries),
+        # Shared-cache memory telemetry for the whole run: high-water mark
+        # of the byte-bounded LRU plus the spill/attach counters.
+        "cache": provenance_cache.stats(),
     }
     data: Dict[str, object] = {}
     if os.path.exists(json_path):

@@ -759,7 +759,27 @@ class CompiledPlan:
 
     def relation(self, db: Database, name: str = DEFAULT_VIEW_NAME) -> Relation:
         """The view over ``db`` as a named :class:`Relation`."""
-        return Relation(name, self.schema, self.root.rows(db))
+        # Operator output rows come from validated base relations, so the
+        # trusted constructor skips per-row re-validation.
+        return Relation._trusted(name, self.schema, frozenset(self.root.rows(db)))
+
+    def rows_columnar(self, store) -> FrozenSet[Row]:
+        """Like :meth:`rows`, executed over a ColumnStore of the database.
+
+        Answer-identical to ``rows(db)`` for the store's database; vectorized
+        when the store is numpy-backed.
+        """
+        # Local import: plan.py must not import repro.columnar at module
+        # level (the columnar kernels import this module).
+        from repro.columnar.kernels import columnar_rows
+
+        return columnar_rows(self, store)
+
+    def annotated_rows_columnar(self, store, index) -> Dict[Row, MaskWitnesses]:
+        """Like :meth:`annotated_rows`, executed over a ColumnStore."""
+        from repro.columnar.kernels import columnar_annotated
+
+        return columnar_annotated(self, store, index)
 
     # -- witness-annotated semantics ----------------------------------
     def annotated_rows(self, db: Database, index) -> Dict[Row, MaskWitnesses]:

@@ -83,6 +83,22 @@ class Relation:
         self._schema = schema
         self._rows = _freeze_rows(schema, rows)
 
+    @classmethod
+    def _trusted(cls, name: str, schema: Schema, rows: FrozenSet[Row]) -> "Relation":
+        """Internal constructor for pre-validated rows.
+
+        ``rows`` must already be a frozenset of hashable tuples matching the
+        schema's arity — operator outputs, snapshot restores, and columnar
+        decodes qualify because their rows come from relations that were
+        validated on public construction.  Skipping ``_freeze_rows`` here
+        keeps those hot paths from re-validating every row.
+        """
+        relation = cls.__new__(cls)
+        relation._name = name
+        relation._schema = schema
+        relation._rows = rows
+        return relation
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -162,16 +178,16 @@ class Relation:
         Rows not present are ignored (deletion is idempotent).
         """
         doomed = {tuple(r) for r in rows}
-        return Relation(self._name, self._schema, self._rows - doomed)
+        return Relation._trusted(self._name, self._schema, self._rows - doomed)
 
     def insert_rows(self, rows: Iterable[Sequence[object]]) -> "Relation":
         """A copy of this relation with ``rows`` added."""
         extra = _freeze_rows(self._schema, rows)
-        return Relation(self._name, self._schema, self._rows | extra)
+        return Relation._trusted(self._name, self._schema, self._rows | extra)
 
     def renamed(self, name: str) -> "Relation":
         """A copy of this relation carrying a different name."""
-        return Relation(name, self._schema, self._rows)
+        return Relation._trusted(name, self._schema, self._rows)
 
 
 def _sort_key(value: object) -> Tuple[str, str]:

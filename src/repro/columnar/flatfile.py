@@ -1,0 +1,148 @@
+"""A tiny flat-buffer container: named int64 arrays + raw blobs in one file.
+
+This is the on-disk substrate shared by the zero-copy paths of the columnar
+layer: :meth:`repro.parallel.shards.ShardSnapshot.write_file` serializes a
+witness snapshot into it so pool workers can attach via ``np.memmap``
+instead of unpickling, and :meth:`repro.columnar.store.ColumnStore.spill_save`
+spills cold cache entries into the same format for cheap re-attach.
+
+Layout (all integers little-endian)::
+
+    MAGIC (8 bytes) | header length (uint64) | header JSON | data section
+
+The header JSON records ``meta`` (caller-defined), the array names and
+element counts, and the blob names and byte sizes, *in order*; each data
+item starts at the next 16-byte boundary after its predecessor, so reader
+and writer walk the same deterministic layout and no offsets are stored.
+
+Arrays are int64 only — every consumer here stores offsets, ids, and codes.
+With numpy importable the reader returns ``np.memmap`` views (the OS pages
+the file in lazily and shares clean pages across processes); without numpy
+it falls back to :mod:`array`-module copies with identical values, so the
+format itself never requires numpy.
+"""
+
+from __future__ import annotations
+
+import array as _array_mod
+import json
+import os
+import sys
+from typing import Dict, Mapping, Sequence, Tuple
+
+try:  # numpy enables zero-copy memory-mapped reads; the format works without.
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+    HAVE_NUMPY = False
+
+__all__ = ["MAGIC", "write_flat", "read_flat"]
+
+MAGIC = b"RPROFLT1"
+
+_ALIGN = 16
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _int64_bytes(values: "Sequence[int]") -> bytes:
+    """``values`` as packed little-endian int64 bytes."""
+    if HAVE_NUMPY and not isinstance(values, (list, tuple, _array_mod.array)):
+        return _np.ascontiguousarray(values, dtype="<i8").tobytes()
+    packed = _array_mod.array("q", (int(v) for v in values))
+    if sys.byteorder == "big":  # pragma: no cover - little-endian hosts
+        packed.byteswap()
+    return packed.tobytes()
+
+
+def write_flat(
+    path: str,
+    meta: dict,
+    arrays: "Mapping[str, Sequence[int]]",
+    blobs: "Mapping[str, bytes] | None" = None,
+) -> None:
+    """Write ``meta`` + named int64 ``arrays`` + named ``blobs`` to ``path``.
+
+    The write is atomic per file (write to ``path + '.tmp'``, then rename),
+    so a reader never sees a torn container.
+    """
+    blobs = blobs or {}
+    payload_arrays = {name: _int64_bytes(vals) for name, vals in arrays.items()}
+    header = {
+        "meta": meta,
+        "arrays": [
+            {"name": name, "count": len(data) // 8}
+            for name, data in payload_arrays.items()
+        ],
+        "blobs": [{"name": name, "nbytes": len(data)} for name, data in blobs.items()],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        cursor = len(MAGIC) + 8 + len(header_bytes)
+        for data in list(payload_arrays.values()) + list(blobs.values()):
+            start = _aligned(cursor)
+            handle.write(b"\x00" * (start - cursor))
+            handle.write(data)
+            cursor = start + len(data)
+    os.replace(tmp, path)
+
+
+def _read_array(path: str, offset: int, count: int, mmap: bool):
+    if HAVE_NUMPY:
+        if mmap:
+            return _np.memmap(path, dtype="<i8", mode="r", offset=offset, shape=(count,))
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            return _np.frombuffer(handle.read(count * 8), dtype="<i8").copy()
+    packed = _array_mod.array("q")
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        packed.frombytes(handle.read(count * 8))
+    if sys.byteorder == "big":  # pragma: no cover - little-endian hosts
+        packed.byteswap()
+    return packed.tolist()
+
+
+def read_flat(
+    path: str, mmap: bool = True
+) -> "Tuple[dict, Dict[str, object], Dict[str, bytes]]":
+    """Read a container: ``(meta, arrays, blobs)``.
+
+    With numpy and ``mmap`` true the arrays come back as read-only
+    ``np.memmap`` views into the file; otherwise as plain lists (or copied
+    ndarrays), with identical values either way.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"{path!r} is not a flat container (bad magic {magic!r})")
+        header_len = int.from_bytes(handle.read(8), "little")
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+        cursor = len(MAGIC) + 8 + header_len
+        arrays: Dict[str, object] = {}
+        spans = []
+        for entry in header["arrays"]:
+            start = _aligned(cursor)
+            spans.append(("array", entry["name"], start, entry["count"]))
+            cursor = start + entry["count"] * 8
+        for entry in header["blobs"]:
+            start = _aligned(cursor)
+            spans.append(("blob", entry["name"], start, entry["nbytes"]))
+            cursor = start + entry["nbytes"]
+        blobs: Dict[str, bytes] = {}
+        for kind, name, start, size in spans:
+            if kind == "blob":
+                handle.seek(start)
+                blobs[name] = handle.read(size)
+    for kind, name, start, size in spans:
+        if kind == "array":
+            arrays[name] = _read_array(path, start, size, mmap)
+    return header["meta"], arrays, blobs

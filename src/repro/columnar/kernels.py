@@ -1,0 +1,723 @@
+"""Columnar execution of compiled plans: vectorized scan/filter/join kernels.
+
+:func:`columnar_rows` and :func:`columnar_annotated` walk the same physical
+operator tree that :mod:`repro.algebra.plan` interprets over tuples, but
+execute it over the dictionary-encoded columns of a
+:class:`~repro.columnar.store.ColumnStore`:
+
+* Scan residual predicates and column masks evaluate as vectorized
+  comparisons over code/raw arrays instead of per-row Python closures.
+* Hash joins build and probe on encoded key columns (stable argsort +
+  searchsorted run expansion; codes are exact join keys because code
+  equality is value equality).
+* Witness annotation emits ``1 << row_id`` masks straight from the row-id
+  vector; rows decode back to Python tuples only at the frozenset API
+  boundary.
+
+Exactness discipline: the vectorizer never *raises* and never *guesses* —
+any predicate shape whose vectorized result could diverge from the tuple
+path (non-self-equal values on an attr=attr equality, int/float lowerings
+past 2**53, mixed-type order comparisons, unknown operand protocols,
+constant pairs that may be incomparable) returns the ``FALLBACK`` sentinel
+and the whole predicate is evaluated per row with the plan's own bound
+closure, preserving short-circuit and error semantics bit for bit.
+
+Batches are duplicate-free by construction (base relations are sets, joins
+of duplicate-free inputs are duplicate-free, projections/unions dedup), so
+no kernel re-deduplicates except where the tuple semantics do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.algebra.plan import (
+    CompiledPlan,
+    FilterOp,
+    HashJoinOp,
+    PlanNode,
+    ProjectOp,
+    RenameOp,
+    ScanOp,
+    UnionOp,
+)
+from repro.algebra.predicates import (
+    COMPARATORS,
+    And,
+    AttributeRef,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.algebra.relation import EvaluationError, Row
+from repro.columnar.store import FLOAT_EXACT_MAX, HAVE_NUMPY, ColumnStore, RelationColumns
+
+if HAVE_NUMPY:
+    import numpy as _np
+
+__all__ = ["columnar_rows", "columnar_annotated"]
+
+FALLBACK = object()  # sentinel: predicate not vectorizable, use the bound closure
+
+_FLIP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class _Batch:
+    """Intermediate columnar result: code columns + optional base-row view.
+
+    ``base`` is ``(relation_columns, kept)`` when the batch's rows are exactly
+    base-relation rows (scan without a column mask, possibly filtered /
+    renamed); decode then reuses the interned source tuples instead of
+    re-zipping columns.  ``kept`` is None for "all rows, in order".
+    """
+
+    __slots__ = ("cols", "n", "base", "wits")
+
+    def __init__(self, cols, n, base=None, wits=None):
+        self.cols = cols
+        self.n = n
+        self.base = base
+        self.wits = wits  # annotated mode: list of witness-mask tuples per row
+
+
+def _as_root(plan_or_node) -> PlanNode:
+    if isinstance(plan_or_node, CompiledPlan):
+        return plan_or_node.root
+    return plan_or_node
+
+
+def columnar_rows(plan_or_node, store: ColumnStore) -> "FrozenSet[Row]":
+    """Rows of the plan, executed over ``store``; equals ``plan.rows(db)``."""
+    root = _as_root(plan_or_node)
+    py = not store.backed_by_numpy
+    batch = _rows(root, store, py)
+    return frozenset(_decode(batch, store, py))
+
+
+def columnar_annotated(plan_or_node, store: ColumnStore, index) -> "Dict[Row, tuple]":
+    """Annotated table ``{row: minimized witness-mask tuple}`` over ``store``.
+
+    Bit-identical to ``plan.annotated_rows(db, index)`` when ``index`` is
+    shared; when ``index`` *is* the store's own index the ``1 << id`` scan
+    masks come straight from the row-id vectors with no interning calls.
+    """
+    root = _as_root(plan_or_node)
+    py = not store.backed_by_numpy
+    batch = _annotated(root, store, index, py)
+    rows = _decode(batch, store, py)
+    return dict(zip(rows, batch.wits))
+
+
+# -- shared helpers ---------------------------------------------------------
+
+
+def _take(col, idx, py):
+    if py:
+        return [col[i] for i in idx]
+    return col[idx]
+
+
+def _indices(kept, n, py):
+    """Materialize a kept-index container (identity when ``kept`` is None)."""
+    if kept is not None:
+        return kept
+    if py:
+        return list(range(n))
+    return _np.arange(n, dtype=_np.int64)
+
+
+def _gather(cols, kept, py):
+    if kept is None:
+        return list(cols)
+    return [_take(col, kept, py) for col in cols]
+
+
+def _packed_keys(column_sets):
+    """Pack parallel multi-column int64 code columns into single int64 keys.
+
+    ``column_sets`` is a list of column lists that must share a key space
+    (e.g. the left and right key columns of a join); position ``i`` of every
+    set is packed with the same base.  Packing keeps the first column most
+    significant, so sorting packed keys is lexicographic row order — the
+    same order ``np.unique(..., axis=0)`` produces.  Returns one packed
+    array per set, or ``None`` when the combined key space could overflow
+    int64 (callers keep the axis=0 path).
+    """
+    arity = len(column_sets[0])
+    bases = []
+    span = 1
+    for pos in range(arity):
+        hi = 1
+        for cols in column_sets:
+            col = cols[pos]
+            if col.shape[0]:
+                top = int(col.max()) + 1
+                if top > hi:
+                    hi = top
+        span *= hi
+        if span >= 2**62:
+            return None
+        bases.append(hi)
+    packed = []
+    for cols in column_sets:
+        key = _np.zeros(cols[0].shape[0], dtype=_np.int64)
+        for pos in range(arity):
+            key *= bases[pos]
+            key += cols[pos]
+        packed.append(key)
+    return packed
+
+
+def _unique(cols, n, py):
+    """Dedup rows of ``cols``; returns ``(new_cols, new_n, inverse)``.
+
+    ``inverse[i]`` is the output group of input row ``i``.  Output group
+    order is first-appearance order in python mode and sorted-code order in
+    numpy mode; both are deterministic, and every consumer either ignores
+    order (sets/dicts) or groups through ``inverse``.
+    """
+    if not cols:
+        new_n = 1 if n else 0
+        if py:
+            return [], new_n, [0] * n
+        return [], new_n, _np.zeros(n, dtype=_np.int64)
+    if py:
+        seen: Dict[tuple, int] = {}
+        new_cols: List[List[int]] = [[] for _ in cols]
+        inverse = []
+        for i in range(n):
+            key = tuple(col[i] for col in cols)
+            group = seen.get(key)
+            if group is None:
+                group = len(seen)
+                seen[key] = group
+                for col, code in zip(new_cols, key):
+                    col.append(code)
+            inverse.append(group)
+        return new_cols, len(seen), inverse
+    if len(cols) == 1:
+        uniq, inverse = _np.unique(cols[0], return_inverse=True)
+        return [uniq], int(uniq.shape[0]), inverse.reshape(-1)
+    packed = _packed_keys([cols])
+    if packed is not None:
+        # Sorting packed keys is lexicographic row order, so the unique
+        # groups and inverse are identical to the axis=0 result but the
+        # sort runs on native int64 instead of void rows.
+        _, first, inverse = _np.unique(
+            packed[0], return_index=True, return_inverse=True
+        )
+        new_cols = [col[first] for col in cols]
+        return new_cols, int(first.shape[0]), inverse.reshape(-1)
+    stacked = _np.column_stack(cols)
+    uniq, inverse = _np.unique(stacked, axis=0, return_inverse=True)
+    new_cols = [_np.ascontiguousarray(uniq[:, j]) for j in range(uniq.shape[1])]
+    return new_cols, int(uniq.shape[0]), inverse.reshape(-1)
+
+
+def _join_indices(left_keys, right_keys, nl, nr, py):
+    """Matching row-index pairs for an equi-join on encoded key columns."""
+    if not left_keys:  # no shared attributes: explicit cross product
+        if py:
+            l_idx = [i for i in range(nl) for _ in range(nr)]
+            r_idx = [j for _ in range(nl) for j in range(nr)]
+            return l_idx, r_idx
+        l_idx = _np.repeat(_np.arange(nl, dtype=_np.int64), nr)
+        r_idx = _np.tile(_np.arange(nr, dtype=_np.int64), nl)
+        return l_idx, r_idx
+    if py:
+        buckets: Dict[tuple, List[int]] = {}
+        for j in range(nr):
+            buckets.setdefault(tuple(col[j] for col in right_keys), []).append(j)
+        l_idx: List[int] = []
+        r_idx: List[int] = []
+        for i in range(nl):
+            matches = buckets.get(tuple(col[i] for col in left_keys))
+            if matches:
+                for j in matches:
+                    l_idx.append(i)
+                    r_idx.append(j)
+        return l_idx, r_idx
+    if len(left_keys) == 1:
+        left_group = left_keys[0]
+        right_group = right_keys[0]
+    else:
+        packed = _packed_keys([left_keys, right_keys])
+        if packed is not None:
+            left_group, right_group = packed
+        else:
+            stacked = _np.concatenate(
+                [_np.column_stack(left_keys), _np.column_stack(right_keys)]
+            )
+            _, inverse = _np.unique(stacked, axis=0, return_inverse=True)
+            inverse = inverse.reshape(-1)
+            left_group = inverse[:nl]
+            right_group = inverse[nl:]
+    order = _np.argsort(right_group, kind="stable")
+    sorted_right = right_group[order]
+    if nr == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty
+    # One binary search over the (typically much smaller) unique-key array
+    # replaces two searches over the full sorted side; run start/end offsets
+    # recover the same [lo, hi) match ranges.
+    run_starts = _np.flatnonzero(
+        _np.concatenate(([True], sorted_right[1:] != sorted_right[:-1]))
+    )
+    uniq = sorted_right[run_starts]
+    run_ends = _np.concatenate((run_starts[1:], [nr]))
+    pos = _np.minimum(_np.searchsorted(uniq, left_group), uniq.shape[0] - 1)
+    hit = uniq[pos] == left_group
+    lo = _np.where(hit, run_starts[pos], 0)
+    hi = _np.where(hit, run_ends[pos], 0)
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty
+    l_idx = _np.repeat(_np.arange(nl, dtype=_np.int64), counts)
+    starts = _np.repeat(lo, counts)
+    run_start = _np.repeat(_np.cumsum(counts) - counts, counts)
+    r_idx = order[starts + (_np.arange(total, dtype=_np.int64) - run_start)]
+    return l_idx, r_idx
+
+
+def _decode(batch: _Batch, store: ColumnStore, py: bool) -> "List[Row]":
+    """Materialize Python row tuples at the API boundary."""
+    if batch.base is not None:
+        columns, kept = batch.base
+        if kept is None:
+            return list(columns.rows)
+        if py:
+            return [columns.rows[i] for i in kept]
+        return [columns.rows[i] for i in kept.tolist()]
+    if not batch.cols:
+        return [()] * batch.n
+    if py:
+        pool = store.pool
+        decoded = [[pool[code] for code in col] for col in batch.cols]
+    else:
+        pool_arr = store.pool_array()
+        # .tolist() unwraps the object arrays once in C; zipping Python
+        # lists beats iterating ndarray views element by element.
+        decoded = [pool_arr[col].tolist() for col in batch.cols]
+    return list(zip(*decoded))
+
+
+# -- predicate vectorization ------------------------------------------------
+
+
+def _vector_mask(pred, schema, cols, store, raw_of, nonreflexive_of, n):
+    """Vectorized predicate mask: bool ndarray, None (all pass), or FALLBACK.
+
+    Never raises: anything uncertain — including constant pairs that *would*
+    raise per row — defers to the bound closure so error and short-circuit
+    semantics match the tuple path exactly.
+    """
+    if isinstance(pred, TruePredicate):
+        return None
+    if isinstance(pred, Comparison):
+        return _comparison_mask(pred, schema, cols, store, raw_of, nonreflexive_of, n)
+    if isinstance(pred, And):
+        left = _vector_mask(pred.left, schema, cols, store, raw_of, nonreflexive_of, n)
+        if left is FALLBACK:
+            return FALLBACK
+        right = _vector_mask(
+            pred.right, schema, cols, store, raw_of, nonreflexive_of, n
+        )
+        if right is FALLBACK:
+            return FALLBACK
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left & right
+    if isinstance(pred, Or):
+        left = _vector_mask(pred.left, schema, cols, store, raw_of, nonreflexive_of, n)
+        if left is FALLBACK:
+            return FALLBACK
+        if left is None:
+            return None
+        right = _vector_mask(
+            pred.right, schema, cols, store, raw_of, nonreflexive_of, n
+        )
+        if right is FALLBACK:
+            return FALLBACK
+        if right is None:
+            return None
+        return left | right
+    if isinstance(pred, Not):
+        inner = _vector_mask(
+            pred.child, schema, cols, store, raw_of, nonreflexive_of, n
+        )
+        if inner is FALLBACK:
+            return FALLBACK
+        if inner is None:
+            return _np.zeros(n, dtype=bool)
+        return ~inner
+    return FALLBACK  # unknown predicate subtype: honor its own protocol per row
+
+
+def _broadcast(value: bool, n: int):
+    if value:
+        return None
+    return _np.zeros(n, dtype=bool)
+
+
+def _comparison_mask(cmp, schema, cols, store, raw_of, nonreflexive_of, n):
+    left, op, right = cmp.left, cmp.op, cmp.right
+    left_attr = isinstance(left, AttributeRef)
+    right_attr = isinstance(right, AttributeRef)
+    left_const = isinstance(left, Constant)
+    right_const = isinstance(right, Constant)
+    if left_const and right_const:
+        try:
+            return _broadcast(bool(COMPARATORS[op](left.literal, right.literal)), n)
+        except Exception:
+            return FALLBACK  # per-row evaluation raises iff a row reaches it
+    if left_attr and right_attr:
+        p1 = schema.index_of(left.attribute)
+        p2 = schema.index_of(right.attribute)
+        if op in ("=", "!="):
+            if nonreflexive_of(p1) or nonreflexive_of(p2):
+                return FALLBACK  # NaN == NaN is False but codes are equal
+            mask = cols[p1] == cols[p2]
+            return mask if op == "=" else ~mask
+        if raw_of is None:
+            return FALLBACK
+        return _order_mask_attrs(raw_of(p1), raw_of(p2), op)
+    if left_attr and right_const:
+        return _attr_const_mask(
+            schema.index_of(left.attribute), op, right.literal, cols, store, raw_of, n
+        )
+    if left_const and right_attr:
+        return _attr_const_mask(
+            schema.index_of(right.attribute),
+            _FLIP[op],
+            left.literal,
+            cols,
+            store,
+            raw_of,
+            n,
+        )
+    return FALLBACK  # unknown operand subtype: use its .value() protocol per row
+
+
+def _attr_const_mask(pos, op, const, cols, store, raw_of, n):
+    if op in ("=", "!="):
+        try:
+            reflexive = bool(const == const)
+        except Exception:
+            return FALLBACK
+        if not reflexive:
+            # value == NaN is False for every row; codes never merge with it.
+            return _broadcast(op == "!=", n)
+        code = store.code_of(const)
+        if code is None:
+            return _broadcast(op == "!=", n)
+        mask = cols[pos] == code
+        return mask if op == "=" else ~mask
+    if raw_of is None:
+        return FALLBACK
+    raw = raw_of(pos)
+    if raw is None:
+        return FALLBACK
+    kind, arr, meta = raw
+    if kind == "str":
+        if not isinstance(const, str):
+            return FALLBACK  # tuple path raises EvaluationError per row
+        return COMPARATORS[op](arr, const)
+    if isinstance(const, bool):
+        const = int(const)
+    if kind == "int":
+        if isinstance(const, int):
+            if -(2**63) <= const < 2**63:
+                return COMPARATORS[op](arr, const)
+            return FALLBACK
+        if isinstance(const, float):
+            if meta <= FLOAT_EXACT_MAX:
+                return COMPARATORS[op](arr, const)
+            return FALLBACK
+        return FALLBACK
+    if kind == "float":
+        if isinstance(const, float):
+            return COMPARATORS[op](arr, const)
+        if isinstance(const, int):
+            if -FLOAT_EXACT_MAX <= const <= FLOAT_EXACT_MAX:
+                return COMPARATORS[op](arr, const)
+            return FALLBACK
+        return FALLBACK
+    return FALLBACK
+
+
+def _order_mask_attrs(raw1, raw2, op):
+    if raw1 is None or raw2 is None:
+        return FALLBACK
+    kind1, arr1, meta1 = raw1
+    kind2, arr2, meta2 = raw2
+    if kind1 == "str" or kind2 == "str":
+        if kind1 == "str" and kind2 == "str":
+            return COMPARATORS[op](arr1, arr2)
+        return FALLBACK
+    if kind1 == "int" and kind2 == "int":
+        return COMPARATORS[op](arr1, arr2)
+    # numeric mix through float64: exact only while int magnitudes fit
+    if meta1 is not None and meta1 > FLOAT_EXACT_MAX:
+        return FALLBACK
+    if meta2 is not None and meta2 > FLOAT_EXACT_MAX:
+        return FALLBACK
+    return COMPARATORS[op](arr1, arr2)
+
+
+# -- scan ------------------------------------------------------------------
+
+
+def _scan_columns(node: ScanOp, store: ColumnStore):
+    columns = store.relation_columns(node.name)
+    if columns.schema != node.base_schema:
+        raise EvaluationError(
+            f"compiled plan is stale: relation {node.name!r} has schema "
+            f"{columns.schema.attributes}, plan was compiled against "
+            f"{node.base_schema.attributes}"
+        )
+    return columns
+
+
+def _scan_kept(node: ScanOp, columns: RelationColumns, store: ColumnStore, py: bool):
+    """Kept base-row indices after the residual predicate (None = all)."""
+    if node.test is None or columns.n == 0:
+        return None
+    if not py:
+        mask = _vector_mask(
+            node.predicate,
+            node.base_schema,
+            columns.codes,
+            store,
+            columns.raw,
+            lambda pos: columns.nonreflexive[pos],
+            columns.n,
+        )
+        if mask is None:
+            return None
+        if mask is not FALLBACK:
+            return _np.flatnonzero(mask)
+    test = node.test
+    kept = [i for i, row in enumerate(columns.rows) if test(row)]
+    if py:
+        return kept
+    return _np.asarray(kept, dtype=_np.int64)
+
+
+def _rows(node: PlanNode, store: ColumnStore, py: bool) -> _Batch:
+    if isinstance(node, ScanOp):
+        columns = _scan_columns(node, store)
+        kept = _scan_kept(node, columns, store, py)
+        if node.columns is None:
+            cols = _gather(columns.codes, kept, py)
+            return _Batch(cols, columns.n if kept is None else len(kept), (columns, kept))
+        cols = [_take(columns.codes[p], _indices(kept, columns.n, py), py) for p in node.columns]
+        n = columns.n if kept is None else len(kept)
+        cols, n, _ = _unique(cols, n, py)
+        return _Batch(cols, n)
+    if isinstance(node, FilterOp):
+        child = _rows(node.child, store, py)
+        keep = _filter_positions(node, child, store, py)
+        if keep is None:
+            return child
+        base = None
+        if child.base is not None:
+            columns, kept = child.base
+            base = (columns, _take(_indices(kept, columns.n, py), keep, py))
+        return _Batch(_gather(child.cols, keep, py), len(keep), base)
+    if isinstance(node, ProjectOp):
+        child = _rows(node.child, store, py)
+        cols = [child.cols[p] for p in node.positions]
+        cols, n, _ = _unique(cols, child.n, py)
+        return _Batch(cols, n)
+    if isinstance(node, HashJoinOp):
+        left = _rows(node.left, store, py)
+        right = _rows(node.right, store, py)
+        l_idx, r_idx = _join_indices(
+            [left.cols[p] for p in node.left_key_positions],
+            [right.cols[p] for p in node.right_key_positions],
+            left.n,
+            right.n,
+            py,
+        )
+        cols = [_take(col, l_idx, py) for col in left.cols]
+        cols += [_take(right.cols[p], r_idx, py) for p in node.right_extra_positions]
+        return _Batch(cols, len(l_idx))
+    if isinstance(node, UnionOp):
+        left = _rows(node.left, store, py)
+        right = _rows(node.right, store, py)
+        reorder = node.reorder
+        right_cols = right.cols if reorder is None else [right.cols[p] for p in reorder]
+        if py:
+            cols = [lcol + rcol for lcol, rcol in zip(left.cols, right_cols)]
+        else:
+            cols = [
+                _np.concatenate([lcol, rcol])
+                for lcol, rcol in zip(left.cols, right_cols)
+            ]
+        cols, n, _ = _unique(cols, left.n + right.n, py)
+        return _Batch(cols, n)
+    if isinstance(node, RenameOp):
+        return _rows(node.child, store, py)
+    raise EvaluationError(f"columnar executor cannot run plan node {type(node).__name__}")
+
+
+def _filter_positions(node: FilterOp, child: _Batch, store: ColumnStore, py: bool):
+    """Kept positions in ``child`` after the filter predicate (None = all)."""
+    if child.n == 0:
+        return None
+    if not py:
+        raw_of = None
+        nonreflexive_of = lambda pos: store.pool_has_nonreflexive
+        if child.base is not None:
+            columns, kept = child.base
+            if kept is None:
+                raw_of = columns.raw
+                nonreflexive_of = lambda pos: columns.nonreflexive[pos]
+        mask = _vector_mask(
+            node.predicate,
+            node.schema,
+            child.cols,
+            store,
+            raw_of,
+            nonreflexive_of,
+            child.n,
+        )
+        if mask is None:
+            return None
+        if mask is not FALLBACK:
+            keep = _np.flatnonzero(mask)
+            return None if len(keep) == child.n else keep
+    test = node.test
+    rows = _decode(child, store, py)
+    keep = [i for i, row in enumerate(rows) if test(row)]
+    if len(keep) == child.n:
+        return None
+    if py:
+        return keep
+    return _np.asarray(keep, dtype=_np.int64)
+
+
+# -- annotated (witness) mode ----------------------------------------------
+
+
+def _minimize():
+    from repro.provenance.bitset import minimize_masks
+
+    return minimize_masks
+
+
+def _scan_ids(node, columns, kept, store, index, py):
+    """SourceIndex ids of the kept base rows, honoring the caller's index."""
+    if index is store.index:
+        ids = columns.row_ids if kept is None else _take(columns.row_ids, kept, py)
+        return ids if py else ids.tolist()
+    name = node.name
+    rows = columns.rows
+    if kept is None:
+        return [index.intern((name, row)) for row in rows]
+    if not py:
+        kept = kept.tolist()
+    return [index.intern((name, rows[i])) for i in kept]
+
+
+def _group_wits(inverse, n_groups, wits, py):
+    """Merge per-row witness tuples into per-group minimized tuples."""
+    minimize = _minimize()
+    groups: List[set] = [set() for _ in range(n_groups)]
+    if not py:
+        inverse = inverse.tolist()
+    for row_i, group in enumerate(inverse):
+        groups[group].update(wits[row_i])
+    return [minimize(masks) for masks in groups]
+
+
+def _annotated(node: PlanNode, store: ColumnStore, index, py: bool) -> _Batch:
+    if isinstance(node, ScanOp):
+        columns = _scan_columns(node, store)
+        kept = _scan_kept(node, columns, store, py)
+        ids = _scan_ids(node, columns, kept, store, index, py)
+        wits = [(1 << int(bit),) for bit in ids]
+        if node.columns is None:
+            cols = _gather(columns.codes, kept, py)
+            n = columns.n if kept is None else len(kept)
+            batch = _Batch(cols, n, (columns, kept))
+            batch.wits = wits
+            return batch
+        cols = [_take(columns.codes[p], _indices(kept, columns.n, py), py) for p in node.columns]
+        n = columns.n if kept is None else len(kept)
+        cols, n_out, inverse = _unique(cols, n, py)
+        batch = _Batch(cols, n_out)
+        batch.wits = _group_wits(inverse, n_out, wits, py)
+        return batch
+    if isinstance(node, FilterOp):
+        child = _annotated(node.child, store, index, py)
+        keep = _filter_positions(node, child, store, py)
+        if keep is None:
+            return child
+        base = None
+        if child.base is not None:
+            columns, kept = child.base
+            base = (columns, _take(_indices(kept, columns.n, py), keep, py))
+        batch = _Batch(_gather(child.cols, keep, py), len(keep), base)
+        keep_list = keep if py else keep.tolist()
+        batch.wits = [child.wits[i] for i in keep_list]
+        return batch
+    if isinstance(node, ProjectOp):
+        child = _annotated(node.child, store, index, py)
+        cols = [child.cols[p] for p in node.positions]
+        cols, n, inverse = _unique(cols, child.n, py)
+        batch = _Batch(cols, n)
+        batch.wits = _group_wits(inverse, n, child.wits, py)
+        return batch
+    if isinstance(node, HashJoinOp):
+        left = _annotated(node.left, store, index, py)
+        right = _annotated(node.right, store, index, py)
+        l_idx, r_idx = _join_indices(
+            [left.cols[p] for p in node.left_key_positions],
+            [right.cols[p] for p in node.right_key_positions],
+            left.n,
+            right.n,
+            py,
+        )
+        cols = [_take(col, l_idx, py) for col in left.cols]
+        cols += [_take(right.cols[p], r_idx, py) for p in node.right_extra_positions]
+        minimize = _minimize()
+        lwits = left.wits
+        rwits = right.wits
+        wits = []
+        pairs = zip(l_idx, r_idx) if py else zip(l_idx.tolist(), r_idx.tolist())
+        for li, ri in pairs:
+            lw = lwits[li]
+            rw = rwits[ri]
+            if len(lw) == 1 and len(rw) == 1:
+                wits.append(minimize({lw[0] | rw[0]}))
+            else:
+                wits.append(minimize({lm | rm for lm in lw for rm in rw}))
+        batch = _Batch(cols, len(wits))
+        batch.wits = wits
+        return batch
+    if isinstance(node, UnionOp):
+        left = _annotated(node.left, store, index, py)
+        right = _annotated(node.right, store, index, py)
+        reorder = node.reorder
+        right_cols = right.cols if reorder is None else [right.cols[p] for p in reorder]
+        if py:
+            cols = [lcol + rcol for lcol, rcol in zip(left.cols, right_cols)]
+        else:
+            cols = [
+                _np.concatenate([lcol, rcol])
+                for lcol, rcol in zip(left.cols, right_cols)
+            ]
+        cols, n, inverse = _unique(cols, left.n + right.n, py)
+        batch = _Batch(cols, n)
+        batch.wits = _group_wits(inverse, n, left.wits + right.wits, py)
+        return batch
+    if isinstance(node, RenameOp):
+        return _annotated(node.child, store, index, py)
+    raise EvaluationError(f"columnar executor cannot run plan node {type(node).__name__}")

@@ -1,0 +1,407 @@
+"""Dictionary-encoded columnar mirror of a :class:`~repro.algebra.relation.Database`.
+
+``ColumnStore`` lowers every relation of a database into columns of dense
+integer *codes*: each distinct Python value across the database is interned
+once into a global value pool, and each attribute becomes one ``int64`` array
+of pool codes (a plain list of codes in the pure-Python fallback).  Alongside
+the codes every relation keeps a row→:class:`~repro.provenance.interning.SourceIndex`
+id vector, so witness annotation can emit ``1 << id`` masks straight from the
+vector without touching per-row tuples.
+
+The frozenset-based ``Relation`` stays the construction source of truth: the
+store is a read-only acceleration structure built from ``sorted_rows()`` (the
+same deterministic order ``SourceIndex.from_database`` uses, so a store that
+owns its index produces bit-identical witness masks).
+
+Code equality is value equality: the pool is a Python dict, so ``1``/``1.0``/
+``True`` collapse to one code exactly as they collapse inside a frozenset of
+rows.  The one place dict semantics and ``==`` diverge is non-self-equal
+values (NaN): those are flagged per column (``nonreflexive``) so the kernels
+fall back to per-row evaluation for the affected comparisons.
+
+Gating follows the PR 4/6 discipline: numpy is optional, and
+``REPRO_COLUMNAR_PYTHON=1`` / :func:`set_force_python` force the bit-identical
+pure-Python twin.  A store snapshots the active mode at build time.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.relation import Database, EvaluationError, Relation
+from repro.provenance.interning import SourceIndex
+
+try:  # optional acceleration; the pure-Python twin is bit-identical
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+    HAVE_NUMPY = False
+
+__all__ = [
+    "ColumnStore",
+    "RelationColumns",
+    "HAVE_NUMPY",
+    "set_force_python",
+    "using_numpy",
+    "cached_column_store",
+]
+
+_FORCE_PYTHON = os.environ.get("REPRO_COLUMNAR_PYTHON", "") not in ("", "0")
+
+# Integers above 2**53 are not exactly representable as float64, so order
+# comparisons that would lower an int column through float64 must fall back.
+FLOAT_EXACT_MAX = 2**53
+
+
+def set_force_python(force: bool) -> None:
+    """Force the pure-Python columnar paths (stores built afterwards)."""
+    global _FORCE_PYTHON
+    _FORCE_PYTHON = bool(force)
+
+
+def using_numpy() -> bool:
+    """True when stores built now will use the vectorized numpy paths."""
+    return HAVE_NUMPY and not _FORCE_PYTHON
+
+
+class RelationColumns:
+    """One relation lowered to columns: codes, row ids, and the source rows."""
+
+    __slots__ = ("name", "schema", "rows", "codes", "row_ids", "nonreflexive", "_raw")
+
+    def __init__(self, name, schema, rows, codes, row_ids, nonreflexive):
+        self.name = name
+        self.schema = schema
+        self.rows = rows  # tuple of row tuples, in sorted_rows() order
+        self.codes = codes  # per attribute: int64 ndarray (or list) of pool codes
+        self.row_ids = row_ids  # aligned SourceIndex ids, same container kind
+        self.nonreflexive = nonreflexive  # per attribute: column holds a NaN-like
+        self._raw = {}
+
+    @property
+    def n(self) -> int:
+        return len(self.rows)
+
+    def raw(self, pos: int):
+        """Typed raw array for order comparisons, or None when not lowerable.
+
+        Returns ``(kind, array, meta)`` with kind ``"int"`` (int64, exact),
+        ``"float"`` (float64; ``meta`` is the largest int magnitude seen, all
+        ints guaranteed ≤ 2**53 so the lowering is exact), or ``"str"``
+        (numpy unicode — elementwise comparison is code-point order, same as
+        Python).  Mixed or non-scalar columns return None and the caller must
+        fall back to per-row evaluation.
+        """
+        if pos in self._raw:
+            return self._raw[pos]
+        result = self._build_raw(pos)
+        self._raw[pos] = result
+        return result
+
+    def _build_raw(self, pos: int):
+        if not HAVE_NUMPY or not self.rows:
+            return None
+        is_int = is_num = is_str = True
+        max_abs_int = 0
+        for row in self.rows:
+            value = row[pos]
+            if isinstance(value, bool):
+                is_str = False
+                continue
+            if isinstance(value, int):
+                is_str = False
+                magnitude = -value if value < 0 else value
+                if magnitude > max_abs_int:
+                    max_abs_int = magnitude
+                continue
+            is_int = False
+            if isinstance(value, float):
+                is_str = False
+                continue
+            is_num = False
+            if not isinstance(value, str):
+                return None
+        count = len(self.rows)
+        if is_int and max_abs_int < 2**63:
+            arr = _np.fromiter((int(row[pos]) for row in self.rows), _np.int64, count)
+            return ("int", arr, max_abs_int)
+        if is_num and max_abs_int <= FLOAT_EXACT_MAX:
+            arr = _np.fromiter(
+                (float(row[pos]) for row in self.rows), _np.float64, count
+            )
+            return ("float", arr, max_abs_int)
+        if is_str:
+            return ("str", _np.array([row[pos] for row in self.rows]), None)
+        return None
+
+
+class ColumnStore:
+    """Columnar, dictionary-encoded view of a whole database.
+
+    Immutable after construction; safe to share across threads (the backing
+    ``SourceIndex`` is fully populated at build time, so later lookups are
+    read-only).  When ``index`` is omitted the store owns a fresh index built
+    in the same deterministic order as ``SourceIndex.from_database`` — only
+    index-owning stores are spillable, because the index can be rebuilt
+    exactly by re-interning on attach.
+    """
+
+    __slots__ = (
+        "_db",
+        "_index",
+        "_own_index",
+        "_relations",
+        "_pool",
+        "_code_of",
+        "_pool_nonreflexive",
+        "_pool_obj",
+        "_numpy",
+    )
+
+    def __init__(self, db: Database, index: "Optional[SourceIndex]" = None):
+        own_index = index is None
+        if own_index:
+            index = SourceIndex()
+        self._db = db
+        self._index = index
+        self._own_index = own_index
+        self._numpy = using_numpy()
+        self._pool: List[object] = []
+        self._code_of: Dict[object, int] = {}
+        self._pool_nonreflexive: set = set()
+        self._pool_obj = None
+        self._relations: Dict[str, RelationColumns] = {}
+        for name in db:
+            self._lower_relation(name, db[name])
+
+    def _lower_relation(self, name: str, relation: Relation) -> None:
+        pool = self._pool
+        code_of = self._code_of
+        nonreflexive_codes = self._pool_nonreflexive
+        index = self._index
+        rows = relation.sorted_rows()
+        arity = relation.schema.arity
+        codes: List[List[int]] = [[] for _ in range(arity)]
+        nonreflexive = [False] * arity
+        row_ids = []
+        for row in rows:
+            row_ids.append(index.intern((name, row)))
+            for position, value in enumerate(row):
+                code = code_of.get(value)
+                if code is None:
+                    code = len(pool)
+                    code_of[value] = code
+                    pool.append(value)
+                    try:
+                        if value != value:
+                            nonreflexive_codes.add(code)
+                    except Exception:
+                        nonreflexive_codes.add(code)
+                if code in nonreflexive_codes:
+                    nonreflexive[position] = True
+                codes[position].append(code)
+        if self._numpy:
+            lowered = [_np.asarray(col, dtype=_np.int64) for col in codes]
+            ids = _np.asarray(row_ids, dtype=_np.int64)
+        else:
+            lowered = codes
+            ids = row_ids
+        self._relations[name] = RelationColumns(
+            name, relation.schema, tuple(rows), lowered, ids, nonreflexive
+        )
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def index(self) -> SourceIndex:
+        return self._index
+
+    @property
+    def owns_index(self) -> bool:
+        return self._own_index
+
+    @property
+    def backed_by_numpy(self) -> bool:
+        return self._numpy
+
+    @property
+    def pool(self) -> "List[object]":
+        return self._pool
+
+    @property
+    def pool_has_nonreflexive(self) -> bool:
+        return bool(self._pool_nonreflexive)
+
+    def matches(self, db: Database) -> bool:
+        return self._db is db
+
+    def relation_columns(self, name: str) -> RelationColumns:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise EvaluationError(
+                f"database has no relation named {name!r}; "
+                f"known relations: {sorted(self._relations)}"
+            ) from None
+
+    def code_of(self, value) -> "Optional[int]":
+        """Pool code for ``value``, or None when absent (or unhashable)."""
+        try:
+            return self._code_of.get(value)
+        except TypeError:
+            return None
+
+    def code_nonreflexive(self, code: int) -> bool:
+        return code in self._pool_nonreflexive
+
+    def pool_array(self):
+        """The value pool as an object ndarray (numpy stores only; cached)."""
+        if self._pool_obj is None:
+            arr = _np.empty(len(self._pool), dtype=object)
+            for position, value in enumerate(self._pool):
+                arr[position] = value
+            self._pool_obj = arr
+        return self._pool_obj
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by the encoded columns and id vectors."""
+        total = 0
+        for columns in self._relations.values():
+            for col in list(columns.codes) + [columns.row_ids]:
+                if HAVE_NUMPY and isinstance(col, _np.ndarray):
+                    total += int(col.nbytes)
+                else:
+                    total += sys.getsizeof(col) + 28 * len(col)
+        return total
+
+    # -- spill protocol (ProvenanceCache) ----------------------------------
+
+    def spill_save(self, path: str) -> bool:
+        """Spill the encoded columns to a flat container; True on success.
+
+        Only stores that own their index are spillable: the index is rebuilt
+        on attach by re-interning rows in the deterministic build order, which
+        only reproduces the original ids when no external interner seeded it.
+        """
+        if not self._own_index:
+            return False
+        from repro.columnar.flatfile import write_flat
+
+        meta = {
+            "kind": "column-store",
+            "relations": [
+                {
+                    "name": name,
+                    "attributes": list(columns.schema.attributes),
+                    "rows": columns.n,
+                }
+                for name, columns in self._relations.items()
+            ],
+            "pool_size": len(self._pool),
+        }
+        arrays = {}
+        for name, columns in self._relations.items():
+            flat: List[int] = []
+            for col in columns.codes:
+                flat.extend(int(code) for code in col)
+            arrays[f"codes:{name}"] = flat
+        write_flat(path, meta, arrays)
+        return True
+
+    @classmethod
+    def spill_load(cls, path: str, query, db: Database) -> "ColumnStore":
+        """Re-attach a spilled store over the **same** ``db`` object.
+
+        Only the code arrays come from disk.  The rows, value pool, and
+        index are rebuilt from ``db`` itself by replaying the deterministic
+        build order, so every decoded value is the database's *original
+        object* — object identity matters for non-self-equal values (NaN)
+        and for which of ``1``/``1.0``/``True`` represents a collapsed
+        code.  The cache's spill stub pins the exact database, so the
+        replay always sees the rows the codes were cut from.
+        """
+        from repro.columnar.flatfile import read_flat
+
+        meta, arrays, _blobs = read_flat(path)
+        if meta.get("kind") != "column-store":
+            raise ValueError(f"{path!r} does not hold a spilled ColumnStore")
+        pool_size = meta["pool_size"]
+        pool: List[object] = [None] * pool_size
+        filled = [False] * pool_size
+        nonreflexive_codes: set = set()
+        store = cls.__new__(cls)
+        store._db = db
+        store._index = SourceIndex()
+        store._own_index = True
+        store._numpy = using_numpy()
+        store._pool_obj = None
+        store._relations = {}
+        for entry in meta["relations"]:
+            name = entry["name"]
+            count = entry["rows"]
+            schema = db[name].schema
+            arity = schema.arity
+            rows = db[name].sorted_rows()
+            if len(rows) != count:
+                raise ValueError(
+                    f"spilled store is stale: {name!r} has {len(rows)} rows, "
+                    f"file says {count}"
+                )
+            flat = arrays[f"codes:{name}"]
+            columns = [
+                [int(code) for code in flat[position * count : (position + 1) * count]]
+                for position in range(arity)
+            ]
+            # First assignment wins, matching the interning order of
+            # _lower_relation — the representative of a collapsed code is
+            # the first value that produced it.
+            for i, row in enumerate(rows):
+                for position in range(arity):
+                    code = columns[position][i]
+                    if not filled[code]:
+                        filled[code] = True
+                        pool[code] = row[position]
+            row_ids = [store._index.intern((name, row)) for row in rows]
+            nonreflexive = [False] * arity
+            for position in range(arity):
+                for i, code in enumerate(columns[position]):
+                    value = rows[i][position]
+                    try:
+                        reflexive = value == value
+                    except Exception:
+                        reflexive = False
+                    if not reflexive:
+                        nonreflexive_codes.add(code)
+                        nonreflexive[position] = True
+            if store._numpy:
+                lowered = [_np.asarray(col, dtype=_np.int64) for col in columns]
+                ids = _np.asarray(row_ids, dtype=_np.int64)
+            else:
+                lowered = columns
+                ids = row_ids
+            store._relations[name] = RelationColumns(
+                name, schema, tuple(rows), lowered, ids, nonreflexive
+            )
+        store._pool = pool
+        store._code_of = {value: code for code, value in enumerate(pool) if filled[code]}
+        store._pool_nonreflexive = nonreflexive_codes
+        return store
+
+
+def cached_column_store(db: Database) -> ColumnStore:
+    """The shared per-database ColumnStore, memoized in the provenance cache.
+
+    Keyed by database identity through the same identity-keyed cache as the
+    provenance kernels, so a long-lived service builds the store once per
+    registered database and shares it across queries (and the cache's spill
+    machinery can page it out cold and re-attach it on the next hit).
+    """
+    from repro.provenance.cache import provenance_cache
+
+    return provenance_cache.get_or_compute(
+        "columnar", db, db, "", lambda: ColumnStore(db)
+    )

@@ -54,6 +54,10 @@ class HypotheticalDeletions:
     ``workers`` sets the default shard count for the batch methods
     (:mod:`repro.parallel`); each batch call may override it.  ``None``/0/1
     keep the serial path.
+
+    ``store`` (a :class:`repro.columnar.store.ColumnStore` over ``db``)
+    routes a cold provenance computation through the vectorized columnar
+    kernels; the resulting oracle is bit-identical either way.
     """
 
     __slots__ = (
@@ -74,13 +78,14 @@ class HypotheticalDeletions:
         use_provenance: bool = True,
         optimizer_level: Optional[int] = None,
         workers: Optional[int] = None,
+        store: "object | None" = None,
     ):
         self._query = query
         self._db = db
         self._plan: CompiledPlan = cached_plan(query, db, optimizer_level)
         if prov is None and use_provenance:
             try:
-                prov = cached_why_provenance(query, db)
+                prov = cached_why_provenance(query, db, store=store)
             except ExponentialGuardError:
                 prov = None  # refused as exponential: compiled-plan fallback
         self._prov = prov

@@ -101,6 +101,32 @@ def _run_chunk_payload(
     return snapshot.destroyed_indices_chunk(masks, 0, len(masks))
 
 
+#: Per-process cache of snapshots attached from flat files, so a worker
+#: answering many chunks of the same snapshot maps the file exactly once.
+#: Bounded: each entry holds only mmap views plus lazily built kernels.
+_ATTACHED: "OrderedDict[str, ShardSnapshot]" = OrderedDict()
+
+_MAX_ATTACHED = 8
+
+
+def _attach_cached(path: str) -> ShardSnapshot:
+    snapshot = _ATTACHED.get(path)
+    if snapshot is None:
+        snapshot = ShardSnapshot.attach_file(path)
+        _ATTACHED[path] = snapshot
+        while len(_ATTACHED) > _MAX_ATTACHED:
+            _ATTACHED.popitem(last=False)
+    else:
+        _ATTACHED.move_to_end(path)
+    return snapshot
+
+
+def _run_chunk_mmap(args: Tuple[str, Sequence]) -> List[Tuple[int, ...]]:
+    """Worker-side: attach the memory-mapped snapshot file, answer a chunk."""
+    path, masks = args
+    return _attach_cached(path).destroyed_indices_chunk(masks, 0, len(masks))
+
+
 def resolve_backend(backend: str, workers: int, total: int) -> str:
     """The concrete backend for an ``"auto"`` (or explicit) request."""
     if backend != "auto":
@@ -264,6 +290,33 @@ class WorkerPool:
             )
         return self._mp_pool.map(_run_chunk_payload, list(tasks))
 
+    def run_mmap(
+        self,
+        tasks: "Sequence[Tuple[str, Sequence]]",
+        force_python: bool = False,
+    ) -> List[List[Tuple[int, ...]]]:
+        """Answer ``(snapshot file path, masks)`` tasks in task order.
+
+        Workers attach the snapshot via ``np.memmap`` (cached per process),
+        so only the path and the chunk's masks travel per task — the
+        snapshot bytes move zero times after the one-time file write.
+        Process pools must be payload pools.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._executor is not None:
+            return list(
+                self._executor.map(
+                    lambda task: _attach_cached(task[0]).destroyed_indices_chunk(
+                        task[1], 0, len(task[1]), force_python=force_python
+                    ),
+                    tasks,
+                )
+            )
+        if self._snapshot is not None:
+            raise RuntimeError("snapshot-bound pools cannot run mmap tasks")
+        return self._mp_pool.map(_run_chunk_mmap, list(tasks))
+
 
 class PoolRegistry:
     """Process-wide cache of live :class:`WorkerPool` objects.
@@ -400,6 +453,7 @@ def sharded_destroyed_indices(
     chunk_size: "int | None" = None,
     force_python: bool = False,
     ship_segments: "bool | None" = None,
+    ship_mmap: bool = False,
 ) -> List[Tuple[int, ...]]:
     """Answer a whole mask vector through sharded execution.
 
@@ -419,6 +473,13 @@ def sharded_destroyed_indices(
     when the process backend would otherwise pickle the full snapshot per
     pool — i.e. on hosts without ``fork``, where the initializer cannot
     ride copy-on-write.
+
+    ``ship_mmap`` (opt-in) writes the snapshot to its flat memory-mapped
+    file once (:meth:`~repro.parallel.shards.ShardSnapshot.mmap_file`) and
+    ships only the *path* per task; workers attach via ``np.memmap`` on a
+    snapshot-less payload pool, so no snapshot bytes are pickled at all —
+    neither per pool nor per task.  It takes precedence over
+    ``ship_segments``.
     """
     total = len(masks)
     if total == 0:
@@ -441,6 +502,13 @@ def sharded_destroyed_indices(
             and "fork" not in multiprocessing.get_all_start_methods()
         )
     )
+    if ship_mmap:
+        ship = False
+
+    mmap_tasks: "List[Tuple[str, List]] | None" = None
+    if ship_mmap:
+        path = snapshot.mmap_file()
+        mmap_tasks = [(path, list(masks[a:b])) for a, b in shards]
 
     tasks: "List[Tuple[ShardSnapshot, List]] | None" = None
     if ship:
@@ -454,12 +522,22 @@ def sharded_destroyed_indices(
             tasks.append(
                 (sub, [sub.rebase_mask(masks[pos]) for pos in range(start, stop)])
             )
-    else:
+    elif not ship_mmap:
         snapshot.prepare(force_python=force_python)
 
     if chosen == "serial" or len(shards) == 1 or workers <= 1:
         out: List[Tuple[int, ...]] = []
-        if tasks is not None:
+        if mmap_tasks is not None:
+            # Attach (once) even in-process, so the serial path exercises
+            # the same flat-file kernel the workers run.
+            attached = _attach_cached(mmap_tasks[0][0])
+            for _path, local in mmap_tasks:
+                out.extend(
+                    attached.destroyed_indices_chunk(
+                        local, 0, len(local), force_python=force_python
+                    )
+                )
+        elif tasks is not None:
             for sub, local in tasks:
                 out.extend(
                     sub.destroyed_indices_chunk(
@@ -485,10 +563,14 @@ def sharded_destroyed_indices(
         pool = _POOLS.get(
             chosen,
             workers,
-            snapshot if chosen == "process" and not ship else None,
+            snapshot
+            if chosen == "process" and not ship and not ship_mmap
+            else None,
         )
         try:
-            if tasks is not None:
+            if mmap_tasks is not None:
+                parts = pool.run_mmap(mmap_tasks, force_python=force_python)
+            elif tasks is not None:
                 parts = pool.run_payload(tasks, force_python=force_python)
             else:
                 parts = pool.run(
@@ -500,7 +582,15 @@ def sharded_destroyed_indices(
                 raise  # a real task error, not a pool-lifecycle race
             continue
     if parts is None:
-        if tasks is not None:
+        if mmap_tasks is not None:
+            attached = _attach_cached(mmap_tasks[0][0])
+            parts = [
+                attached.destroyed_indices_chunk(
+                    local, 0, len(local), force_python=force_python
+                )
+                for _path, local in mmap_tasks
+            ]
+        elif tasks is not None:
             parts = [
                 sub.destroyed_indices_chunk(
                     local, 0, len(local), force_python=force_python

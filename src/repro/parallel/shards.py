@@ -34,6 +34,9 @@ they would only decompose again.
 
 from __future__ import annotations
 
+import os
+import tempfile
+import weakref
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.provenance.interning import iter_bits
@@ -53,6 +56,13 @@ __all__ = ["HAVE_NUMPY", "plan_shards", "ShardSnapshot"]
 
 #: The empty answer, shared so empty-heavy vectors intern for free.
 _EMPTY: Tuple[int, ...] = ()
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 #: A candidate in a mask vector: an int mask, a sequence of bit ids, or a
 #: :class:`~repro.provenance.segmask.SegmentedMask`.
@@ -132,6 +142,10 @@ class ShardSnapshot:
         "_row_map",
         "_seg_rank",
         "_restricted",
+        "_flat_bits",
+        "_mmap_path",
+        "_mmap_finalizer",
+        "__weakref__",
     )
 
     def __init__(
@@ -162,6 +176,11 @@ class ShardSnapshot:
         self._seg_rank = seg_rank
         #: Cache of segment-set -> restricted snapshot (parent side only).
         self._restricted: "Dict[FrozenSet[int], ShardSnapshot] | None" = None
+        #: Flat-file CSR bit arrays (wit_offsets, bit_ids) when attached via
+        #: :meth:`attach_file`; int witness masks materialize lazily from it.
+        self._flat_bits = None
+        self._mmap_path: "str | None" = None
+        self._mmap_finalizer = None
 
     @classmethod
     def from_witnesses(
@@ -174,8 +193,8 @@ class ShardSnapshot:
         return (
             self.rows,
             self.nbits,
-            self._row_offsets,
-            self._wit_masks,
+            list(self._row_offsets),
+            self._masks(),
             self._row_map,
         )
 
@@ -192,6 +211,103 @@ class ShardSnapshot:
         self._wit_segs = None
         self._seg_rank = None
         self._restricted = None
+        self._flat_bits = None
+        self._mmap_path = None
+        self._mmap_finalizer = None
+
+    # ------------------------------------------------------------------
+    # Flat-file (memory-mapped) form
+    # ------------------------------------------------------------------
+    def _masks(self) -> "List[int]":
+        """The int witness masks, materialized from flat arrays on demand."""
+        if self._wit_masks is None:
+            wit_offsets, bit_ids = self._flat_bits
+            masks: List[int] = []
+            for w in range(len(wit_offsets) - 1):
+                mask = 0
+                for bit in bit_ids[wit_offsets[w] : wit_offsets[w + 1]]:
+                    mask |= 1 << int(bit)
+                masks.append(mask)
+            self._wit_masks = masks
+        return self._wit_masks
+
+    def write_file(self, path: str) -> None:
+        """Serialize to the flat container of :mod:`repro.columnar.flatfile`.
+
+        The layout is exactly the CSR the numpy kernel consumes —
+        ``row_offsets`` (row → witness span), ``wit_offsets`` (witness →
+        bit span), and ``bit_ids`` — so :meth:`attach_file` feeds the
+        incidence matrices straight from the memory-mapped arrays without
+        rebuilding big-int masks.
+        """
+        from repro.columnar.flatfile import write_flat
+
+        masks = self._masks()
+        wit_offsets = [0]
+        bit_ids: List[int] = []
+        for mask in masks:
+            bit_ids.extend(iter_bits(mask))
+            wit_offsets.append(len(bit_ids))
+        arrays = {
+            "row_offsets": list(self._row_offsets),
+            "wit_offsets": wit_offsets,
+            "bit_ids": bit_ids,
+        }
+        if self._row_map is not None:
+            arrays["row_map"] = list(self._row_map)
+        meta = {
+            "kind": "shard-snapshot",
+            "nbits": self.nbits,
+            "nrows": len(self.rows),
+        }
+        write_flat(path, meta, arrays)
+
+    @classmethod
+    def attach_file(cls, path: str) -> "ShardSnapshot":
+        """Attach a snapshot written by :meth:`write_file`.
+
+        With numpy available the offset/bit arrays stay memory-mapped: the
+        OS pages them in on first touch and shares the clean pages between
+        every worker attached to the same file.  Row content is never
+        shipped — answers are row *indices* — so :attr:`rows` holds
+        placeholders, exactly like a segment-restricted snapshot.
+        """
+        from repro.columnar.flatfile import read_flat
+
+        meta, arrays, _ = read_flat(path)
+        if meta.get("kind") != "shard-snapshot":
+            raise ValueError(f"{path!r} does not hold a ShardSnapshot")
+        snap = cls.__new__(cls)
+        snap.rows = (None,) * meta["nrows"]
+        snap.nbits = meta["nbits"]
+        snap._row_offsets = arrays["row_offsets"]
+        snap._wit_masks = None  # lazy: _masks() rebuilds from _flat_bits
+        snap._flat_bits = (arrays["wit_offsets"], arrays["bit_ids"])
+        row_map = arrays.get("row_map")
+        snap._row_map = None if row_map is None else tuple(int(i) for i in row_map)
+        snap._touched = None
+        snap._np = None
+        snap._wit_segs = None
+        snap._seg_rank = None
+        snap._restricted = None
+        snap._mmap_path = path
+        snap._mmap_finalizer = None
+        return snap
+
+    def mmap_file(self) -> str:
+        """Path of this snapshot's flat file, writing it once on first use.
+
+        The file lives in the temp directory and is unlinked when the
+        snapshot is garbage collected (workers keep their own attachment;
+        on POSIX the mapping stays valid until they drop it).
+        """
+        if self._mmap_path is None:
+            handle, path = tempfile.mkstemp(prefix="repro-snapshot-", suffix=".flat")
+            os.close(handle)
+            self.write_file(path)
+            self._mmap_path = path
+            self._mmap_finalizer = weakref.finalize(self, _unlink_quietly, path)
+        return self._mmap_path
 
     # ------------------------------------------------------------------
     # Derived structures
@@ -200,7 +316,7 @@ class ShardSnapshot:
         """source bit → ascending indices of rows whose universe has it."""
         if self._touched is None:
             touched: Dict[int, List[int]] = {}
-            offsets, masks = self._row_offsets, self._wit_masks
+            offsets, masks = self._row_offsets, self._masks()
             for i in range(len(self.rows)):
                 universe = 0
                 for mask in masks[offsets[i] : offsets[i + 1]]:
@@ -214,7 +330,7 @@ class ShardSnapshot:
         """Each witness mask in segmented form, aligned with the CSR layout."""
         if self._wit_segs is None:
             from_int = SegmentedMask.from_int
-            self._wit_segs = [from_int(mask) for mask in self._wit_masks]
+            self._wit_segs = [from_int(mask) for mask in self._masks()]
         return self._wit_segs
 
     # ------------------------------------------------------------------
@@ -321,8 +437,30 @@ class ShardSnapshot:
 
     def _numpy_tables(self):
         """(B, R, row_nwit): witness×bit and row×witness incidence matrices."""
+        if self._np is None and self._flat_bits is not None:
+            # Attached snapshot: the flat arrays *are* the CSR layout, so the
+            # incidence matrices assemble directly from the memory-mapped
+            # file with no big-int masks in between.
+            wit_offsets = _np.asarray(self._flat_bits[0], dtype=_np.int64)
+            bit_ids = _np.asarray(self._flat_bits[1], dtype=_np.int64)
+            row_offsets = _np.asarray(self._row_offsets, dtype=_np.int64)
+            nwit = len(wit_offsets) - 1
+            wit_ids = _np.repeat(_np.arange(nwit), _np.diff(wit_offsets))
+            wit_row = _np.repeat(
+                _np.arange(len(self.rows)), _np.diff(row_offsets)
+            )
+            B = _sparse.csr_matrix(
+                (_np.ones(bit_ids.size, dtype=_np.int32), (wit_ids, bit_ids)),
+                shape=(nwit, self.nbits),
+            )
+            R = _sparse.csr_matrix(
+                (_np.ones(nwit, dtype=_np.int32), (wit_row, _np.arange(nwit))),
+                shape=(len(self.rows), nwit),
+            )
+            row_nwit = _np.diff(row_offsets)
+            self._np = (B, R, row_nwit.astype(_np.int32))
         if self._np is None:
-            offsets, masks = self._row_offsets, self._wit_masks
+            offsets, masks = self._row_offsets, self._masks()
             wit_ids: List[int] = []
             bit_ids: List[int] = []
             wit_row: List[int] = []
@@ -399,7 +537,7 @@ class ShardSnapshot:
         self, masks: Sequence[MaskLike], start: int, stop: int
     ) -> List[Tuple[int, ...]]:
         touched = self._touched_index()
-        offsets, wit_masks = self._row_offsets, self._wit_masks
+        offsets, wit_masks = self._row_offsets, self._masks()
         interned: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         out: List[Tuple[int, ...]] = []
         for pos in range(start, stop):
@@ -521,7 +659,12 @@ class ShardSnapshot:
         return len(self.rows)
 
     def __repr__(self) -> str:
+        witnesses = (
+            len(self._wit_masks)
+            if self._wit_masks is not None
+            else len(self._flat_bits[0]) - 1
+        )
         return (
             f"ShardSnapshot({len(self.rows)} rows, "
-            f"{len(self._wit_masks)} witnesses, {self.nbits} bits)"
+            f"{witnesses} witnesses, {self.nbits} bits)"
         )

@@ -101,7 +101,10 @@ def minimize_masks(masks: "Set[int] | Iterable[int]") -> MaskWitnesses:
         masks = set(masks)
     if len(masks) <= 1:
         return tuple(masks)
-    ordered = sorted(masks, key=popcount)
+    # The mask value breaks popcount ties so the output tuple is a pure
+    # function of the mask *set* — executors that build the same witness
+    # sets in a different order (tuple vs columnar) emit identical tuples.
+    ordered = sorted(masks, key=lambda mask: (popcount(mask), mask))
     kept: List[int] = []
     if len(ordered) <= 16:
         for mask in ordered:
@@ -567,6 +570,7 @@ def bitset_why_provenance(
     index: "SourceIndex | None" = None,
     plan: "CompiledPlan | None" = None,
     optimizer_level: "int | None" = None,
+    store: "object | None" = None,
 ) -> BitsetProvenance:
     """Annotated evaluation of ``query`` over ``db``, natively on bitmasks.
 
@@ -581,10 +585,23 @@ def bitset_why_provenance(
     library default).  Witness masks are invariant under the optimizer's
     rewrites — given the same ``index``, an optimized and an unoptimized
     plan produce identical masks (pinned by the soundness property tests).
+
+    ``store`` (a :class:`repro.columnar.store.ColumnStore` built over this
+    exact ``db`` object) routes the annotated evaluation through the
+    vectorized columnar kernels
+    (:meth:`~repro.algebra.plan.CompiledPlan.annotated_rows_columnar`).
+    A store over a different database object is ignored.  When no ``index``
+    is supplied the store's own interning table is adopted, so its row-id
+    vectors translate to witness bits without re-interning.
     """
+    if store is not None and not store.matches(db):
+        store = None
     if index is None:
-        index = SourceIndex()
+        index = store.index if store is not None else SourceIndex()
     if plan is None:
         plan = cached_plan(query, db, optimizer_level)
-    table = plan.annotated_rows(db, index)
+    if store is not None:
+        table = plan.annotated_rows_columnar(store, index)
+    else:
+        table = plan.annotated_rows(db, index)
     return BitsetProvenance(plan.schema, table, index, view_name)

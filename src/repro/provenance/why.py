@@ -256,16 +256,20 @@ def why_provenance(
     db: Database,
     view_name: str = DEFAULT_VIEW_NAME,
     engine: str = "bitset",
+    store: "object | None" = None,
 ) -> WhyProvenance:
     """Evaluate ``query`` over ``db`` carrying minimal-witness annotations.
 
     Returns a :class:`WhyProvenance` for the whole view.  ``engine`` selects
     the evaluator: ``"bitset"`` (default) runs on the integer-bitmask kernel;
     ``"legacy"`` runs the original frozenset evaluator — kept as the oracle
-    for the equivalence tests and the old-vs-new benchmarks.
+    for the equivalence tests and the old-vs-new benchmarks.  ``store`` (a
+    :class:`repro.columnar.store.ColumnStore` over this exact ``db``) lets
+    the bitset engine run the annotated evaluation on the columnar kernels;
+    the resulting witness table is bit-identical either way.
     """
     if engine == "bitset":
-        kernel = bitset_why_provenance(query, db, view_name)
+        kernel = bitset_why_provenance(query, db, view_name, store=store)
         return WhyProvenance.from_kernel(kernel)
     if engine == "legacy":
         schema, table = _eval(query, db)

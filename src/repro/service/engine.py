@@ -38,10 +38,13 @@ from repro.algebra.ast import Query
 from repro.algebra.evaluate import evaluate
 from repro.algebra.parser import parse_query
 from repro.algebra.relation import Database, Row
+from repro.columnar import cached_column_store, using_numpy
+from repro.columnar.store import ColumnStore
 from repro.deletion.api import delete_view_tuple, minimum_source_deletion
 from repro.deletion.hypothetical import HypotheticalDeletions
 from repro.parallel.executor import close_pools, pool_registry
 from repro.provenance.cache import (
+    cached_plan,
     cached_where_provenance,
     cached_why_provenance,
     provenance_cache,
@@ -83,6 +86,16 @@ class ServiceEngine:
     the cache (like the worker-pool registry) is shared by every engine
     and library caller in the process, so it persists after this engine
     closes, and when several engines set bounds the last constructor wins.
+    ``cache_spill_dir`` additionally lets byte-bound evictions page
+    spillable values (the per-database column stores) out to disk and
+    re-attach them on the next miss instead of rebuilding.
+
+    ``use_columnar`` routes evaluation and cold provenance builds through
+    the columnar substrate (:mod:`repro.columnar`): each registered
+    database gets one :class:`~repro.columnar.store.ColumnStore`, built on
+    first touch through the shared cache and reused by every query over
+    that snapshot.  ``None`` (the default) enables it exactly when numpy
+    is available; answers are bit-identical either way.
 
     Use as a context manager, or call :meth:`close` when done: it drops
     the warm state and releases the **process-wide** persistent worker
@@ -98,6 +111,8 @@ class ServiceEngine:
         optimizer_level: Optional[int] = None,
         cache_entries: Optional[int] = None,
         cache_bytes: Optional[int] = None,
+        cache_spill_dir: Optional[str] = None,
+        use_columnar: Optional[bool] = None,
     ):
         self._lock = threading.RLock()
         self._databases: Dict[str, Database] = {}
@@ -107,6 +122,7 @@ class ServiceEngine:
         self._oracles: Dict[Tuple[str, str], HypotheticalDeletions] = {}
         self._workers = workers
         self._optimizer_level = optimizer_level
+        self._use_columnar = using_numpy() if use_columnar is None else use_columnar
         self._closed = False
         self._counters = {
             "requests": 0,
@@ -115,10 +131,15 @@ class ServiceEngine:
             "batched_candidates": 0,
             "deduped_candidates": 0,
         }
-        if cache_entries is not None or cache_bytes is not None:
+        if (
+            cache_entries is not None
+            or cache_bytes is not None
+            or cache_spill_dir is not None
+        ):
             provenance_cache.set_capacity(
                 maxsize=cache_entries,
                 max_bytes=cache_bytes if cache_bytes is not None else ...,
+                spill_dir=cache_spill_dir if cache_spill_dir is not None else ...,
             )
         for name, db in (databases or {}).items():
             self.register_database(name, db)
@@ -177,6 +198,18 @@ class ServiceEngine:
             self._check_open()
             self._queries[text] = query
 
+    def _column_store(self, db: Database) -> "ColumnStore | None":
+        """The shared columnar lowering of ``db``, or None when disabled.
+
+        Built once per registered database snapshot through the shared
+        provenance cache (identity-keyed, in-flight-deduplicated), so
+        every query over the same snapshot scans the same encoded
+        columns.
+        """
+        if not self._use_columnar:
+            return None
+        return cached_column_store(db)
+
     def oracle(self, database: str, query_text: str) -> HypotheticalDeletions:
         """The warm per-(database, query) oracle, built on first touch.
 
@@ -199,6 +232,7 @@ class ServiceEngine:
             db,
             optimizer_level=self._optimizer_level,
             workers=self._workers,
+            store=self._column_store(db),
         )
         with self._lock:
             self._check_open()
@@ -243,14 +277,23 @@ class ServiceEngine:
     def _evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
         query = self.query(request.query)
         db = self.database(request.database)
+        store = self._column_store(db)
+        if store is not None:
+            plan = cached_plan(query, db, self._optimizer_level)
+            return EvaluateResponse(
+                schema=plan.schema.attributes,
+                rows=_sorted_rows(plan.rows_columnar(store)),
+            )
         view = evaluate(query, db)
         return EvaluateResponse(
             schema=view.schema.attributes, rows=_sorted_rows(view.rows)
         )
 
     def _why(self, request: WhyRequest) -> WhyResponse:
+        query = self.query(request.query)
+        db = self.database(request.database)
         prov = cached_why_provenance(
-            self.query(request.query), self.database(request.database)
+            query, db, store=self._column_store(db)
         )
         witnesses = prov.witnesses(request.row)
         return WhyResponse(
@@ -356,6 +399,7 @@ class ServiceEngine:
             counters = dict(self._counters)
             counters["databases"] = len(self._databases)
             counters["warm_oracles"] = len(self._oracles)
+            counters["columnar"] = self._use_columnar
         counters["cache"] = provenance_cache.stats()
         counters["pools"] = pool_registry().stats()
         return counters

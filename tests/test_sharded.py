@@ -369,7 +369,11 @@ class TestCacheCounters:
             "size": 0,
             "evictions": 0,
             "approx_bytes": 0,
+            "bytes_high_water": 0,
             "max_bytes": None,
+            "spills": 0,
+            "spill_attaches": 0,
+            "spilled_entries": 0,
             "plan_hits": 0,
             "plan_misses": 0,
             "plan_size": 0,
