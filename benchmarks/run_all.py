@@ -12,9 +12,10 @@ Three modes:
   cliff tripping an assertion) surface without paying full benchmark cost.
 * ``python benchmarks/run_all.py --compare BASELINE.json`` — the CI perf
   gate: regenerate the tracked plan/optimizer/sharded/segmask/columnar/
-  service medians into a scratch file (``bench_plan_compile.py`` +
+  witness/service medians into a scratch file (``bench_plan_compile.py`` +
   ``bench_optimizer.py`` + ``bench_sharded.py`` + ``bench_segmask.py`` +
-  ``bench_columnar.py`` + ``bench_service.py``), then fail if any tracked
+  ``bench_columnar.py`` + ``bench_witness.py`` + ``bench_service.py``),
+  then fail if any tracked
   median regressed more than 25% against the committed baseline (normally
   the repository's ``BENCH_plan.json``).  Most medians are speedup
   *ratios* measured baseline-vs-new on the same machine, so they transfer
@@ -65,6 +66,7 @@ TRACKED_MEDIANS = (
     "sharded.median_speedup_workers4",
     "segmask.median_speedup",
     "columnar.median_speedup",
+    "witness.median_speedup",
     "service.median_speedup_batched",
     "service.median_throughput_batched",
 )
@@ -161,6 +163,7 @@ def run_compare(baseline_path: str) -> int:
             "bench_sharded.py",
             "bench_segmask.py",
             "bench_columnar.py",
+            "bench_witness.py",
             "bench_service.py",
         ):
             code = subprocess.call(

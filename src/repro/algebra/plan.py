@@ -781,6 +781,18 @@ class CompiledPlan:
 
         return columnar_annotated(self, store, index)
 
+    def annotated_table_columnar(self, store, index):
+        """The annotated evaluation over a ColumnStore as a CSR table.
+
+        Returns a :class:`repro.provenance.witness_table.WitnessTable` —
+        the array form the bitset kernel consumes directly; its
+        ``to_masks()`` view equals :meth:`annotated_rows` under a shared
+        ``index``.
+        """
+        from repro.columnar.kernels import columnar_annotated_table
+
+        return columnar_annotated_table(self, store, index)
+
     # -- witness-annotated semantics ----------------------------------
     def annotated_rows(self, db: Database, index) -> Dict[Row, MaskWitnesses]:
         """row → minimal witness bitmasks over ``index`` (a SourceIndex).

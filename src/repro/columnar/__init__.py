@@ -6,7 +6,11 @@ them, and :mod:`repro.columnar.flatfile` is the memory-mappable on-disk
 format shared with snapshot shipping and cache spill.
 """
 
-from repro.columnar.kernels import columnar_annotated, columnar_rows
+from repro.columnar.kernels import (
+    columnar_annotated,
+    columnar_annotated_table,
+    columnar_rows,
+)
 from repro.columnar.store import (
     HAVE_NUMPY,
     ColumnStore,
@@ -25,4 +29,5 @@ __all__ = [
     "cached_column_store",
     "columnar_rows",
     "columnar_annotated",
+    "columnar_annotated_table",
 ]

@@ -3,8 +3,12 @@
 This is the on-disk substrate shared by the zero-copy paths of the columnar
 layer: :meth:`repro.parallel.shards.ShardSnapshot.write_file` serializes a
 witness snapshot into it so pool workers can attach via ``np.memmap``
-instead of unpickling, and :meth:`repro.columnar.store.ColumnStore.spill_save`
-spills cold cache entries into the same format for cheap re-attach.
+instead of unpickling, :meth:`repro.columnar.store.ColumnStore.spill_save`
+spills cold cache entries into the same format for cheap re-attach, and
+:meth:`repro.provenance.witness_table.WitnessTable.write_file` ships the
+CSR witness arrays themselves — a CSR-built snapshot writes those arrays
+verbatim, so the whole annotate → snapshot → mmap-attach pipeline moves
+witnesses without ever re-encoding them through big-int masks.
 
 Layout (all integers little-endian)::
 

@@ -10,9 +10,12 @@ execute it over the dictionary-encoded columns of a
 * Hash joins build and probe on encoded key columns (stable argsort +
   searchsorted run expansion; codes are exact join keys because code
   equality is value equality).
-* Witness annotation emits ``1 << row_id`` masks straight from the row-id
-  vector; rows decode back to Python tuples only at the frozenset API
-  boundary.
+* Witness annotation *stays in arrays*: scan witnesses are the row-id
+  vectors themselves, Project/Union group-merge and HashJoin witness
+  products run as sort/repeat/offset kernels over a padded bit matrix
+  (:class:`_WitMat`), and the result crosses the API boundary as a CSR
+  :class:`~repro.provenance.witness_table.WitnessTable` — per-row Python
+  big-int masks exist only in the lazy compatibility view.
 
 Exactness discipline: the vectorizer never *raises* and never *guesses* —
 any predicate shape whose vectorized result could diverge from the tuple
@@ -57,7 +60,7 @@ from repro.columnar.store import FLOAT_EXACT_MAX, HAVE_NUMPY, ColumnStore, Relat
 if HAVE_NUMPY:
     import numpy as _np
 
-__all__ = ["columnar_rows", "columnar_annotated"]
+__all__ = ["columnar_rows", "columnar_annotated", "columnar_annotated_table"]
 
 FALLBACK = object()  # sentinel: predicate not vectorizable, use the bound closure
 
@@ -79,7 +82,8 @@ class _Batch:
         self.cols = cols
         self.n = n
         self.base = base
-        self.wits = wits  # annotated mode: list of witness-mask tuples per row
+        # annotated mode: a _WitMat (numpy) or list of mask tuples (python)
+        self.wits = wits
 
 
 def _as_root(plan_or_node) -> PlanNode:
@@ -100,14 +104,32 @@ def columnar_annotated(plan_or_node, store: ColumnStore, index) -> "Dict[Row, tu
     """Annotated table ``{row: minimized witness-mask tuple}`` over ``store``.
 
     Bit-identical to ``plan.annotated_rows(db, index)`` when ``index`` is
-    shared; when ``index`` *is* the store's own index the ``1 << id`` scan
-    masks come straight from the row-id vectors with no interning calls.
+    shared.  The dict of int masks is the *compatibility* form — it is the
+    CSR table's lazy mask view; callers that can stay in arrays should use
+    :func:`columnar_annotated_table`.
     """
+    return columnar_annotated_table(plan_or_node, store, index).to_masks()
+
+
+def columnar_annotated_table(plan_or_node, store: ColumnStore, index):
+    """Annotated evaluation over ``store`` as a CSR ``WitnessTable``.
+
+    The numpy path never materializes a witness as a Python int: witnesses
+    travel through the operator tree as the padded bit matrix of
+    :class:`_WitMat` and land in the table's flat offset/bit arrays.  The
+    pure-Python path runs the tuple-of-masks executor and converts — the
+    bit-identical fallback (same rows, same canonical witness order).
+    """
+    from repro.provenance.witness_table import WitnessTable
+
     root = _as_root(plan_or_node)
     py = not store.backed_by_numpy
     batch = _annotated(root, store, index, py)
     rows = _decode(batch, store, py)
-    return dict(zip(rows, batch.wits))
+    if py:
+        return WitnessTable.from_masks(dict(zip(rows, batch.wits)))
+    wits = batch.wits
+    return WitnessTable.from_padded(rows, wits.row_offsets, wits.bits, wits.lens)
 
 
 # -- shared helpers ---------------------------------------------------------
@@ -613,17 +635,21 @@ def _minimize():
 
 
 def _scan_ids(node, columns, kept, store, index, py):
-    """SourceIndex ids of the kept base rows, honoring the caller's index."""
-    if index is store.index:
-        ids = columns.row_ids if kept is None else _take(columns.row_ids, kept, py)
-        return ids if py else ids.tolist()
-    name = node.name
-    rows = columns.rows
+    """SourceIndex ids of the kept base rows, honoring the caller's index.
+
+    Under a foreign index the whole scan is interned in one batch (and the
+    id vector cached per ``(store, index, relation)`` by
+    :meth:`ColumnStore.foreign_row_ids`) instead of re-interning
+    ``(name, row)`` one row at a time on every evaluation.
+    """
+    ids = (
+        columns.row_ids
+        if index is store.index
+        else store.foreign_row_ids(node.name, index)
+    )
     if kept is None:
-        return [index.intern((name, row)) for row in rows]
-    if not py:
-        kept = kept.tolist()
-    return [index.intern((name, rows[i])) for i in kept]
+        return ids
+    return _take(ids, kept, py)
 
 
 def _group_wits(inverse, n_groups, wits, py):
@@ -637,12 +663,236 @@ def _group_wits(inverse, n_groups, wits, py):
     return [minimize(masks) for masks in groups]
 
 
+# -- array-native witness kernels (numpy mode) ------------------------------
+
+
+class _WitMat:
+    """Witness sets of a batch as arrays (the numpy annotated carrier).
+
+    ``row_offsets`` (``n + 1``) maps batch row ``i`` to the witness span
+    ``[row_offsets[i], row_offsets[i+1])``; ``bits`` is ``(nwits, width)``
+    int64 with each witness's source-id bits sorted **descending** and
+    ``-1`` padding on the right; ``lens`` counts the real bits.  Width is
+    bounded by the number of scan leaves of the plan, so the dense padding
+    stays small.
+
+    Invariant (kept by every kernel): each row's span is exactly what
+    ``minimize_masks`` would return for its witness set — deduplicated,
+    inclusion-minimal, sorted by ``(popcount, mask value)``.  Descending
+    bit order makes lexicographic row comparison equal to int-mask value
+    comparison among equal-length witnesses, which is what lets the sort
+    kernels reproduce the tuple executor's canonical order without ever
+    building the ints.
+    """
+
+    __slots__ = ("row_offsets", "bits", "lens")
+
+    def __init__(self, row_offsets, bits, lens):
+        self.row_offsets = row_offsets
+        self.bits = bits
+        self.lens = lens
+
+
+def _wit_scan(ids) -> _WitMat:
+    """One single-bit witness per scanned row: the id vector, as-is."""
+    n = ids.shape[0]
+    return _WitMat(
+        _np.arange(n + 1, dtype=_np.int64),
+        _np.ascontiguousarray(ids, dtype=_np.int64).reshape(n, 1),
+        _np.ones(n, dtype=_np.int64),
+    )
+
+
+def _expand_spans(starts, counts):
+    """Flat indices covering ``[starts[i], starts[i] + counts[i])`` runs."""
+    total = int(counts.sum())
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64)
+    run_start = _np.repeat(_np.cumsum(counts) - counts, counts)
+    return _np.repeat(starts, counts) + (
+        _np.arange(total, dtype=_np.int64) - run_start
+    )
+
+
+def _wit_take(wits: _WitMat, idx) -> _WitMat:
+    """Witness spans of the selected batch rows, in selection order."""
+    starts = wits.row_offsets[idx]
+    counts = wits.row_offsets[idx + 1] - starts
+    sel = _expand_spans(starts, counts)
+    offsets = _np.zeros(len(idx) + 1, dtype=_np.int64)
+    _np.cumsum(counts, out=offsets[1:])
+    return _WitMat(offsets, wits.bits[sel], wits.lens[sel])
+
+
+def _pad_width(bits, width):
+    if bits.shape[1] == width:
+        return bits
+    pad = _np.full((bits.shape[0], width - bits.shape[1]), -1, dtype=_np.int64)
+    return _np.concatenate([bits, pad], axis=1)
+
+
+def _wit_concat(a: _WitMat, b: _WitMat) -> _WitMat:
+    """Stack two batches' witnesses (rows of ``a`` then rows of ``b``)."""
+    width = max(a.bits.shape[1], b.bits.shape[1])
+    return _WitMat(
+        _np.concatenate([a.row_offsets, a.row_offsets[-1] + b.row_offsets[1:]]),
+        _np.concatenate([_pad_width(a.bits, width), _pad_width(b.bits, width)]),
+        _np.concatenate([a.lens, b.lens]),
+    )
+
+
+def _wit_group(wits: _WitMat, inverse, n_groups, minimize) -> _WitMat:
+    """Re-target each witness to its row's output group and re-canonicalize.
+
+    The tuple path merges the group's witness *sets* and minimizes; here
+    the merge is just relabeling each witness with ``inverse[row]`` — the
+    canonical sort/dedup/absorb pass does the rest.
+    """
+    counts = _np.diff(wits.row_offsets)
+    wit_row = _np.repeat(_np.arange(counts.shape[0], dtype=_np.int64), counts)
+    targets = _np.asarray(inverse, dtype=_np.int64)[wit_row]
+    return _wit_canonical(targets, wits.bits, wits.lens, n_groups, minimize)
+
+
+def _wit_join(lwits: _WitMat, rwits: _WitMat, l_idx, r_idx, minimize) -> _WitMat:
+    """Per-pair witness products: every (left witness, right witness) union.
+
+    The product is laid out by repeating/offsetting the two sides' witness
+    runs; each product's bit union is the sorted concatenation of the two
+    padded rows with duplicate bits knocked out (self-joins intern the same
+    source ids on both sides).  Join outputs are duplicate-free, so the
+    canonical pass per *pair* matches the tuple path's per-pair
+    ``minimize({lm | rm ...})`` exactly.
+    """
+    npairs = l_idx.shape[0]
+    lcnt = _np.diff(lwits.row_offsets)
+    rcnt = _np.diff(rwits.row_offsets)
+    cl = lcnt[l_idx]
+    cr = rcnt[r_idx]
+    products = cl * cr
+    total = int(products.sum())
+    width = max(lwits.bits.shape[1] + rwits.bits.shape[1], 1)
+    if total == 0:
+        return _WitMat(
+            _np.zeros(npairs + 1, dtype=_np.int64),
+            _np.empty((0, width), dtype=_np.int64),
+            _np.empty(0, dtype=_np.int64),
+        )
+    run_start = _np.repeat(_np.cumsum(products) - products, products)
+    t = _np.arange(total, dtype=_np.int64) - run_start
+    cr_rep = _np.repeat(cr, products)
+    l_wit = _np.repeat(lwits.row_offsets[l_idx], products) + t // cr_rep
+    r_wit = _np.repeat(rwits.row_offsets[r_idx], products) + t % cr_rep
+    merged = _np.concatenate([lwits.bits[l_wit], rwits.bits[r_wit]], axis=1)
+    merged = _np.sort(merged, axis=1)[:, ::-1]  # descending, -1 pads last
+    if merged.shape[1] > 1:
+        dup = (merged[:, 1:] == merged[:, :-1]) & (merged[:, 1:] != -1)
+        if dup.any():
+            merged[:, 1:][dup] = -1
+            merged = _np.sort(merged, axis=1)[:, ::-1]
+    merged = _np.ascontiguousarray(merged)
+    lens = (merged != -1).sum(axis=1).astype(_np.int64)
+    pair_ids = _np.repeat(_np.arange(npairs, dtype=_np.int64), products)
+    return _wit_canonical(pair_ids, merged, lens, npairs, minimize)
+
+
+def _bits_desc(mask: int) -> "List[int]":
+    """Descending set-bit ids of an int mask."""
+    from repro.provenance.interning import iter_bits
+
+    out = list(iter_bits(mask))
+    out.reverse()
+    return out
+
+
+def _wit_canonical(row_ids, bits, lens, n_rows, minimize) -> _WitMat:
+    """Sort/dedup witnesses per row into ``minimize_masks`` canonical order.
+
+    One lexsort on ``(row, len, descending bits)`` yields, per row, the
+    deduplicable ``(popcount, mask value)`` order.  Rows whose witnesses
+    all share one length are finished by the adjacent-duplicate knockout —
+    equal popcounts can only absorb when equal, so dedup *is* minimization
+    there.  Only rows mixing witness lengths (possible after joins with
+    overlapping sides, or unions of different-depth branches) can have
+    proper subsets; those few fall back to the exact ``minimize_masks`` on
+    small per-witness ints and are spliced back in.
+    """
+    nwit = bits.shape[0]
+    offsets = _np.zeros(n_rows + 1, dtype=_np.int64)
+    if nwit == 0:
+        return _WitMat(offsets, bits.reshape(0, max(bits.shape[1], 1)), lens)
+    width = bits.shape[1]
+    keys = tuple(bits[:, j] for j in range(width - 1, -1, -1)) + (lens, row_ids)
+    order = _np.lexsort(keys)
+    row_s = _np.asarray(row_ids, dtype=_np.int64)[order]
+    len_s = lens[order]
+    bit_s = bits[order]
+    if nwit > 1:
+        dup = (row_s[1:] == row_s[:-1]) & (bit_s[1:] == bit_s[:-1]).all(axis=1)
+        if dup.any():
+            keep = _np.concatenate(([True], ~dup))
+            row_s = row_s[keep]
+            len_s = len_s[keep]
+            bit_s = bit_s[keep]
+    counts = _np.bincount(row_s, minlength=n_rows)
+    _np.cumsum(counts, out=offsets[1:])
+    starts = offsets[:-1]
+    ends = offsets[1:]
+    nonempty = counts > 0
+    first_len = _np.zeros(n_rows, dtype=_np.int64)
+    last_len = _np.zeros(n_rows, dtype=_np.int64)
+    first_len[nonempty] = len_s[starts[nonempty]]
+    last_len[nonempty] = len_s[ends[nonempty] - 1]
+    mixed = _np.flatnonzero(first_len != last_len)
+    if mixed.shape[0] == 0:
+        new_width = max(int(len_s.max()) if len_s.shape[0] else 1, 1)
+        return _WitMat(offsets, bit_s[:, :new_width], len_s)
+    # Exact minimization for the (rare) rows with mixed witness lengths.
+    keep_wit = _np.ones(row_s.shape[0], dtype=bool)
+    rep_rows: "List[int]" = []
+    rep_bits: "List[List[int]]" = []
+    rep_lens: "List[int]" = []
+    for r in mixed.tolist():
+        span_start, span_end = int(offsets[r]), int(offsets[r + 1])
+        masks = set()
+        for w in range(span_start, span_end):
+            mask = 0
+            for bit in bit_s[w, : int(len_s[w])].tolist():
+                mask |= 1 << bit
+            masks.add(mask)
+        keep_wit[span_start:span_end] = False
+        for mask in minimize(masks):
+            ids = _bits_desc(mask)
+            rep_rows.append(r)
+            rep_bits.append(ids + [-1] * (width - len(ids)))
+            rep_lens.append(len(ids))
+    row_f = _np.concatenate([row_s[keep_wit], _np.asarray(rep_rows, dtype=_np.int64)])
+    bit_f = _np.concatenate(
+        [bit_s[keep_wit], _np.asarray(rep_bits, dtype=_np.int64).reshape(-1, width)]
+    )
+    len_f = _np.concatenate([len_s[keep_wit], _np.asarray(rep_lens, dtype=_np.int64)])
+    # Mixed rows keep no survivors, so a stable row sort leaves each row's
+    # replacement block — already in canonical order — intact.
+    order2 = _np.argsort(row_f, kind="stable")
+    row_g = row_f[order2]
+    bit_g = bit_f[order2]
+    len_g = len_f[order2]
+    counts = _np.bincount(row_g, minlength=n_rows)
+    offsets = _np.zeros(n_rows + 1, dtype=_np.int64)
+    _np.cumsum(counts, out=offsets[1:])
+    new_width = max(int(len_g.max()) if len_g.shape[0] else 1, 1)
+    return _WitMat(offsets, bit_g[:, :new_width], len_g)
+
+
 def _annotated(node: PlanNode, store: ColumnStore, index, py: bool) -> _Batch:
     if isinstance(node, ScanOp):
         columns = _scan_columns(node, store)
         kept = _scan_kept(node, columns, store, py)
         ids = _scan_ids(node, columns, kept, store, index, py)
-        wits = [(1 << int(bit),) for bit in ids]
+        if py:
+            wits = [(1 << int(bit),) for bit in ids]
+        else:
+            wits = _wit_scan(ids)
         if node.columns is None:
             cols = _gather(columns.codes, kept, py)
             n = columns.n if kept is None else len(kept)
@@ -653,7 +903,10 @@ def _annotated(node: PlanNode, store: ColumnStore, index, py: bool) -> _Batch:
         n = columns.n if kept is None else len(kept)
         cols, n_out, inverse = _unique(cols, n, py)
         batch = _Batch(cols, n_out)
-        batch.wits = _group_wits(inverse, n_out, wits, py)
+        if py:
+            batch.wits = _group_wits(inverse, n_out, wits, py)
+        else:
+            batch.wits = _wit_group(wits, inverse, n_out, _minimize())
         return batch
     if isinstance(node, FilterOp):
         child = _annotated(node.child, store, index, py)
@@ -665,15 +918,20 @@ def _annotated(node: PlanNode, store: ColumnStore, index, py: bool) -> _Batch:
             columns, kept = child.base
             base = (columns, _take(_indices(kept, columns.n, py), keep, py))
         batch = _Batch(_gather(child.cols, keep, py), len(keep), base)
-        keep_list = keep if py else keep.tolist()
-        batch.wits = [child.wits[i] for i in keep_list]
+        if py:
+            batch.wits = [child.wits[i] for i in keep]
+        else:
+            batch.wits = _wit_take(child.wits, keep)
         return batch
     if isinstance(node, ProjectOp):
         child = _annotated(node.child, store, index, py)
         cols = [child.cols[p] for p in node.positions]
         cols, n, inverse = _unique(cols, child.n, py)
         batch = _Batch(cols, n)
-        batch.wits = _group_wits(inverse, n, child.wits, py)
+        if py:
+            batch.wits = _group_wits(inverse, n, child.wits, py)
+        else:
+            batch.wits = _wit_group(child.wits, inverse, n, _minimize())
         return batch
     if isinstance(node, HashJoinOp):
         left = _annotated(node.left, store, index, py)
@@ -690,15 +948,28 @@ def _annotated(node: PlanNode, store: ColumnStore, index, py: bool) -> _Batch:
         minimize = _minimize()
         lwits = left.wits
         rwits = right.wits
+        if not py:
+            batch = _Batch(cols, l_idx.shape[0])
+            batch.wits = _wit_join(lwits, rwits, l_idx, r_idx, minimize)
+            return batch
+        # Witness tuples are shared objects (filters/joins pass them through
+        # unchanged), so distinct (left, right) identity pairs repeat across
+        # output pairs; memoizing the minimized product per identity pair
+        # avoids recomputing the same set algebra row by row.
+        memo: "Dict[Tuple[int, int], tuple]" = {}
         wits = []
-        pairs = zip(l_idx, r_idx) if py else zip(l_idx.tolist(), r_idx.tolist())
-        for li, ri in pairs:
+        for li, ri in zip(l_idx, r_idx):
             lw = lwits[li]
             rw = rwits[ri]
-            if len(lw) == 1 and len(rw) == 1:
-                wits.append(minimize({lw[0] | rw[0]}))
-            else:
-                wits.append(minimize({lm | rm for lm in lw for rm in rw}))
+            key = (id(lw), id(rw))
+            merged = memo.get(key)
+            if merged is None:
+                if len(lw) == 1 and len(rw) == 1:
+                    merged = minimize({lw[0] | rw[0]})
+                else:
+                    merged = minimize({lm | rm for lm in lw for rm in rw})
+                memo[key] = merged
+            wits.append(merged)
         batch = _Batch(cols, len(wits))
         batch.wits = wits
         return batch
@@ -716,7 +987,12 @@ def _annotated(node: PlanNode, store: ColumnStore, index, py: bool) -> _Batch:
             ]
         cols, n, inverse = _unique(cols, left.n + right.n, py)
         batch = _Batch(cols, n)
-        batch.wits = _group_wits(inverse, n, left.wits + right.wits, py)
+        if py:
+            batch.wits = _group_wits(inverse, n, left.wits + right.wits, py)
+        else:
+            batch.wits = _wit_group(
+                _wit_concat(left.wits, right.wits), inverse, n, _minimize()
+            )
         return batch
     if isinstance(node, RenameOp):
         return _annotated(node.child, store, index, py)

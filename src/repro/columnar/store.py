@@ -160,6 +160,7 @@ class ColumnStore:
         "_pool_nonreflexive",
         "_pool_obj",
         "_numpy",
+        "_foreign_ids",
     )
 
     def __init__(self, db: Database, index: "Optional[SourceIndex]" = None):
@@ -174,6 +175,7 @@ class ColumnStore:
         self._code_of: Dict[object, int] = {}
         self._pool_nonreflexive: set = set()
         self._pool_obj = None
+        self._foreign_ids: Dict[tuple, tuple] = {}
         self._relations: Dict[str, RelationColumns] = {}
         for name in db:
             self._lower_relation(name, db[name])
@@ -258,6 +260,27 @@ class ColumnStore:
     def code_nonreflexive(self, code: int) -> bool:
         return code in self._pool_nonreflexive
 
+    def foreign_row_ids(self, name: str, index):
+        """Row ids of ``name`` under a *foreign* ``SourceIndex``, batch-interned.
+
+        Evaluating under an index the store does not own (a caller-shared
+        interner) used to re-intern ``(name, row)`` one row at a time on
+        every annotated evaluation; here the whole relation is interned once
+        and the id vector cached per ``(index, relation)``.  The cache entry
+        pins the index object so identity-keyed hits can never alias a
+        different interner that reused the same id().
+        """
+        key = (id(index), name)
+        hit = self._foreign_ids.get(key)
+        if hit is not None and hit[0] is index:
+            return hit[1]
+        columns = self.relation_columns(name)
+        intern = index.intern
+        row_ids = [intern((name, row)) for row in columns.rows]
+        ids = _np.asarray(row_ids, dtype=_np.int64) if self._numpy else row_ids
+        self._foreign_ids[key] = (index, ids)
+        return ids
+
     def pool_array(self):
         """The value pool as an object ndarray (numpy stores only; cached)."""
         if self._pool_obj is None:
@@ -339,6 +362,7 @@ class ColumnStore:
         store._own_index = True
         store._numpy = using_numpy()
         store._pool_obj = None
+        store._foreign_ids = {}
         store._relations = {}
         for entry in meta["relations"]:
             name = entry["name"]

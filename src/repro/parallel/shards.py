@@ -189,29 +189,72 @@ class ShardSnapshot:
         """Snapshot a kernel's row → witness-mask table (insertion order)."""
         return cls(list(witnesses), list(witnesses.values()), nbits)
 
+    @classmethod
+    def from_witness_table(cls, table, nbits: int) -> "ShardSnapshot":
+        """Snapshot a CSR ``WitnessTable`` — zero-copy adoption.
+
+        The table's ``row_offsets``/``wit_offsets``/``bit_ids`` arrays *are*
+        this snapshot's internal (and on-disk) layout, so they are adopted
+        as the flat form directly: the numpy chunk kernel, the segmented
+        view, :meth:`write_file`, and pickling all run from the arrays, and
+        int witness masks only materialize if the pure-Python fallback asks
+        for them.
+        """
+        snap = cls.__new__(cls)
+        snap.rows = tuple(table.rows)
+        snap.nbits = max(1, nbits)
+        snap._row_offsets = table.row_offsets
+        snap._wit_masks = None  # lazy: _masks() rebuilds from _flat_bits
+        snap._flat_bits = (table.wit_offsets, table.bit_ids)
+        snap._touched = None
+        snap._np = None
+        snap._wit_segs = None
+        snap._row_map = None
+        snap._seg_rank = None
+        snap._restricted = None
+        snap._mmap_path = None
+        snap._mmap_finalizer = None
+        return snap
+
     def __getstate__(self):
+        if self._wit_masks is None and self._flat_bits is not None:
+            # Ship the CSR arrays themselves: no big-int masks are built on
+            # either side of the pickle (lists travel representation-
+            # portably between numpy and pure-Python processes).
+            flat = (
+                [int(v) for v in self._flat_bits[0]],
+                [int(v) for v in self._flat_bits[1]],
+            )
+            masks = None
+        else:
+            flat = None
+            masks = self._masks()
         return (
             self.rows,
             self.nbits,
-            list(self._row_offsets),
-            self._masks(),
+            [int(v) for v in self._row_offsets],
+            masks,
             self._row_map,
+            flat,
         )
 
     def __setstate__(self, state):
-        (
-            self.rows,
-            self.nbits,
-            self._row_offsets,
-            self._wit_masks,
-            self._row_map,
-        ) = state
+        if len(state) == 5:  # pickles from before the CSR flat form
+            rows, nbits, offsets, masks, row_map = state
+            flat = None
+        else:
+            rows, nbits, offsets, masks, row_map, flat = state
+        self.rows = rows
+        self.nbits = nbits
+        self._row_offsets = offsets
+        self._wit_masks = masks
+        self._row_map = row_map
+        self._flat_bits = None if flat is None else tuple(flat)
         self._touched = None
         self._np = None
         self._wit_segs = None
         self._seg_rank = None
         self._restricted = None
-        self._flat_bits = None
         self._mmap_path = None
         self._mmap_finalizer = None
 
@@ -242,14 +285,19 @@ class ShardSnapshot:
         """
         from repro.columnar.flatfile import write_flat
 
-        masks = self._masks()
-        wit_offsets = [0]
-        bit_ids: List[int] = []
-        for mask in masks:
-            bit_ids.extend(iter_bits(mask))
-            wit_offsets.append(len(bit_ids))
+        if self._wit_masks is None and self._flat_bits is not None:
+            # CSR-backed snapshot: the arrays are already the on-disk
+            # layout — write them as-is, no int-mask re-encoding.
+            wit_offsets, bit_ids = self._flat_bits
+        else:
+            masks = self._masks()
+            wit_offsets = [0]
+            bit_ids = []
+            for mask in masks:
+                bit_ids.extend(iter_bits(mask))
+                wit_offsets.append(len(bit_ids))
         arrays = {
-            "row_offsets": list(self._row_offsets),
+            "row_offsets": self._row_offsets,
             "wit_offsets": wit_offsets,
             "bit_ids": bit_ids,
         }
@@ -329,8 +377,13 @@ class ShardSnapshot:
     def _witness_segments(self) -> "List[SegmentedMask]":
         """Each witness mask in segmented form, aligned with the CSR layout."""
         if self._wit_segs is None:
-            from_int = SegmentedMask.from_int
-            self._wit_segs = [from_int(mask) for mask in self._masks()]
+            if self._wit_masks is None and self._flat_bits is not None:
+                from repro.provenance.segmask import segmented_from_bit_runs
+
+                self._wit_segs = segmented_from_bit_runs(*self._flat_bits)
+            else:
+                from_int = SegmentedMask.from_int
+                self._wit_segs = [from_int(mask) for mask in self._masks()]
         return self._wit_segs
 
     # ------------------------------------------------------------------

@@ -28,7 +28,9 @@ from repro.provenance.segmask import (
     SEGMENT_BITS,
     SegmentedMask,
     popcount,
+    segmented_from_bit_runs,
 )
+from repro.provenance.witness_table import WitnessTable
 from repro.provenance.bitset import (
     BitsetProvenance,
     bitset_why_provenance,
@@ -74,6 +76,8 @@ __all__ = [
     "SEGMENT_BITS",
     "SegmentedMask",
     "popcount",
+    "segmented_from_bit_runs",
+    "WitnessTable",
     "BitsetProvenance",
     "bitset_why_provenance",
     "minimize_masks",

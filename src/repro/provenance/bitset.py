@@ -54,6 +54,7 @@ from repro.provenance.cache import cached_plan
 from repro.provenance.interning import SourceIndex, iter_bits
 from repro.provenance.locations import SourceTuple
 from repro.provenance.segmask import SEGMENT_BITS, SegmentedMask, popcount
+from repro.provenance.witness_table import WitnessTable
 
 __all__ = [
     "Mask",
@@ -150,29 +151,54 @@ class BitsetProvenance:
         "_view_name",
         "_index",
         "_witnesses",
+        "_table",
         "_seg_witnesses",
         "_touched",
         "_snapshot",
+        "build_stats",
     )
 
     def __init__(
         self,
         schema: Schema,
-        witnesses: Dict[Row, MaskWitnesses],
+        witnesses: "Dict[Row, MaskWitnesses] | WitnessTable",
         index: SourceIndex,
         view_name: str = DEFAULT_VIEW_NAME,
     ):
         self._schema = schema
-        self._witnesses = witnesses
+        if isinstance(witnesses, WitnessTable):
+            # CSR arrays are the source of truth; the dict-of-int-masks view
+            # is materialized lazily (it is the bit-identical oracle form).
+            self._table: "WitnessTable | None" = witnesses
+            self._witnesses: "Dict[Row, MaskWitnesses] | None" = None
+        else:
+            self._table = None
+            self._witnesses = witnesses
         self._index = index
         self._view_name = view_name
+        #: Wall-time/shape counters of the annotated build that produced
+        #: this kernel (set by :func:`bitset_why_provenance`; None when the
+        #: kernel was constructed directly).
+        self.build_stats: "Dict[str, object] | None" = None
         #: Lazy inverted index: source bit id -> rows whose universe has it.
         self._touched: "Dict[int, Tuple[Row, ...]] | None" = None
         #: Lazy segmented view of the witness table (built on first
-        #: SegmentedMask query; the int table stays the source of truth).
+        #: SegmentedMask query; the int/CSR table stays the source of truth).
         self._seg_witnesses: "Dict[Row, Tuple[SegmentedMask, ...]] | None" = None
         #: Lazy immutable snapshot backing the sharded batch path.
         self._snapshot: "ShardSnapshot | None" = None
+
+    def _mask_witnesses(self) -> Dict[Row, MaskWitnesses]:
+        """The ``row -> mask tuple`` table (materialized from CSR on demand)."""
+        if self._witnesses is None:
+            self._witnesses = self._table.to_masks()
+        return self._witnesses
+
+    def _view_rows(self):
+        """The view's rows, in table order, without materializing masks."""
+        if self._witnesses is not None:
+            return self._witnesses  # dict iteration yields rows
+        return self._table.rows
 
     # ------------------------------------------------------------------
     # Structure
@@ -195,17 +221,21 @@ class BitsetProvenance:
     @property
     def rows(self) -> Tuple[Row, ...]:
         """All view rows, deterministically ordered."""
-        return tuple(sorted(self._witnesses, key=repr))
+        return tuple(sorted(self._view_rows(), key=repr))
 
     def relation(self) -> Relation:
         """The view as a plain relation (provenance dropped)."""
-        return Relation(self._view_name, self._schema, self._witnesses.keys())
+        return Relation(self._view_name, self._schema, self._view_rows())
 
     def __len__(self) -> int:
-        return len(self._witnesses)
+        if self._witnesses is not None:
+            return len(self._witnesses)
+        return len(self._table)
 
     def __contains__(self, row: object) -> bool:
-        return row in self._witnesses
+        if self._witnesses is not None:
+            return row in self._witnesses
+        return self._table.contains(row)
 
     # ------------------------------------------------------------------
     # Mask-level queries
@@ -217,7 +247,7 @@ class BitsetProvenance:
         """
         row = tuple(row)
         try:
-            return self._witnesses[row]
+            return self._mask_witnesses()[row]
         except KeyError:
             raise InfeasibleError(f"row {row!r} is not in the view") from None
 
@@ -373,13 +403,22 @@ class BitsetProvenance:
         return destroyed
 
     def _segmented_witnesses(self) -> "Dict[Row, Tuple[SegmentedMask, ...]]":
-        """The witness table in segmented form, built once on demand."""
+        """The witness table in segmented form, built once on demand.
+
+        From a CSR table the segmented masks come straight from the flat
+        bit runs (no whole-universe ints are ever built); from the dict
+        form each int mask is split segment-wise.  Identical masks either
+        way (property-tested).
+        """
         if self._seg_witnesses is None:
-            from_int = SegmentedMask.from_int
-            self._seg_witnesses = {
-                row: tuple(from_int(mask) for mask in masks)
-                for row, masks in self._witnesses.items()
-            }
+            if self._table is not None and self._witnesses is None:
+                self._seg_witnesses = self._table.segmented_by_row()
+            else:
+                from_int = SegmentedMask.from_int
+                self._seg_witnesses = {
+                    row: tuple(from_int(mask) for mask in masks)
+                    for row, masks in self._witnesses.items()
+                }
         return self._seg_witnesses
 
     def _destroyed_value(self, value: DeletionLike) -> Set[Row]:
@@ -389,7 +428,7 @@ class BitsetProvenance:
                 value, self._touched_rows(), self._segmented_witnesses()
             )
         return self._destroyed(
-            self._as_mask(value), self._touched_rows(), self._witnesses
+            self._as_mask(value), self._touched_rows(), self._mask_witnesses()
         )
 
     def surviving_rows(
@@ -403,11 +442,13 @@ class BitsetProvenance:
         by mask.
         """
         if not deletion_mask:
-            return frozenset(self._witnesses)
+            return frozenset(self._view_rows())
         destroyed = self._destroyed_value(deletion_mask)
         if not destroyed:
-            return frozenset(self._witnesses)
-        return frozenset(row for row in self._witnesses if row not in destroyed)
+            return frozenset(self._view_rows())
+        return frozenset(
+            row for row in self._view_rows() if row not in destroyed
+        )
 
     def batch_destroyed(
         self,
@@ -485,7 +526,7 @@ class BitsetProvenance:
         share one surviving view, so the per-answer set difference is paid
         once per distinct answer.
         """
-        all_rows = frozenset(self._witnesses)
+        all_rows = frozenset(self._view_rows())
         if workers is not None and workers > 1 and len(masks) >= SHARD_MIN_BATCH:
             snapshot = self._shard_snapshot()
             rows = snapshot.rows
@@ -507,11 +548,21 @@ class BitsetProvenance:
         return out
 
     def _shard_snapshot(self) -> ShardSnapshot:
-        """The immutable snapshot worker shards answer from (built once)."""
+        """The immutable snapshot worker shards answer from (built once).
+
+        A CSR-backed kernel hands its flat offset/bit arrays to the
+        snapshot directly — the snapshot's own on-disk/numpy layout — so no
+        int masks are encoded or re-decoded along the way.
+        """
         if self._snapshot is None:
-            self._snapshot = ShardSnapshot.from_witnesses(
-                self._witnesses, len(self._index)
-            )
+            if self._table is not None and self._witnesses is None:
+                self._snapshot = ShardSnapshot.from_witness_table(
+                    self._table, len(self._index)
+                )
+            else:
+                self._snapshot = ShardSnapshot.from_witnesses(
+                    self._mask_witnesses(), len(self._index)
+                )
         return self._snapshot
 
     def _sharded_indices(
@@ -536,14 +587,19 @@ class BitsetProvenance:
     def _touched_rows(self) -> Dict[int, Tuple[Row, ...]]:
         """source bit id → view rows whose witness universe contains it."""
         if self._touched is None:
-            touched: Dict[int, List[Row]] = {}
-            for row, masks in self._witnesses.items():
-                universe = 0
-                for mask in masks:
-                    universe |= mask
-                for bit_index in iter_bits(universe):
-                    touched.setdefault(bit_index, []).append(row)
-            self._touched = {bit: tuple(rows) for bit, rows in touched.items()}
+            if self._table is not None and self._witnesses is None:
+                self._touched = self._table.touched_rows()
+            else:
+                touched: Dict[int, List[Row]] = {}
+                for row, masks in self._witnesses.items():
+                    universe = 0
+                    for mask in masks:
+                        universe |= mask
+                    for bit_index in iter_bits(universe):
+                        touched.setdefault(bit_index, []).append(row)
+                self._touched = {
+                    bit: tuple(rows) for bit, rows in touched.items()
+                }
         return self._touched
 
     # ------------------------------------------------------------------
@@ -559,7 +615,7 @@ class BitsetProvenance:
         decode = self._index.decode_mask
         return {
             row: frozenset(decode(mask) for mask in masks)
-            for row, masks in self._witnesses.items()
+            for row, masks in self._mask_witnesses().items()
         }
 
 
@@ -594,14 +650,32 @@ def bitset_why_provenance(
     is supplied the store's own interning table is adopted, so its row-id
     vectors translate to witness bits without re-interning.
     """
+    from time import perf_counter
+
+    from repro.provenance.cache import provenance_cache
+
     if store is not None and not store.matches(db):
         store = None
     if index is None:
         index = store.index if store is not None else SourceIndex()
     if plan is None:
         plan = cached_plan(query, db, optimizer_level)
+    started = perf_counter()
     if store is not None:
-        table = plan.annotated_rows_columnar(store, index)
+        table = plan.annotated_table_columnar(store, index)
+        path = "columnar-csr"
+        nwits = table.witness_count
     else:
         table = plan.annotated_rows(db, index)
-    return BitsetProvenance(plan.schema, table, index, view_name)
+        path = "tuple"
+        nwits = sum(len(masks) for masks in table.values())
+    seconds = perf_counter() - started
+    prov = BitsetProvenance(plan.schema, table, index, view_name)
+    prov.build_stats = {
+        "seconds": seconds,
+        "rows": len(table),
+        "witnesses": nwits,
+        "path": path,
+    }
+    provenance_cache.note_witness_build(seconds, len(table), nwits)
+    return prov

@@ -198,6 +198,10 @@ class ProvenanceCache:
         "_spill_seq",
         "_spills",
         "_spill_attaches",
+        "_witness_builds",
+        "_witness_build_seconds",
+        "_witness_rows",
+        "_witness_count",
     )
 
     def __init__(
@@ -239,6 +243,13 @@ class ProvenanceCache:
         self._spill_seq = 0
         self._spills = 0
         self._spill_attaches = 0
+        #: Witness-build observability (fed by bitset_why_provenance): how
+        #: many annotated evaluations ran, their wall time, and the shape
+        #: of the tables they produced.
+        self._witness_builds = 0
+        self._witness_build_seconds = 0.0
+        self._witness_rows = 0
+        self._witness_count = 0
         #: (id(query), schema signature, optimizer level, stats version) ->
         #: plan; CompiledPlan.query keeps the query alive, so its id is
         #: never recycled while the entry lives.
@@ -548,6 +559,10 @@ class ProvenanceCache:
             self._bytes_high_water = self._bytes
             self._spills = 0
             self._spill_attaches = 0
+            self._witness_builds = 0
+            self._witness_build_seconds = 0.0
+            self._witness_rows = 0
+            self._witness_count = 0
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters and current sizes, for diagnostics."""
@@ -567,7 +582,26 @@ class ProvenanceCache:
                 "plan_misses": self._plan_misses,
                 "plan_size": len(self._plans),
                 "plan_evictions": self._plan_evictions,
+                "witness_builds": self._witness_builds,
+                "witness_build_seconds": self._witness_build_seconds,
+                "witness_rows": self._witness_rows,
+                "witness_count": self._witness_count,
             }
+
+    def note_witness_build(self, seconds: float, rows: int, witnesses: int) -> None:
+        """Record one annotated witness-table build (wall time and shape).
+
+        Called by :func:`repro.provenance.bitset.bitset_why_provenance`
+        whenever a kernel is (re)built — cache hits never pass through
+        here, so the counters measure exactly the cold-start work the
+        array-native pipeline is meant to shave.  Surfaced through
+        :meth:`stats` and :meth:`repro.service.engine.ServiceEngine.stats`.
+        """
+        with self._lock:
+            self._witness_builds += 1
+            self._witness_build_seconds += seconds
+            self._witness_rows += rows
+            self._witness_count += witnesses
 
     def __len__(self) -> int:
         with self._lock:

@@ -51,6 +51,7 @@ __all__ = [
     "POPCOUNT_NATIVE",
     "popcount",
     "SegmentedMask",
+    "segmented_from_bit_runs",
     "set_force_python",
     "using_numpy",
 ]
@@ -424,3 +425,32 @@ class SegmentedMask:
             f"SegmentedMask({self.bit_count()} bits in "
             f"{len(self._segs)} segments)"
         )
+
+
+def segmented_from_bit_runs(offsets, bits) -> "list[SegmentedMask]":
+    """One :class:`SegmentedMask` per run ``bits[offsets[w]:offsets[w+1]]``.
+
+    The bulk form of :meth:`SegmentedMask.from_bits` for CSR witness
+    arrays: the segment/offset split of every bit id is computed once up
+    front (vectorized under numpy, a list pass otherwise) and each run is
+    folded into a ``_trusted`` segment dict — no per-mask validation, no
+    whole-universe ints.  Bit-identical to calling ``from_bits`` run by
+    run.
+    """
+    if HAVE_NUMPY and not _FORCE_PYTHON and not isinstance(bits, list):
+        arr = _np.ascontiguousarray(bits, dtype=_np.int64)
+        seg_of = (arr // SEGMENT_BITS).tolist()
+        off_of = (arr % SEGMENT_BITS).tolist()
+        ends = [int(v) for v in offsets]
+    else:
+        seg_of = [b // SEGMENT_BITS for b in bits]
+        off_of = [b % SEGMENT_BITS for b in bits]
+        ends = list(offsets) if isinstance(offsets, list) else [int(v) for v in offsets]
+    out: "list[SegmentedMask]" = []
+    for w in range(len(ends) - 1):
+        segs: Dict[int, int] = {}
+        for k in range(ends[w], ends[w + 1]):
+            seg = seg_of[k]
+            segs[seg] = segs.get(seg, 0) | (1 << off_of[k])
+        out.append(SegmentedMask._trusted(segs))
+    return out

@@ -1,0 +1,291 @@
+"""Array-native witness tables: the CSR form of a view's minimal witnesses.
+
+The bitset kernel's logical object is ``row -> tuple of witness masks``
+(:mod:`repro.provenance.bitset`), where each mask is one whole-universe
+Python int.  At scale the ints dominate: every scan/merge/join of the
+annotated executor pays O(universe/64) words per mask however few bits are
+set, and every derived structure (segmented view, inverted index, shard
+snapshot) re-walks the big ints to get the bit ids back out.
+
+:class:`WitnessTable` stores the same witness sets as three flat arrays —
+the compressed-sparse-row layout :class:`~repro.parallel.shards.
+ShardSnapshot` already uses on disk:
+
+* ``row_offsets`` (``nrows + 1``): row ``i``'s witnesses are the span
+  ``[row_offsets[i], row_offsets[i+1])``;
+* ``wit_offsets`` (``nwits + 1``): witness ``w``'s source-id bits are
+  ``bit_ids[wit_offsets[w] : wit_offsets[w+1]]``;
+* ``bit_ids``: flat int64 source ids, **ascending within each witness**.
+
+Canonical-order invariant: each row's span is exactly the output of
+:func:`~repro.provenance.bitset.minimize_masks` on its witness set —
+deduplicated, inclusion-minimal, sorted by ``(popcount, mask value)`` — so
+:meth:`to_masks` reproduces the tuple executor's witness tuples element for
+element (the dict-of-ints view is a lazy *compatibility* view; the arrays
+are the source of truth).
+
+Containers are numpy ``int64`` arrays when the table was built by the
+vectorized kernels and plain Python lists when built by the pure-Python
+fallback; every method branches on the container, so values — and every
+downstream answer — are bit-identical either way (property-tested).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.provenance.interning import iter_bits
+from repro.provenance.segmask import SegmentedMask, segmented_from_bit_runs
+
+try:  # optional acceleration; the list-backed form is bit-identical
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+    HAVE_NUMPY = False
+
+__all__ = ["WitnessTable"]
+
+#: ``touched_rows`` packs (bit, row) pairs into single int64 keys for the
+#: vectorized dedup; above this product the packing could overflow and the
+#: pure loop (same answers) runs instead.
+_PACK_LIMIT = 2**62
+
+
+def _as_int_list(container) -> List[int]:
+    """A plain list of Python ints, whatever the container kind."""
+    if isinstance(container, list):
+        return container
+    return [int(v) for v in container]
+
+
+class WitnessTable:
+    """A view's minimal witnesses as CSR arrays, aligned with ``rows``."""
+
+    __slots__ = ("rows", "row_offsets", "wit_offsets", "bit_ids", "_masks", "_row_pos")
+
+    def __init__(self, rows, row_offsets, wit_offsets, bit_ids):
+        self.rows: Tuple[Tuple, ...] = tuple(rows)
+        self.row_offsets = row_offsets
+        self.wit_offsets = wit_offsets
+        self.bit_ids = bit_ids
+        #: Cached dict-of-int-masks compatibility view (the oracle form).
+        self._masks: "Optional[Dict[Tuple, Tuple[int, ...]]]" = None
+        #: Lazy row -> position map for membership tests.
+        self._row_pos: "Optional[Dict[Tuple, int]]" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_masks(cls, witnesses: "Dict[Tuple, Tuple[int, ...]]") -> "WitnessTable":
+        """Build from the ``row -> mask tuple`` oracle form (order preserved).
+
+        The input is assumed minimized in canonical order (every producer —
+        :func:`~repro.provenance.bitset.minimize_masks` — guarantees it);
+        masks decompose to ascending bit ids, so the round trip through
+        :meth:`to_masks` is exact.
+        """
+        row_offsets: List[int] = [0]
+        wit_offsets: List[int] = [0]
+        bit_ids: List[int] = []
+        for masks in witnesses.values():
+            for mask in masks:
+                bit_ids.extend(iter_bits(mask))
+                wit_offsets.append(len(bit_ids))
+            row_offsets.append(len(wit_offsets) - 1)
+        table = cls(witnesses, row_offsets, wit_offsets, bit_ids)
+        table._masks = dict(witnesses)
+        return table
+
+    @classmethod
+    def from_padded(cls, rows, row_offsets, bits, lens) -> "WitnessTable":
+        """Build from the kernels' padded form (numpy only).
+
+        ``bits`` is ``(nwits, width)`` int64 with each witness's ids sorted
+        *descending* and ``-1`` padding on the right; ``lens`` counts the
+        real bits.  Reversing the columns and dropping the padding yields
+        the ascending flat CSR form.
+        """
+        reversed_bits = bits[:, ::-1]
+        flat = reversed_bits[reversed_bits != -1]
+        wit_offsets = _np.zeros(bits.shape[0] + 1, dtype=_np.int64)
+        _np.cumsum(lens, out=wit_offsets[1:])
+        return cls(
+            rows,
+            _np.ascontiguousarray(row_offsets, dtype=_np.int64),
+            wit_offsets,
+            _np.ascontiguousarray(flat, dtype=_np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def witness_count(self) -> int:
+        """Total number of witnesses across all rows."""
+        return len(self.wit_offsets) - 1
+
+    @property
+    def total_bits(self) -> int:
+        """Total number of (witness, source id) incidences."""
+        return len(self.bit_ids)
+
+    def contains(self, row) -> bool:
+        if self._row_pos is None:
+            self._row_pos = {r: i for i, r in enumerate(self.rows)}
+        return row in self._row_pos
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by the three CSR arrays."""
+        total = 0
+        for arr in (self.row_offsets, self.wit_offsets, self.bit_ids):
+            if HAVE_NUMPY and isinstance(arr, _np.ndarray):
+                total += int(arr.nbytes)
+            else:
+                total += sys.getsizeof(arr) + 28 * len(arr)
+        return total
+
+    def as_lists(self) -> "Tuple[List[int], List[int], List[int]]":
+        """The three arrays as plain lists (container-independent equality)."""
+        return (
+            _as_int_list(self.row_offsets),
+            _as_int_list(self.wit_offsets),
+            _as_int_list(self.bit_ids),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def to_masks(self) -> "Dict[Tuple, Tuple[int, ...]]":
+        """The ``row -> minimized mask tuple`` compatibility view (cached).
+
+        Bit-identical to the tuple executor's table: the canonical-order
+        invariant means rebuilding each witness's int from its bits yields
+        the same tuples :func:`minimize_masks` would have emitted.
+        """
+        if self._masks is None:
+            row_offsets = _as_int_list(self.row_offsets)
+            wit_offsets = _as_int_list(self.wit_offsets)
+            bit_ids = _as_int_list(self.bit_ids)
+            masks: List[int] = []
+            for w in range(len(wit_offsets) - 1):
+                mask = 0
+                for k in range(wit_offsets[w], wit_offsets[w + 1]):
+                    mask |= 1 << bit_ids[k]
+                masks.append(mask)
+            self._masks = {
+                row: tuple(masks[row_offsets[i] : row_offsets[i + 1]])
+                for i, row in enumerate(self.rows)
+            }
+        return self._masks
+
+    def segmented_by_row(self) -> "Dict[Tuple, Tuple[SegmentedMask, ...]]":
+        """Each row's witnesses as :class:`SegmentedMask`, from the arrays.
+
+        Equal (mask for mask, in order) to ``SegmentedMask.from_int`` over
+        :meth:`to_masks` — but built straight from the bit runs, without
+        materializing any whole-universe int.
+        """
+        seg_masks = segmented_from_bit_runs(self.wit_offsets, self.bit_ids)
+        row_offsets = _as_int_list(self.row_offsets)
+        return {
+            row: tuple(seg_masks[row_offsets[i] : row_offsets[i + 1]])
+            for i, row in enumerate(self.rows)
+        }
+
+    def touched_rows(self) -> "Dict[int, Tuple[Tuple, ...]]":
+        """Inverted index: source bit id -> rows whose universe contains it."""
+        rows = self.rows
+        if (
+            HAVE_NUMPY
+            and isinstance(self.bit_ids, _np.ndarray)
+            and len(self.bit_ids)
+        ):
+            nrows = len(rows)
+            max_bit = int(self.bit_ids.max())
+            if (max_bit + 1) * max(nrows, 1) < _PACK_LIMIT:
+                wit_row = _np.repeat(
+                    _np.arange(nrows, dtype=_np.int64),
+                    _np.diff(self.row_offsets),
+                )
+                bit_row = _np.repeat(wit_row, _np.diff(self.wit_offsets))
+                pairs = _np.unique(
+                    _np.asarray(self.bit_ids, dtype=_np.int64) * nrows + bit_row
+                )
+                bits = pairs // nrows
+                row_idx = pairs % nrows
+                runs = _np.flatnonzero(
+                    _np.concatenate(([True], bits[1:] != bits[:-1]))
+                )
+                ends = _np.concatenate((runs[1:], [len(pairs)]))
+                return {
+                    int(bits[s]): tuple(
+                        rows[i] for i in row_idx[s:e].tolist()
+                    )
+                    for s, e in zip(runs.tolist(), ends.tolist())
+                }
+        row_offsets = _as_int_list(self.row_offsets)
+        wit_offsets = _as_int_list(self.wit_offsets)
+        bit_ids = _as_int_list(self.bit_ids)
+        touched: Dict[int, List[Tuple]] = {}
+        for i, row in enumerate(rows):
+            seen: set = set()
+            for w in range(row_offsets[i], row_offsets[i + 1]):
+                for k in range(wit_offsets[w], wit_offsets[w + 1]):
+                    seen.add(bit_ids[k])
+            for bit in seen:
+                touched.setdefault(bit, []).append(row)
+        return {bit: tuple(ids) for bit, ids in touched.items()}
+
+    # ------------------------------------------------------------------
+    # Flat-file (zero-copy) form
+    # ------------------------------------------------------------------
+    def write_file(self, path: str) -> None:
+        """Serialize to the flat container of :mod:`repro.columnar.flatfile`.
+
+        The CSR arrays go in as int64 sections (memory-mappable on attach,
+        no re-encoding); the row tuples ride along as one pickled blob.
+        """
+        import pickle
+
+        from repro.columnar.flatfile import write_flat
+
+        write_flat(
+            path,
+            {"kind": "witness-table", "nrows": len(self.rows)},
+            {
+                "row_offsets": self.row_offsets,
+                "wit_offsets": self.wit_offsets,
+                "bit_ids": self.bit_ids,
+            },
+            {"rows": pickle.dumps(self.rows, protocol=pickle.HIGHEST_PROTOCOL)},
+        )
+
+    @classmethod
+    def attach_file(cls, path: str) -> "WitnessTable":
+        """Attach a table written by :meth:`write_file` (arrays mmap-backed)."""
+        import pickle
+
+        from repro.columnar.flatfile import read_flat
+
+        meta, arrays, blobs = read_flat(path)
+        if meta.get("kind") != "witness-table":
+            raise ValueError(f"{path!r} does not hold a WitnessTable")
+        return cls(
+            pickle.loads(blobs["rows"]),
+            arrays["row_offsets"],
+            arrays["wit_offsets"],
+            arrays["bit_ids"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WitnessTable({len(self.rows)} rows, {self.witness_count} "
+            f"witnesses, {self.total_bits} bits)"
+        )

@@ -130,6 +130,12 @@ class ServiceEngine:
             "batch_calls": 0,
             "batched_candidates": 0,
             "deduped_candidates": 0,
+            # Witness-table builds behind the oracles this engine warmed
+            # (wall time and shape of the annotated evaluations).
+            "witness_builds": 0,
+            "witness_build_seconds": 0.0,
+            "witness_rows": 0,
+            "witness_count": 0,
         }
         if (
             cache_entries is not None
@@ -234,9 +240,19 @@ class ServiceEngine:
             workers=self._workers,
             store=self._column_store(db),
         )
+        prov = oracle.provenance
+        build_stats = (
+            getattr(prov.kernel, "build_stats", None) if prov is not None else None
+        )
         with self._lock:
             self._check_open()
-            return self._oracles.setdefault(key, oracle)
+            winner = self._oracles.setdefault(key, oracle)
+            if winner is oracle and build_stats:
+                self._counters["witness_builds"] += 1
+                self._counters["witness_build_seconds"] += build_stats["seconds"]
+                self._counters["witness_rows"] += build_stats["rows"]
+                self._counters["witness_count"] += build_stats["witnesses"]
+            return winner
 
     # ------------------------------------------------------------------
     # Execution

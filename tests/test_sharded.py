@@ -378,6 +378,10 @@ class TestCacheCounters:
             "plan_misses": 0,
             "plan_size": 0,
             "plan_evictions": 0,
+            "witness_builds": 0,
+            "witness_build_seconds": 0.0,
+            "witness_rows": 0,
+            "witness_count": 0,
         }
 
     def test_reset_stats_keeps_entries(self):

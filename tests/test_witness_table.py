@@ -1,0 +1,351 @@
+"""The CSR witness table is a bit-identical re-representation (PR 8).
+
+:class:`~repro.provenance.witness_table.WitnessTable` stores the annotated
+executor's ``row -> minimized mask tuple`` table as three flat arrays.  The
+invariant every test here circles: whatever the container kind (numpy
+arrays from the vectorized kernels, lists from the forced pure-Python
+path), whatever the bit positions (including ids straddling 512-bit
+segment boundaries), and whatever the transport (pickle, flat file, mmap),
+the table decodes to exactly the dict-of-int-masks oracle the tuple
+executor produces — element for element, not just as sets.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.parser import parse_query
+from repro.algebra.plan import compile_plan
+from repro.algebra.relation import Database, Relation
+from repro.columnar import ColumnStore, columnar_annotated_table, set_force_python
+from repro.parallel import ShardSnapshot
+from repro.provenance import (
+    SegmentedMask,
+    SourceIndex,
+    WitnessTable,
+    bitset_why_provenance,
+    provenance_cache,
+    segmented_from_bit_runs,
+)
+from repro.provenance import segmask as segmask_mod
+from repro.service import HypotheticalRequest, ServiceEngine
+from repro.workloads import random_instance
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+try:
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the no-numpy CI leg
+    np = None
+    HAVE_NUMPY = False
+
+
+@pytest.fixture
+def force_python():
+    """Pin the pure-Python columnar kernels for the duration of a test."""
+    set_force_python(True)
+    try:
+        yield
+    finally:
+        set_force_python(False)
+
+
+def _plan(query, db, level=0):
+    catalog = {name: db[name].schema for name in db}
+    return compile_plan(query, catalog, optimizer_level=level)
+
+
+def _table_and_oracle(query, db, level=0, index=None):
+    """The CSR table and the tuple executor's oracle, over a shared index."""
+    plan = _plan(query, db, level=level)
+    index = SourceIndex() if index is None else index
+    store = ColumnStore(db, index=index)
+    table = columnar_annotated_table(plan, store, index)
+    oracle = plan.annotated_rows(db, index)
+    return table, oracle
+
+
+def _assert_matches_oracle(table, oracle):
+    """Element-for-element equality plus CSR structural sanity."""
+    masks = table.to_masks()
+    assert masks == oracle
+    # Same emission set and per-row witness tuples in canonical order.
+    assert set(table.rows) == set(oracle)
+    ro, wo, bits = table.as_lists()
+    assert ro[0] == 0 and wo[0] == 0
+    assert ro[-1] == len(wo) - 1
+    assert wo[-1] == len(bits)
+    assert len(ro) == len(table.rows) + 1
+    # Bits ascend within every witness (the canonical CSR form).
+    for w in range(len(wo) - 1):
+        run = bits[wo[w] : wo[w + 1]]
+        assert run == sorted(run)
+        assert len(set(run)) == len(run)
+    # The oracle round-trips through from_masks to the identical arrays.
+    assert WitnessTable.from_masks(masks).as_lists() == (ro, wo, bits)
+
+
+class TestCsrOracleEquivalence:
+    """Random (database, query) pairs: CSR table == dict-of-int oracle."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_numpy_path(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        for level in (0, 1):
+            table, oracle = _table_and_oracle(query, db, level=level)
+            _assert_matches_oracle(table, oracle)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_forced_python_path(self, seed):
+        db, query = random_instance(seed, max_depth=3)
+        set_force_python(True)
+        try:
+            table, oracle = _table_and_oracle(query, db, level=1)
+            # The fallback builds list containers end to end.
+            assert isinstance(table.bit_ids, list)
+            _assert_matches_oracle(table, oracle)
+        finally:
+            set_force_python(False)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_segmented_view_matches_from_int(self, seed):
+        """segmented_by_row == SegmentedMask.from_int over the oracle,
+        under both the numpy and the pure-Python segmask kernels."""
+        db, query = random_instance(seed, max_depth=2)
+        table, oracle = _table_and_oracle(query, db, level=1)
+        expected = {
+            row: tuple(SegmentedMask.from_int(m) for m in masks)
+            for row, masks in oracle.items()
+        }
+        assert table.segmented_by_row() == expected
+        segmask_mod.set_force_python(True)
+        try:
+            assert table.segmented_by_row() == expected
+        finally:
+            segmask_mod.set_force_python(False)
+
+
+#: Mixed-type columns: 1/1.0/True collapse under dict equality, NaN is
+#: non-reflexive, 2**60 exceeds float64 exactness, 10**25 exceeds int64.
+def _mixed_db():
+    rows_r = {
+        (1, "x", 2.5),
+        (True, "y", float("nan")),
+        (2**60, "x", 0.5),
+        (10**25, "z", -1.0),
+        (3, "y", 2.5),
+    }
+    rows_s = {(1, "x", 2.5, 9), (2, "q", 0.5, 1), (3, "y", float("nan"), 4)}
+    return Database(
+        {
+            "R": Relation("R", ("A", "B", "C"), rows_r),
+            "S": Relation("S", ("A", "D", "E", "F"), rows_s),
+        }
+    )
+
+
+#: The union of a base scan with a join projection gives rows whose
+#: witness sets mix 1-bit and 2-bit monomials — the mixed-length rows that
+#: exercise the exact-minimization splice inside the canonical kernel.
+_MIXED_QUERIES = [
+    "PROJECT[A](R) UNION PROJECT[A](R JOIN S)",
+    "PROJECT[A](R) UNION PROJECT[A](S)",
+    "PROJECT[A, C](R JOIN S)",
+    "SELECT[A >= 2](R)",
+]
+
+
+class TestMixedTypeColumns:
+    @pytest.mark.parametrize("text", _MIXED_QUERIES)
+    def test_numpy(self, text):
+        table, oracle = _table_and_oracle(parse_query(text), _mixed_db(), level=1)
+        _assert_matches_oracle(table, oracle)
+
+    @pytest.mark.parametrize("text", _MIXED_QUERIES)
+    def test_forced_python(self, text, force_python):
+        table, oracle = _table_and_oracle(parse_query(text), _mixed_db(), level=1)
+        _assert_matches_oracle(table, oracle)
+
+
+class TestSegmentBoundaries:
+    """Bit ids straddling the 512-bit segment seams decode exactly."""
+
+    def _padded_instance(self, pad):
+        """A tiny query whose source bits start at ``pad`` in the index."""
+        db = Database(
+            {
+                "R": Relation("R", ("A", "B"), {(i, i % 3) for i in range(24)}),
+                "S": Relation("S", ("B", "C"), {(i % 3, i) for i in range(9)}),
+            }
+        )
+        index = SourceIndex()
+        for i in range(pad):  # occupy the low bits with foreign tuples
+            index.intern(("pad", (i,)))
+        query = parse_query("PROJECT[A](R JOIN S)")
+        return query, db, index
+
+    @pytest.mark.parametrize("pad", [500, 511, 512, 1010])
+    def test_straddling_ids(self, pad):
+        query, db, index = self._padded_instance(pad)
+        table, oracle = _table_and_oracle(query, db, level=1, index=index)
+        _assert_matches_oracle(table, oracle)
+        assert max(table.as_lists()[2]) >= pad
+        segs = table.segmented_by_row()
+        expected = {
+            row: tuple(SegmentedMask.from_int(m) for m in masks)
+            for row, masks in oracle.items()
+        }
+        assert segs == expected
+
+    @pytest.mark.parametrize("pad", [511, 512])
+    def test_straddling_ids_forced_python(self, pad, force_python):
+        query, db, index = self._padded_instance(pad)
+        table, oracle = _table_and_oracle(query, db, level=1, index=index)
+        _assert_matches_oracle(table, oracle)
+
+    def test_bit_runs_builder_matches_from_bits(self):
+        offsets = [0, 3, 3, 5, 8]
+        bits = [0, 511, 512, 1, 1023, 510, 511, 513]
+        out = segmented_from_bit_runs(offsets, bits)
+        expected = [
+            SegmentedMask.from_bits(bits[offsets[w] : offsets[w + 1]])
+            for w in range(len(offsets) - 1)
+        ]
+        assert out == expected
+
+
+class TestDerivedViews:
+    def test_touched_rows_matches_recompute(self):
+        db, query = random_instance(11, max_depth=3)
+        table, oracle = _table_and_oracle(query, db, level=1)
+        expected = {}
+        for row, masks in oracle.items():
+            seen = set()
+            for mask in masks:
+                while mask:
+                    low = mask & -mask
+                    seen.add(low.bit_length() - 1)
+                    mask ^= low
+            for bit in seen:
+                expected.setdefault(bit, []).append(row)
+        got = table.touched_rows()
+        assert {b: set(rows) for b, rows in got.items()} == {
+            b: set(rows) for b, rows in expected.items()
+        }
+
+    def test_touched_rows_python_matches_numpy(self):
+        db, query = random_instance(11, max_depth=3)
+        table, _ = _table_and_oracle(query, db, level=1)
+        as_lists = WitnessTable(table.rows, *table.as_lists())
+        assert {b: set(r) for b, r in table.touched_rows().items()} == {
+            b: set(r) for b, r in as_lists.touched_rows().items()
+        }
+
+    def test_contains_and_sizes(self):
+        db, query = random_instance(5, max_depth=2)
+        table, oracle = _table_and_oracle(query, db)
+        assert len(table) == len(oracle)
+        assert table.witness_count == sum(len(m) for m in oracle.values())
+        for row in oracle:
+            assert table.contains(row)
+        assert not table.contains(("no", "such", "row"))
+        assert table.memory_bytes() > 0
+
+
+class TestRoundTrips:
+    def test_flat_file_round_trip(self, tmp_path):
+        db, query = random_instance(23, max_depth=3)
+        table, oracle = _table_and_oracle(query, db, level=1)
+        path = str(tmp_path / "table.flat")
+        table.write_file(path)
+        attached = WitnessTable.attach_file(path)
+        assert attached.rows == table.rows
+        assert attached.as_lists() == table.as_lists()
+        assert attached.to_masks() == oracle
+
+    def test_attach_rejects_wrong_kind(self, tmp_path):
+        from repro.columnar.flatfile import write_flat
+
+        path = str(tmp_path / "other.flat")
+        write_flat(path, {"kind": "something-else"}, {"a": [1, 2]})
+        with pytest.raises(ValueError):
+            WitnessTable.attach_file(path)
+
+    def test_snapshot_pickle_round_trip(self):
+        db, query = random_instance(23, max_depth=3)
+        store = ColumnStore(db)
+        prov = bitset_why_provenance(query, db, store=store)
+        snap = prov._shard_snapshot()
+        assert snap._flat_bits is not None  # CSR-backed, no masks built
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.rows == snap.rows
+        assert clone._masks() == snap._masks()
+
+    def test_snapshot_old_pickle_state(self):
+        """5-tuple states from pre-CSR pickles still restore."""
+        db, query = random_instance(23, max_depth=2)
+        prov = bitset_why_provenance(query, db)
+        snap = prov._shard_snapshot()
+        state = snap.__getstate__()
+        assert len(state) == 6
+        old = (state[0], state[1], state[2], snap._masks(), state[4])
+        clone = ShardSnapshot.__new__(ShardSnapshot)
+        clone.__setstate__(old)
+        assert clone.rows == snap.rows
+        assert clone._masks() == snap._masks()
+
+    def test_snapshot_mmap_round_trip(self, tmp_path):
+        db, query = random_instance(23, max_depth=3)
+        store = ColumnStore(db)
+        prov = bitset_why_provenance(query, db, store=store)
+        snap = prov._shard_snapshot()
+        path = str(tmp_path / "snap.flat")
+        snap.write_file(path)
+        attached = ShardSnapshot.attach_file(path)
+        masks = [7, 1 << 3, 0]
+        snap.prepare()
+        attached.prepare()
+        assert attached.destroyed_indices_chunk(
+            masks, 0, len(masks)
+        ) == snap.destroyed_indices_chunk(masks, 0, len(masks))
+
+
+class TestBuildCounters:
+    def test_build_stats_and_cache_counters(self):
+        db, query = random_instance(31, max_depth=3)
+        provenance_cache.clear()
+        base = provenance_cache.stats()
+        store = ColumnStore(db)
+        prov = bitset_why_provenance(query, db, store=store)
+        stats = prov.build_stats
+        assert stats["path"] == "columnar-csr"
+        assert stats["rows"] == len(prov)
+        assert stats["seconds"] >= 0.0
+        after = provenance_cache.stats()
+        assert after["witness_builds"] == base["witness_builds"] + 1
+        assert after["witness_rows"] == base["witness_rows"] + stats["rows"]
+        assert after["witness_count"] == base["witness_count"] + stats["witnesses"]
+        assert after["witness_build_seconds"] >= base["witness_build_seconds"]
+        tuple_prov = bitset_why_provenance(query, db)
+        assert tuple_prov.build_stats["path"] == "tuple"
+
+    def test_engine_surfaces_witness_counters(self, usergroup_db):
+        provenance_cache.clear()
+        with ServiceEngine({"db": usergroup_db}) as engine:
+            query = "PROJECT[user, file](UserGroup JOIN GroupFile)"
+            engine.execute(HypotheticalRequest("db", query, frozenset()))
+            stats = engine.stats()
+            assert stats["witness_builds"] >= 1
+            assert stats["witness_rows"] >= 1
+            assert stats["witness_count"] >= 1
+            assert stats["witness_build_seconds"] >= 0.0
+            assert stats["cache"]["witness_builds"] >= 1
