@@ -12,10 +12,11 @@ Three modes:
   cliff tripping an assertion) surface without paying full benchmark cost.
 * ``python benchmarks/run_all.py --compare BASELINE.json`` — the CI perf
   gate: regenerate the tracked plan/optimizer/sharded/segmask/columnar/
-  witness/service medians into a scratch file (``bench_plan_compile.py`` +
-  ``bench_optimizer.py`` + ``bench_sharded.py`` + ``bench_segmask.py`` +
-  ``bench_columnar.py`` + ``bench_witness.py`` + ``bench_service.py``),
-  then fail if any tracked
+  witness/service/maintenance medians into a scratch file
+  (``bench_plan_compile.py`` + ``bench_optimizer.py`` +
+  ``bench_sharded.py`` + ``bench_segmask.py`` + ``bench_columnar.py`` +
+  ``bench_witness.py`` + ``bench_service.py`` +
+  ``bench_maintenance.py``), then fail if any tracked
   median regressed more than 25% against the committed baseline (normally
   the repository's ``BENCH_plan.json``).  Most medians are speedup
   *ratios* measured baseline-vs-new on the same machine, so they transfer
@@ -69,6 +70,7 @@ TRACKED_MEDIANS = (
     "witness.median_speedup",
     "service.median_speedup_batched",
     "service.median_throughput_batched",
+    "maintenance.median_speedup",
 )
 REGRESSION_TOLERANCE = 0.25
 
@@ -165,6 +167,7 @@ def run_compare(baseline_path: str) -> int:
             "bench_columnar.py",
             "bench_witness.py",
             "bench_service.py",
+            "bench_maintenance.py",
         ):
             code = subprocess.call(
                 [

@@ -292,6 +292,39 @@ class Database:
             rels[rel_name] = rels[rel_name].delete_rows(rows)
         return Database(rels)
 
+    def insert(self, insertions: "Iterable[tuple[str, Row]]") -> "Database":
+        """A copy of this database with the given ``(relation, row)`` pairs added.
+
+        The mirror of :meth:`delete` for the write path.  Unknown relation
+        names raise :class:`EvaluationError` (inserting cannot invent a
+        schema); rows are validated against the target relation's schema and
+        rows already present are ignored (set semantics).
+        """
+        by_rel: Dict[str, list] = {}
+        for rel_name, row in insertions:
+            if rel_name not in self._relations:
+                raise EvaluationError(
+                    f"cannot insert into unknown relation {rel_name!r}"
+                )
+            by_rel.setdefault(rel_name, []).append(tuple(row))
+        rels = dict(self._relations)
+        for rel_name, rows in by_rel.items():
+            rels[rel_name] = rels[rel_name].insert_rows(rows)
+        return Database(rels)
+
+    def apply(
+        self,
+        deletions: "Iterable[tuple[str, Row]]" = (),
+        inserts: "Iterable[tuple[str, Row]]" = (),
+    ) -> "Database":
+        """Delete then insert in one step: ``(S \\ T) ∪ T'``.
+
+        Applying the deletions first means a pair appearing in both lists
+        ends up *present* — the write-path convention the versioned delta
+        log relies on.
+        """
+        return self.delete(deletions).insert(inserts)
+
     def all_source_tuples(self) -> Tuple[Tuple[str, Row], ...]:
         """Every ``(relation name, row)`` pair in the database, sorted.
 

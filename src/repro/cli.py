@@ -22,7 +22,14 @@ Sub-commands (query syntax is the DSL of :mod:`repro.algebra.parser`)::
     repro delete DB.json QUERY '["joe", "f1"]' --objective view
     repro delete DB.json QUERY '["joe", "f1"]' --workers 4
     repro annotate DB.json QUERY '["joe", "f1"]' file
+    repro apply DB.json --delete '["UserGroup", ["joe", "g1"]]'
+    repro apply DB.json --insert '["GroupFile", ["g2", "f9"]]' --dry-run
     repro serve DB.json --port 7464 --workers 4
+
+``apply`` performs a *real* write: the pair flags are repeatable, the
+delta is normalized to its net effect (delete-then-insert of the same row
+is a no-op), and the updated database is written back to the file unless
+``--dry-run`` is given.
 
 ``delete --workers N`` shards the solvers' candidate-batch evaluation over
 ``N`` worker threads/processes (:mod:`repro.parallel`); the plan printed is
@@ -254,6 +261,65 @@ def _cmd_delete(args: argparse.Namespace) -> None:
         print("side effects: none")
 
 
+def _parse_pair(text: str) -> tuple:
+    """Parse a ``'["Relation", [v1, v2]]'`` pair from the command line."""
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ReproError(f"invalid pair {text!r}: {err}") from None
+    if (
+        not isinstance(value, list)
+        or len(value) != 2
+        or not isinstance(value[0], str)
+        or not isinstance(value[1], list)
+    ):
+        raise ReproError(
+            f"pair must be a JSON array [relation, row], got {text!r}"
+        )
+    return (value[0], tuple(value[1]))
+
+
+def _save_database(db: Database, path: str) -> None:
+    """Write ``db`` back to the JSON file format ``load_database`` reads."""
+    payload = {
+        "relations": [
+            {
+                "name": name,
+                "schema": list(db[name].schema.attributes),
+                "rows": [list(row) for row in db[name].sorted_rows()],
+            }
+            for name in db
+        ]
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def _cmd_apply(args: argparse.Namespace) -> None:
+    from repro.versioning import VersionedDatabase
+
+    db = load_database(args.database)
+    vdb = VersionedDatabase(db)
+    delta = vdb.apply_delta(
+        deletions=[_parse_pair(text) for text in args.delete or ()],
+        inserts=[_parse_pair(text) for text in args.insert or ()],
+    )
+    print(f"epoch: {vdb.epoch}")
+    print(f"deleted: {len(delta.deletions)}")
+    print(f"inserted: {len(delta.inserts)}")
+    for rel, row in delta.deletions:
+        print(f"- {rel}{list(row)!r}")
+    for rel, row in delta.inserts:
+        print(f"+ {rel}{list(row)!r}")
+    if args.dry_run:
+        print("dry run: file not modified")
+    elif delta:
+        _save_database(vdb.db, args.database)
+    else:
+        print("no net change: file not modified")
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
 
@@ -379,6 +445,29 @@ def build_parser() -> argparse.ArgumentParser:
         "threads/processes (default: serial; answers are identical)",
     )
     p_del.set_defaults(handler=_cmd_delete)
+
+    p_apply = sub.add_parser(
+        "apply", help="apply deletions/inserts to a database file"
+    )
+    p_apply.add_argument("database")
+    p_apply.add_argument(
+        "--delete",
+        action="append",
+        metavar="PAIR",
+        help='a ["Relation", [v1, ...]] pair to delete (repeatable)',
+    )
+    p_apply.add_argument(
+        "--insert",
+        action="append",
+        metavar="PAIR",
+        help='a ["Relation", [v1, ...]] pair to insert (repeatable)',
+    )
+    p_apply.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report the net delta without writing the file back",
+    )
+    p_apply.set_defaults(handler=_cmd_apply)
 
     p_serve = sub.add_parser(
         "serve",

@@ -26,9 +26,11 @@ pure-Python twin.  A store snapshots the active mode at build time.
 
 from __future__ import annotations
 
+import itertools
 import os
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algebra.relation import Database, EvaluationError, Relation
 from repro.provenance.interning import SourceIndex
@@ -55,6 +57,13 @@ _FORCE_PYTHON = os.environ.get("REPRO_COLUMNAR_PYTHON", "") not in ("", "0")
 # Integers above 2**53 are not exactly representable as float64, so order
 # comparisons that would lower an int column through float64 must fall back.
 FLOAT_EXACT_MAX = 2**53
+
+#: Fraction of a relation changed (tombstones + appends over base rows) at
+#: or above which :meth:`ColumnStore.apply_delta` relowers the relation's
+#: columns from scratch instead of filter-and-append: past this point the
+#: copy the filter pays approaches the full relower anyway, and compaction
+#: restores the dense sorted layout.
+COMPACT_FRACTION = 0.25
 
 
 def set_force_python(force: bool) -> None:
@@ -161,6 +170,8 @@ class ColumnStore:
         "_pool_obj",
         "_numpy",
         "_foreign_ids",
+        "_pending",
+        "_pending_lock",
     )
 
     def __init__(self, db: Database, index: "Optional[SourceIndex]" = None):
@@ -176,6 +187,10 @@ class ColumnStore:
         self._pool_nonreflexive: set = set()
         self._pool_obj = None
         self._foreign_ids: Dict[tuple, tuple] = {}
+        #: name -> (base columns, tombstoned rows, appended rows): relations
+        #: an apply_delta changed, lowered lazily on first touch.
+        self._pending: Dict[str, tuple] = {}
+        self._pending_lock = threading.Lock()
         self._relations: Dict[str, RelationColumns] = {}
         for name in db:
             self._lower_relation(name, db[name])
@@ -242,13 +257,15 @@ class ColumnStore:
         return self._db is db
 
     def relation_columns(self, name: str) -> RelationColumns:
-        try:
-            return self._relations[name]
-        except KeyError:
-            raise EvaluationError(
-                f"database has no relation named {name!r}; "
-                f"known relations: {sorted(self._relations)}"
-            ) from None
+        columns = self._relations.get(name)
+        if columns is not None:
+            return columns
+        if name in self._pending:
+            return self._materialize(name)
+        raise EvaluationError(
+            f"database has no relation named {name!r}; "
+            f"known relations: {sorted(set(self._relations) | set(self._pending))}"
+        )
 
     def code_of(self, value) -> "Optional[int]":
         """Pool code for ``value``, or None when absent (or unhashable)."""
@@ -300,6 +317,156 @@ class ColumnStore:
                 else:
                     total += sys.getsizeof(col) + 28 * len(col)
         return total
+
+    # -- incremental maintenance (the write path) ---------------------------
+
+    def apply_delta(
+        self,
+        new_db: Database,
+        deleted_by_name: "Mapping[str, Iterable[tuple]]" = (),
+        inserted_by_name: "Mapping[str, Iterable[tuple]]" = (),
+    ) -> "ColumnStore":
+        """A new store over ``new_db``, sharing this store's pool and index.
+
+        ``deleted_by_name`` / ``inserted_by_name`` map relation names to the
+        delta's **net** removed/added rows.  Unchanged relations share their
+        :class:`RelationColumns` objects outright; changed relations go into
+        an append/tombstone *pending* form lowered lazily on first touch —
+        filter the base columns by the tombstones and append freshly encoded
+        rows, or relower from scratch once the changed fraction reaches
+        :data:`COMPACT_FRACTION`.  The value pool, code table, and
+        :class:`SourceIndex` are shared (all append-only), so masks and
+        codes from both stores stay mutually consistent; the new store does
+        not own the index and is therefore never spillable (a re-interning
+        replay could not reproduce the appended ids).
+        """
+        store = ColumnStore.__new__(ColumnStore)
+        store._db = new_db
+        store._index = self._index
+        store._own_index = False
+        store._numpy = self._numpy
+        store._pool = self._pool
+        store._code_of = self._code_of
+        store._pool_nonreflexive = self._pool_nonreflexive
+        store._pool_obj = None
+        store._foreign_ids = {}
+        store._pending = {}
+        store._pending_lock = threading.Lock()
+        store._relations = {}
+        deleted = {name: frozenset(map(tuple, rows)) for name, rows in dict(deleted_by_name).items()}
+        inserted = {name: tuple(sorted(map(tuple, rows), key=repr)) for name, rows in dict(inserted_by_name).items()}
+        changed = {n for n, rows in deleted.items() if rows}
+        changed.update(n for n, rows in inserted.items() if rows)
+        for name in new_db:
+            if name not in changed:
+                base = self._relations.get(name)
+                if base is not None:
+                    store._relations[name] = base
+                elif name in self._pending:
+                    # Still lazy upstream: copy the pending entry — both
+                    # stores materialize independently but identically
+                    # (interning and pool growth are idempotent).
+                    store._pending[name] = self._pending[name]
+                else:
+                    store._pending[name] = (None, frozenset(), ())
+                continue
+            base = self._relations.get(name)
+            if base is None and name in self._pending:
+                # Patch of a patch: materialize the older delta first so
+                # tombstones/appends never chain.
+                base = self.relation_columns(name)
+            store._pending[name] = (
+                base,
+                deleted.get(name, frozenset()),
+                inserted.get(name, ()),
+            )
+        return store
+
+    def _materialize(self, name: str) -> RelationColumns:
+        """Lower a pending relation, once, under the store's pending lock."""
+        with self._pending_lock:
+            columns = self._relations.get(name)
+            if columns is not None:
+                return columns
+            base, tombstones, appends = self._pending[name]
+            relation = self._db[name]
+            changed = len(tombstones) + len(appends)
+            if base is None or changed >= COMPACT_FRACTION * max(1, base.n):
+                self._lower_relation(name, relation)
+            else:
+                self._patch_relation(name, base, tombstones, appends)
+            del self._pending[name]
+            return self._relations[name]
+
+    def _patch_relation(
+        self,
+        name: str,
+        base: RelationColumns,
+        tombstones: "frozenset",
+        appends: "Tuple[tuple, ...]",
+    ) -> None:
+        """Filter-and-append lowering of one changed relation.
+
+        Row order is the base's sorted order minus tombstones, with the
+        appended rows at the end — *not* globally sorted; every consumer is
+        row-order-independent (the maintenance property suite pins the
+        decoded answers).  The base's nonreflexive flags are kept even when
+        the offending rows were tombstoned — conservatively true only ever
+        forces the slower exact fallback, never a wrong answer.
+        """
+        index = self._index
+        pool = self._pool
+        code_of = self._code_of
+        nonreflexive_codes = self._pool_nonreflexive
+        arity = base.schema.arity
+        keep = [row not in tombstones for row in base.rows]
+        nonreflexive = list(base.nonreflexive)
+        app_codes: List[List[int]] = [[] for _ in range(arity)]
+        app_ids: List[int] = []
+        for row in appends:
+            app_ids.append(index.intern((name, row)))
+            for position, value in enumerate(row):
+                code = code_of.get(value)
+                if code is None:
+                    code = len(pool)
+                    code_of[value] = code
+                    pool.append(value)
+                    try:
+                        if value != value:
+                            nonreflexive_codes.add(code)
+                    except Exception:
+                        nonreflexive_codes.add(code)
+                if code in nonreflexive_codes:
+                    nonreflexive[position] = True
+                app_codes[position].append(code)
+        rows = tuple(itertools.compress(base.rows, keep)) + appends
+        if self._numpy:
+            mask = _np.asarray(keep, dtype=bool)
+            lowered = [
+                _np.concatenate(
+                    [
+                        _np.asarray(base.codes[position], dtype=_np.int64)[mask],
+                        _np.asarray(app_codes[position], dtype=_np.int64),
+                    ]
+                )
+                for position in range(arity)
+            ]
+            ids = _np.concatenate(
+                [
+                    _np.asarray(base.row_ids, dtype=_np.int64)[mask],
+                    _np.asarray(app_ids, dtype=_np.int64),
+                ]
+            )
+        else:
+            lowered = [
+                list(itertools.compress(base.codes[position], keep))
+                + app_codes[position]
+                for position in range(arity)
+            ]
+            ids = list(itertools.compress(base.row_ids, keep)) + app_ids
+        self._relations[name] = RelationColumns(
+            name, base.schema, rows, lowered, ids, nonreflexive
+        )
 
     # -- spill protocol (ProvenanceCache) ----------------------------------
 
@@ -364,6 +531,8 @@ class ColumnStore:
         store._pool_obj = None
         store._foreign_ids = {}
         store._relations = {}
+        store._pending = {}
+        store._pending_lock = threading.Lock()
         for entry in meta["relations"]:
             name = entry["name"]
             count = entry["rows"]

@@ -68,6 +68,7 @@ class HypotheticalDeletions:
         "_kernel",
         "_baseline",
         "_workers",
+        "_optimizer_level",
     )
 
     def __init__(
@@ -92,6 +93,7 @@ class HypotheticalDeletions:
         self._kernel = prov.kernel if prov is not None else None
         self._baseline: Optional[FrozenSet[Row]] = None
         self._workers = workers
+        self._optimizer_level = optimizer_level
 
     # ------------------------------------------------------------------
     # Structure
@@ -177,3 +179,38 @@ class HypotheticalDeletions:
     def _effective_workers(self, workers: Optional[int]) -> Optional[int]:
         """The per-call worker count, defaulting to the constructor's."""
         return self._workers if workers is None else workers
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def rebased(
+        self,
+        db: Database,
+        prov: Optional[WhyProvenance] = None,
+        keep_baseline: bool = False,
+    ) -> "HypotheticalDeletions":
+        """This oracle re-pointed at ``db``, reusing what survives a write.
+
+        ``prov`` is the already-maintained provenance over ``db`` (a
+        delta-patched kernel wrapped via ``WhyProvenance.from_kernel``);
+        when omitted, the current provenance carries over unchanged —
+        sound exactly when the write left this query's relations untouched
+        — and an oracle that was in compiled-plan fallback mode stays in
+        fallback mode: *no* cold provenance build is ever triggered by a
+        write.  ``keep_baseline`` carries the materialized baseline view
+        over, which is only sound when the write provably left this
+        query's answer unchanged.
+        """
+        if prov is None:
+            prov = self._prov
+        rebased = HypotheticalDeletions(
+            self._query,
+            db,
+            prov=prov,
+            use_provenance=prov is not None,
+            optimizer_level=self._optimizer_level,
+            workers=self._workers,
+        )
+        if keep_baseline:
+            rebased._baseline = self._baseline
+        return rebased

@@ -109,22 +109,42 @@ _ATTACHED: "OrderedDict[str, ShardSnapshot]" = OrderedDict()
 _MAX_ATTACHED = 8
 
 
-def _attach_cached(path: str) -> ShardSnapshot:
+def _attach_cached(path: str, expect_version=None) -> ShardSnapshot:
+    """The per-process attachment for ``path``, re-attached when stale.
+
+    With ``expect_version`` set, a cached attachment stamped with a
+    different :class:`~repro.versioning.DatabaseVersion` is dropped and the
+    file re-attached — the owning database advanced, and the path may by
+    now hold a rewritten snapshot.  If the *file* is also stale, the
+    re-attach raises :class:`~repro.errors.StaleSnapshotError` rather than
+    letting a worker answer from a superseded epoch.
+    """
     snapshot = _ATTACHED.get(path)
-    if snapshot is None:
-        snapshot = ShardSnapshot.attach_file(path)
-        _ATTACHED[path] = snapshot
-        while len(_ATTACHED) > _MAX_ATTACHED:
-            _ATTACHED.popitem(last=False)
-    else:
+    if snapshot is not None and (
+        expect_version is None or snapshot.version == expect_version
+    ):
         _ATTACHED.move_to_end(path)
+        return snapshot
+    if snapshot is not None:
+        del _ATTACHED[path]
+    snapshot = ShardSnapshot.attach_file(path, expect_version=expect_version)
+    _ATTACHED[path] = snapshot
+    while len(_ATTACHED) > _MAX_ATTACHED:
+        _ATTACHED.popitem(last=False)
     return snapshot
 
 
-def _run_chunk_mmap(args: Tuple[str, Sequence]) -> List[Tuple[int, ...]]:
-    """Worker-side: attach the memory-mapped snapshot file, answer a chunk."""
-    path, masks = args
-    return _attach_cached(path).destroyed_indices_chunk(masks, 0, len(masks))
+def _run_chunk_mmap(args: "Tuple[str, Sequence] | Tuple[str, Sequence, object]") -> List[Tuple[int, ...]]:
+    """Worker-side: attach the memory-mapped snapshot file, answer a chunk.
+
+    Tasks are ``(path, masks)`` or ``(path, masks, expect_version)`` — the
+    two-element form predates version stamping and stays accepted.
+    """
+    path, masks = args[0], args[1]
+    expect = args[2] if len(args) > 2 else None
+    return _attach_cached(path, expect).destroyed_indices_chunk(
+        masks, 0, len(masks)
+    )
 
 
 def resolve_backend(backend: str, workers: int, total: int) -> str:
@@ -307,7 +327,9 @@ class WorkerPool:
         if self._executor is not None:
             return list(
                 self._executor.map(
-                    lambda task: _attach_cached(task[0]).destroyed_indices_chunk(
+                    lambda task: _attach_cached(
+                        task[0], task[2] if len(task) > 2 else None
+                    ).destroyed_indices_chunk(
                         task[1], 0, len(task[1]), force_python=force_python
                     ),
                     tasks,
@@ -505,10 +527,15 @@ def sharded_destroyed_indices(
     if ship_mmap:
         ship = False
 
-    mmap_tasks: "List[Tuple[str, List]] | None" = None
+    mmap_tasks: "List[Tuple[str, List, object]] | None" = None
     if ship_mmap:
         path = snapshot.mmap_file()
-        mmap_tasks = [(path, list(masks[a:b])) for a, b in shards]
+        # Each task carries the snapshot's version stamp, so every worker's
+        # attachment (and its per-process cache entry) is pinned to the
+        # epoch this call answers for.
+        mmap_tasks = [
+            (path, list(masks[a:b]), snapshot.version) for a, b in shards
+        ]
 
     tasks: "List[Tuple[ShardSnapshot, List]] | None" = None
     if ship:
@@ -530,8 +557,8 @@ def sharded_destroyed_indices(
         if mmap_tasks is not None:
             # Attach (once) even in-process, so the serial path exercises
             # the same flat-file kernel the workers run.
-            attached = _attach_cached(mmap_tasks[0][0])
-            for _path, local in mmap_tasks:
+            attached = _attach_cached(mmap_tasks[0][0], mmap_tasks[0][2])
+            for _path, local, _version in mmap_tasks:
                 out.extend(
                     attached.destroyed_indices_chunk(
                         local, 0, len(local), force_python=force_python
@@ -583,12 +610,12 @@ def sharded_destroyed_indices(
             continue
     if parts is None:
         if mmap_tasks is not None:
-            attached = _attach_cached(mmap_tasks[0][0])
+            attached = _attach_cached(mmap_tasks[0][0], mmap_tasks[0][2])
             parts = [
                 attached.destroyed_indices_chunk(
                     local, 0, len(local), force_python=force_python
                 )
-                for _path, local in mmap_tasks
+                for _path, local, _version in mmap_tasks
             ]
         elif tasks is not None:
             parts = [

@@ -134,6 +134,7 @@ class ShardSnapshot:
     __slots__ = (
         "rows",
         "nbits",
+        "version",
         "_row_offsets",
         "_wit_masks",
         "_touched",
@@ -155,9 +156,15 @@ class ShardSnapshot:
         nbits: int,
         row_map: "Tuple[int, ...] | None" = None,
         seg_rank: "Dict[int, int] | None" = None,
+        version=None,
     ):
         self.rows: Tuple[Tuple, ...] = tuple(rows)
         self.nbits = max(1, nbits)
+        #: Optional :class:`~repro.versioning.DatabaseVersion` stamp of the
+        #: epoch this snapshot was cut at.  ``None`` means unversioned (the
+        #: read-only path); attach-time checks only fire when a caller
+        #: passes an expectation.
+        self.version = version
         offsets = [0]
         masks: List[int] = []
         for wits in row_witnesses:
@@ -184,13 +191,13 @@ class ShardSnapshot:
 
     @classmethod
     def from_witnesses(
-        cls, witnesses: "Dict[Tuple, Tuple[int, ...]]", nbits: int
+        cls, witnesses: "Dict[Tuple, Tuple[int, ...]]", nbits: int, version=None
     ) -> "ShardSnapshot":
         """Snapshot a kernel's row → witness-mask table (insertion order)."""
-        return cls(list(witnesses), list(witnesses.values()), nbits)
+        return cls(list(witnesses), list(witnesses.values()), nbits, version=version)
 
     @classmethod
-    def from_witness_table(cls, table, nbits: int) -> "ShardSnapshot":
+    def from_witness_table(cls, table, nbits: int, version=None) -> "ShardSnapshot":
         """Snapshot a CSR ``WitnessTable`` — zero-copy adoption.
 
         The table's ``row_offsets``/``wit_offsets``/``bit_ids`` arrays *are*
@@ -203,6 +210,7 @@ class ShardSnapshot:
         snap = cls.__new__(cls)
         snap.rows = tuple(table.rows)
         snap.nbits = max(1, nbits)
+        snap.version = version
         snap._row_offsets = table.row_offsets
         snap._wit_masks = None  # lazy: _masks() rebuilds from _flat_bits
         snap._flat_bits = (table.wit_offsets, table.bit_ids)
@@ -236,16 +244,21 @@ class ShardSnapshot:
             masks,
             self._row_map,
             flat,
+            self.version,
         )
 
     def __setstate__(self, state):
+        version = None
         if len(state) == 5:  # pickles from before the CSR flat form
             rows, nbits, offsets, masks, row_map = state
             flat = None
-        else:
+        elif len(state) == 6:  # pickles from before version stamping
             rows, nbits, offsets, masks, row_map, flat = state
+        else:
+            rows, nbits, offsets, masks, row_map, flat, version = state
         self.rows = rows
         self.nbits = nbits
+        self.version = version
         self._row_offsets = offsets
         self._wit_masks = masks
         self._row_map = row_map
@@ -308,10 +321,12 @@ class ShardSnapshot:
             "nbits": self.nbits,
             "nrows": len(self.rows),
         }
+        if self.version is not None:
+            meta["version"] = [self.version.name, self.version.epoch]
         write_flat(path, meta, arrays)
 
     @classmethod
-    def attach_file(cls, path: str) -> "ShardSnapshot":
+    def attach_file(cls, path: str, expect_version=None) -> "ShardSnapshot":
         """Attach a snapshot written by :meth:`write_file`.
 
         With numpy available the offset/bit arrays stay memory-mapped: the
@@ -319,15 +334,34 @@ class ShardSnapshot:
         every worker attached to the same file.  Row content is never
         shipped — answers are row *indices* — so :attr:`rows` holds
         placeholders, exactly like a segment-restricted snapshot.
+
+        ``expect_version`` pins the attachment to one database epoch: when
+        the file's stamp (absent counts as mismatched) differs, the attach
+        raises :class:`~repro.errors.StaleSnapshotError` instead of serving
+        answers cut from a database the owner has since written past.
         """
         from repro.columnar.flatfile import read_flat
 
         meta, arrays, _ = read_flat(path)
         if meta.get("kind") != "shard-snapshot":
             raise ValueError(f"{path!r} does not hold a ShardSnapshot")
+        raw_version = meta.get("version")
+        version = None
+        if raw_version is not None:
+            from repro.versioning import DatabaseVersion
+
+            version = DatabaseVersion(raw_version[0], raw_version[1])
+        if expect_version is not None and version != expect_version:
+            from repro.errors import StaleSnapshotError
+
+            raise StaleSnapshotError(
+                f"snapshot {path!r} is stamped {version!r}, "
+                f"expected {expect_version!r}"
+            )
         snap = cls.__new__(cls)
         snap.rows = (None,) * meta["nrows"]
         snap.nbits = meta["nbits"]
+        snap.version = version
         snap._row_offsets = arrays["row_offsets"]
         snap._wit_masks = None  # lazy: _masks() rebuilds from _flat_bits
         snap._flat_bits = (arrays["wit_offsets"], arrays["bit_ids"])
@@ -456,6 +490,7 @@ class ShardSnapshot:
             len(rank) * SEGMENT_BITS,
             row_map=tuple(row_map),
             seg_rank=rank,
+            version=self.version,
         )
         if len(cache) >= 64:
             cache.clear()

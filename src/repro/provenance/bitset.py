@@ -43,8 +43,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
-from repro.errors import InfeasibleError
-from repro.algebra.ast import Query
+from repro.errors import ExponentialGuardError, InfeasibleError
+from repro.algebra.ast import Query, RelationRef
 from repro.algebra.evaluate import DEFAULT_VIEW_NAME
 from repro.algebra.plan import CompiledPlan
 from repro.algebra.relation import Database, Relation, Row
@@ -135,6 +135,69 @@ def minimize_masks(masks: "Set[int] | Iterable[int]") -> MaskWitnesses:
             kept.append(mask)
             by_low_bit.setdefault(mask & -mask, []).append(mask)
     return tuple(kept)
+
+
+def _relation_occurrences(query: Query) -> Dict[str, int]:
+    """How many :class:`RelationRef` leaves mention each relation name."""
+    counts: Dict[str, int] = {}
+    stack = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, RelationRef):
+            counts[node.name] = counts.get(node.name, 0) + 1
+        stack.extend(node.children)
+    return counts
+
+
+def _union_segments(masks: "Iterable[SegmentedMask]") -> Dict[int, int]:
+    """segment index -> OR of that segment's words across ``masks``."""
+    union: Dict[int, int] = {}
+    for sm in masks:
+        for seg, word in sm._segs.items():
+            union[seg] = union.get(seg, 0) | word
+    return union
+
+
+def _touched_add(touched: dict, bit: int, row: Row) -> None:
+    rows = touched.get(bit)
+    touched[bit] = rows + (row,) if rows else (row,)
+
+
+def _touched_discard(touched: dict, bit: int, row: Row) -> None:
+    rows = touched.get(bit)
+    if rows is None:
+        return
+    kept = tuple(r for r in rows if r != row)
+    if kept:
+        touched[bit] = kept
+    else:
+        del touched[bit]
+
+
+def _join_nonlinear_names(query: Query) -> FrozenSet[str]:
+    """Relation names the query is *not* linear in: self-joined names.
+
+    The annotated semantics is a polynomial whose monomials multiply one
+    source row per :class:`RelationRef` reached through each
+    :class:`~repro.algebra.ast.Join` — so a witness can mention two rows
+    of the same relation only when some Join has that relation on both
+    sides.  A name appearing several times *additively* (e.g. once per
+    Union branch, the SPU shape) still yields witnesses linear in it, and
+    the insert delta decomposition stays sound; only the names returned
+    here force a full re-annotation.
+    """
+    from repro.algebra.ast import Join
+
+    nonlinear: Set[str] = set()
+    stack = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Join):
+            nonlinear.update(
+                node.left.relation_names() & node.right.relation_names()
+            )
+        stack.extend(node.children)
+    return frozenset(nonlinear)
 
 
 class BitsetProvenance:
@@ -601,6 +664,328 @@ class BitsetProvenance:
                     bit: tuple(rows) for bit, rows in touched.items()
                 }
         return self._touched
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the write path)
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        new_db: Database,
+        deleted_sources: Iterable[SourceTuple] = (),
+        inserted_by_name: "Dict[str, Iterable[Row]] | None" = None,
+        query: "Query | None" = None,
+        plan: "CompiledPlan | None" = None,
+        optimizer_level: "int | None" = None,
+        store: "object | None" = None,
+    ) -> "BitsetProvenance":
+        """A new kernel reflecting a delta, without a from-scratch rebuild.
+
+        ``new_db`` is the database *after* the delta; ``deleted_sources``
+        and ``inserted_by_name`` are the delta's **net** effect (rows
+        actually removed / actually added — the
+        :class:`~repro.versioning.Delta` normalization).  The returned
+        kernel shares this kernel's :class:`SourceIndex` (interning is
+        append-only, so patched and original kernels coexist) and decodes
+        identically to a full re-annotation over ``new_db``; this kernel
+        is never mutated.
+
+        *Deletions* patch the witness table directly: a witness dies iff
+        its monomial mentions a deleted id, a row dies iff all its
+        witnesses do (:meth:`WitnessTable.drop_bits` on the CSR form; a
+        touched-rows-guided filter on the dict form).  *Inserts* are
+        evaluated as delta branches: for each inserted relation the plan
+        is re-run over a database where that relation holds only its delta
+        rows — sound when the query is linear in each inserted relation
+        (:func:`_join_nonlinear_names`; a name may appear in several Union
+        branches, only Join-on-both-sides breaks linearity).  Self-joins
+        over an inserted relation, or an
+        :class:`~repro.errors.ExponentialGuardError` during a branch, fall
+        back to one full re-annotation over ``new_db`` (still on the
+        shared index and plan).  A CSR-backed kernel stays CSR: branch
+        results splice into the arrays (:meth:`WitnessTable.merge_rows`)
+        without materializing the dict view.
+
+        ``store`` (a ColumnStore matching ``new_db`` — the engine hands
+        the delta-patched one) routes any full re-annotation through the
+        vectorized columnar kernels instead of the tuple executor.
+        """
+        inserted: Dict[str, FrozenSet[Row]] = {
+            name: frozenset(tuple(row) for row in rows)
+            for name, rows in (inserted_by_name or {}).items()
+            if rows
+        }
+        deleted_ids = self._index.encode_ids(deleted_sources)
+        # Derived serving state (segmented witnesses, inverted index) is
+        # patched across the delta too — when warm, a probe after the
+        # write costs the same as a probe before it.
+        new_seg, new_touched = self._derived_after_deletions(deleted_ids)
+
+        # Phase 1: patch deletions out of the witness table.
+        seg_patch: "Dict[Row, Tuple[SegmentedMask, ...]] | None" = None
+        if self._table is not None and self._witnesses is None:
+            patched: "Dict[Row, MaskWitnesses] | WitnessTable" = (
+                self._table.drop_bits(deleted_ids)
+                if deleted_ids
+                else self._table
+            )
+        else:
+            patched, seg_patch = self._drop_from_dicts(deleted_ids)
+
+        if inserted and query is None:
+            raise ValueError("apply_delta needs the query to patch inserts")
+        if inserted:
+            # Only relations the query actually reads contribute witnesses.
+            occurrences = _relation_occurrences(query)
+            inserted = {
+                name: rows
+                for name, rows in inserted.items()
+                if occurrences.get(name, 0) > 0
+            }
+        if not inserted:
+            kernel = BitsetProvenance(
+                self._schema, patched, self._index, self._view_name
+            )
+            kernel._seg_witnesses = (
+                new_seg if new_seg is not None else seg_patch
+            )
+            kernel._touched = new_touched
+            return kernel
+
+        nonlinear = _join_nonlinear_names(query)
+        if any(name in nonlinear for name in inserted):
+            # The delta decomposition below is only sound when the query
+            # is linear in each inserted relation (a self-join mixes old
+            # and delta rows inside one witness).
+            return self._reannotate(query, new_db, plan, optimizer_level, store)
+
+        if plan is None:
+            plan = cached_plan(query, new_db, optimizer_level)
+        use_store = store is not None and store.matches(new_db)
+        names = sorted(inserted)
+        try:
+            branch_tables: List[Dict[Row, MaskWitnesses]] = []
+            for i, name in enumerate(names):
+                branch_db = new_db
+                removed_by: Dict[str, Set[Row]] = {}
+                for j, other in enumerate(names):
+                    if j < i:
+                        # Earlier deltas already contributed their cross
+                        # terms; this branch sees those relations pre-insert.
+                        mid = new_db[other].rows - inserted[other]
+                        branch_db = branch_db.with_relation(
+                            Relation._trusted(
+                                other, new_db[other].schema, frozenset(mid)
+                            )
+                        )
+                        removed_by[other] = set(inserted[other])
+                    elif j == i:
+                        branch_db = branch_db.with_relation(
+                            Relation._trusted(
+                                name, new_db[name].schema, inserted[name]
+                            )
+                        )
+                        removed_by[name] = set(
+                            new_db[name].rows - inserted[name]
+                        )
+                if use_store:
+                    # A throwaway branch store: the delta relation relowers
+                    # (it holds a handful of rows), everything else shares
+                    # the patched store's columns and index — so the branch
+                    # runs on the vectorized columnar kernels.
+                    branch_store = store.apply_delta(branch_db, removed_by, {})
+                    branch_tables.append(
+                        plan.annotated_table_columnar(
+                            branch_store, self._index
+                        ).to_masks()
+                    )
+                else:
+                    branch_tables.append(
+                        plan.annotated_rows(branch_db, self._index)
+                    )
+        except ExponentialGuardError:
+            return self._reannotate(query, new_db, plan, optimizer_level, store)
+
+        # Merge the branch contributions: only rows the delta actually
+        # touched are decoded/re-minimized.
+        is_csr = isinstance(patched, WitnessTable)
+        updates: Dict[Row, MaskWitnesses] = {}
+        for table in branch_tables:
+            for row, masks in table.items():
+                prev = updates.get(row)
+                if prev is None:
+                    prev = (
+                        patched.masks_of(row) if is_csr else patched.get(row)
+                    )
+                updates[row] = (
+                    masks
+                    if prev is None
+                    else minimize_masks(set(prev) | set(masks))
+                )
+        if is_csr:
+            # Stay in arrays: splice the merged masks back in, the
+            # untouched bulk is one vectorized copy.
+            table_out: "Dict[Row, MaskWitnesses] | WitnessTable" = (
+                patched.merge_rows(updates)
+            )
+        else:
+            table_out = dict(patched)
+            table_out.update(updates)
+        kernel = BitsetProvenance(
+            self._schema, table_out, self._index, self._view_name
+        )
+        if new_seg is not None and new_touched is not None:
+            kernel._seg_witnesses, kernel._touched = self._derived_after_updates(
+                new_seg, new_touched, updates
+            )
+        return kernel
+
+    def _drop_from_dicts(
+        self, deleted_ids: Sequence[int]
+    ) -> "Tuple[Dict[Row, MaskWitnesses], Dict[Row, Tuple[SegmentedMask, ...]] | None]":
+        """Deletion-patch the dict-backed witness table (and its segmented
+        twin in lockstep, when already materialized)."""
+        witnesses = self._mask_witnesses()
+        seg = self._seg_witnesses
+        if not deleted_ids:
+            return witnesses, seg
+        dmask = 0
+        for bit in deleted_ids:
+            dmask |= 1 << bit
+        touched = self._touched_rows()
+        affected: Set[Row] = set()
+        for bit in deleted_ids:
+            rows = touched.get(bit)
+            if rows:
+                affected.update(rows)
+        if not affected:
+            return witnesses, seg
+        patched = dict(witnesses)
+        seg_patch = dict(seg) if seg is not None else None
+        for row in affected:
+            masks = patched[row]
+            keep = [not (mask & dmask) for mask in masks]
+            if all(keep):
+                continue
+            if not any(keep):
+                del patched[row]
+                if seg_patch is not None:
+                    del seg_patch[row]
+                continue
+            # Filtering a canonically-sorted antichain preserves canonical
+            # order, so the kept tuple equals a fresh minimization.
+            patched[row] = tuple(
+                mask for mask, k in zip(masks, keep) if k
+            )
+            if seg_patch is not None:
+                seg_patch[row] = tuple(
+                    sm for sm, k in zip(seg_patch[row], keep) if k
+                )
+        return patched, seg_patch
+
+    def _derived_after_deletions(
+        self, deleted_ids: Sequence[int]
+    ) -> "Tuple[dict | None, dict | None]":
+        """This kernel's warm derived caches, patched past the deletions.
+
+        Returns ``(segmented witnesses, touched-rows inverted index)`` as
+        fresh dicts the caller may keep mutating, or ``(None, None)`` when
+        either cache was never materialized — patching cold state would
+        just move the cold build into the write.
+        """
+        seg = self._seg_witnesses
+        touched = self._touched
+        if seg is None or touched is None:
+            return None, None
+        new_seg = dict(seg)
+        new_touched = dict(touched)
+        if not deleted_ids:
+            return new_seg, new_touched
+        dsegs: Dict[int, int] = {}
+        affected: Set[Row] = set()
+        for b in deleted_ids:
+            b = int(b)
+            dsegs[b // SEGMENT_BITS] = dsegs.get(b // SEGMENT_BITS, 0) | (
+                1 << (b % SEGMENT_BITS)
+            )
+            rows = touched.get(b)
+            if rows:
+                affected.update(rows)
+        ditems = tuple(dsegs.items())
+        for row in affected:
+            masks = new_seg.get(row)
+            if masks is None:
+                continue
+            kept = tuple(
+                sm
+                for sm in masks
+                if not any(sm._segs.get(s, 0) & w for s, w in ditems)
+            )
+            if len(kept) == len(masks):
+                continue
+            old_u = _union_segments(masks)
+            if kept:
+                new_seg[row] = kept
+                new_u = _union_segments(kept)
+            else:
+                del new_seg[row]
+                new_u = {}
+            # Bits the row's universe lost leave the inverted index — a
+            # surviving witness may still hold them, hence the diff.
+            for s, w in old_u.items():
+                lost = w & ~new_u.get(s, 0)
+                base = s * SEGMENT_BITS
+                for bit in iter_bits(lost):
+                    _touched_discard(new_touched, base + bit, row)
+        return new_seg, new_touched
+
+    @staticmethod
+    def _derived_after_updates(
+        new_seg: dict, new_touched: dict, updates: "Dict[Row, MaskWitnesses]"
+    ) -> "Tuple[dict, dict]":
+        """Fold the insert merge's per-row mask updates into the caches."""
+        from_int = SegmentedMask.from_int
+        for row, masks in updates.items():
+            old = new_seg.get(row)
+            old_u = _union_segments(old) if old else {}
+            seg_masks = tuple(from_int(mask) for mask in masks)
+            new_seg[row] = seg_masks
+            new_u = _union_segments(seg_masks)
+            for s, w in new_u.items():
+                gained = w & ~old_u.get(s, 0)
+                base = s * SEGMENT_BITS
+                for bit in iter_bits(gained):
+                    _touched_add(new_touched, base + bit, row)
+            for s, w in old_u.items():
+                lost = w & ~new_u.get(s, 0)
+                base = s * SEGMENT_BITS
+                for bit in iter_bits(lost):
+                    _touched_discard(new_touched, base + bit, row)
+        return new_seg, new_touched
+
+    def _reannotate(
+        self,
+        query: Query,
+        new_db: Database,
+        plan: "CompiledPlan | None",
+        optimizer_level: "int | None",
+        store: "object | None" = None,
+    ) -> "BitsetProvenance":
+        """Full re-annotation over ``new_db`` on the shared index.
+
+        When the caller holds a ColumnStore matching ``new_db`` the
+        annotation runs through the vectorized columnar kernels (foreign
+        row ids translate into this kernel's index), landing back in the
+        CSR form — the fallback is then no slower than a cold build.
+        """
+        return bitset_why_provenance(
+            query,
+            new_db,
+            self._view_name,
+            index=self._index,
+            plan=plan,
+            optimizer_level=optimizer_level,
+            store=store,
+        )
 
     # ------------------------------------------------------------------
     # Decoding (the API boundary)

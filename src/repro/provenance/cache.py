@@ -202,6 +202,8 @@ class ProvenanceCache:
         "_witness_build_seconds",
         "_witness_rows",
         "_witness_count",
+        "_invalidations",
+        "_version_bumps",
     )
 
     def __init__(
@@ -250,6 +252,11 @@ class ProvenanceCache:
         self._witness_build_seconds = 0.0
         self._witness_rows = 0
         self._witness_count = 0
+        #: Write-path observability: entries dropped because their database
+        #: was displaced, and stats-version bucket moves noted by the
+        #: versioned write path.
+        self._invalidations = 0
+        self._version_bumps = 0
         #: (id(query), schema signature, optimizer level, stats version) ->
         #: plan; CompiledPlan.query keeps the query alive, so its id is
         #: never recycled while the entry lives.
@@ -467,6 +474,87 @@ class ProvenanceCache:
             self._release(self._inflight, key)
             return value
 
+    def seed(
+        self,
+        kind: str,
+        query: Query,
+        db: Database,
+        view_name: str,
+        value: Any,
+    ) -> None:
+        """Insert a value computed elsewhere (the write path's patched state).
+
+        Incremental maintenance produces provenance/store objects for a
+        *new* database snapshot without going through
+        :meth:`get_or_compute`; seeding them here means the next read over
+        that snapshot hits instead of rebuilding.  An existing entry for
+        the key is replaced.
+        """
+        key = (kind, id(query), id(db), view_name)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[3]
+            size = approx_object_bytes(value) if self._max_bytes is not None else 0
+            self._entries[key] = (query, db, value, size)
+            self._bytes += size
+            if self._bytes > self._bytes_high_water:
+                self._bytes_high_water = self._bytes
+            self._evict_entries()
+
+    def peek(
+        self, kind: str, query: Query, db: Database, view_name: str
+    ) -> Any:
+        """The cached value for the key, or None — never computes.
+
+        Does not touch the hit/miss counters: the write path uses this to
+        ask "is there warm state worth patching?", which is not a serving
+        request.
+        """
+        key = (kind, id(query), id(db), view_name)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry[2]
+
+    def invalidate_database(self, db: Database) -> int:
+        """Drop every entry keyed on this database object; how many dropped.
+
+        The versioned write path calls this after swapping a new snapshot
+        in: entries for the displaced snapshot can never be requested
+        again (all lookups go through the new object's identity), so
+        keeping them would pin the dead database in memory.  The plan memo
+        is untouched — plans key on schemas and stats buckets, not
+        database identity.  Dropped entries (and spilled stubs) count into
+        ``invalidations``.
+        """
+        dropped = 0
+        with self._lock:
+            for key in [k for k, e in self._entries.items() if e[1] is db]:
+                entry = self._entries.pop(key)
+                self._bytes -= entry[3]
+                dropped += 1
+            for key in [k for k, s in self._spilled.items() if s[1] is db]:
+                stub = self._spilled.pop(key)
+                _unlink_quietly(stub[3])
+                dropped += 1
+            self._invalidations += dropped
+        return dropped
+
+    def note_version_bump(self) -> None:
+        """Record one stats-version bucket move under the write path.
+
+        Called by :class:`repro.versioning.VersionedDatabase` when an
+        applied delta moves a relation's row count across a power-of-two
+        bucket — the writes after which compiled plans stop being
+        reusable.  The complement of this counter staying low is the
+        plan-memo survival the write path is designed for.
+        """
+        with self._lock:
+            self._version_bumps += 1
+
     def plan_for(
         self,
         query: Query,
@@ -563,6 +651,8 @@ class ProvenanceCache:
             self._witness_build_seconds = 0.0
             self._witness_rows = 0
             self._witness_count = 0
+            self._invalidations = 0
+            self._version_bumps = 0
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters and current sizes, for diagnostics."""
@@ -586,6 +676,8 @@ class ProvenanceCache:
                 "witness_build_seconds": self._witness_build_seconds,
                 "witness_rows": self._witness_rows,
                 "witness_count": self._witness_count,
+                "invalidations": self._invalidations,
+                "version_bumps": self._version_bumps,
             }
 
     def note_witness_build(self, seconds: float, rows: int, witnesses: int) -> None:

@@ -32,6 +32,7 @@ downstream answer — are bit-identical either way (property-tested).
 
 from __future__ import annotations
 
+import itertools
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -242,6 +243,229 @@ class WitnessTable:
             for bit in seen:
                 touched.setdefault(bit, []).append(row)
         return {bit: tuple(ids) for bit, ids in touched.items()}
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def drop_bits(self, deleted_ids) -> "WitnessTable":
+        """A new table with every witness containing a deleted id removed.
+
+        This is the deletion-patch kernel of the write path: deleting the
+        source tuples behind ``deleted_ids`` kills exactly the witnesses
+        whose monomial mentions one of them, and a row survives iff at
+        least one witness remains.  Correctness of keeping the *surviving*
+        witnesses untouched: a subset of an inclusion-minimal antichain is
+        still an antichain, and filtering a canonically-sorted sequence
+        preserves canonical order — so the result is bit-identical to
+        rebuilding the table against the post-deletion database (pinned by
+        the maintenance property suite).
+
+        Containers follow the source table: numpy in, numpy out; lists in,
+        lists out (same values either way).
+        """
+        doomed = set(int(b) for b in deleted_ids)
+        if not doomed:
+            return self
+        if (
+            HAVE_NUMPY
+            and isinstance(self.bit_ids, _np.ndarray)
+            and isinstance(self.wit_offsets, _np.ndarray)
+        ):
+            return self._drop_bits_numpy(doomed)
+        return self._drop_bits_python(doomed)
+
+    def _drop_bits_numpy(self, doomed: "set") -> "WitnessTable":
+        bit_ids = _np.asarray(self.bit_ids, dtype=_np.int64)
+        wit_offsets = _np.asarray(self.wit_offsets, dtype=_np.int64)
+        row_offsets = _np.asarray(self.row_offsets, dtype=_np.int64)
+        hit = _np.isin(bit_ids, _np.fromiter(doomed, dtype=_np.int64))
+        if not hit.any():
+            return self
+        # Per-witness hit counts via cumsum differences (safe on empty spans).
+        cs = _np.zeros(len(bit_ids) + 1, dtype=_np.int64)
+        _np.cumsum(hit, out=cs[1:])
+        wit_hits = cs[wit_offsets[1:]] - cs[wit_offsets[:-1]]
+        keep_wit = wit_hits == 0
+        # Per-row surviving-witness counts, same trick one level up.
+        ks = _np.zeros(len(keep_wit) + 1, dtype=_np.int64)
+        _np.cumsum(keep_wit, out=ks[1:])
+        row_kept = ks[row_offsets[1:]] - ks[row_offsets[:-1]]
+        row_alive = row_kept > 0
+        wit_lens = wit_offsets[1:] - wit_offsets[:-1]
+        keep_bits = _np.repeat(keep_wit, wit_lens)
+        new_bit_ids = _np.ascontiguousarray(bit_ids[keep_bits])
+        kept_lens = wit_lens[keep_wit]
+        new_wit_offsets = _np.zeros(len(kept_lens) + 1, dtype=_np.int64)
+        _np.cumsum(kept_lens, out=new_wit_offsets[1:])
+        new_row_offsets = _np.zeros(int(row_alive.sum()) + 1, dtype=_np.int64)
+        _np.cumsum(row_kept[row_alive], out=new_row_offsets[1:])
+        new_rows = tuple(
+            itertools.compress(self.rows, row_alive.tolist())
+        )
+        return WitnessTable(
+            new_rows, new_row_offsets, new_wit_offsets, new_bit_ids
+        )
+
+    def masks_of(self, row) -> "Optional[Tuple[int, ...]]":
+        """``row``'s minimized mask tuple, or ``None`` when absent.
+
+        A point lookup for the write path's insert merge — decodes one
+        row's spans without materializing the whole :meth:`to_masks` view.
+        """
+        if self._masks is not None:
+            return self._masks.get(row)
+        if not self.contains(row):
+            return None
+        i = self._row_pos[row]
+        row_offsets = _as_int_list(self.row_offsets)
+        wit_offsets = _as_int_list(self.wit_offsets)
+        masks: List[int] = []
+        for w in range(row_offsets[i], row_offsets[i + 1]):
+            mask = 0
+            for k in range(wit_offsets[w], wit_offsets[w + 1]):
+                mask |= 1 << int(self.bit_ids[k])
+            masks.append(mask)
+        return tuple(masks)
+
+    def merge_rows(self, updates: "Dict[Tuple, Tuple[int, ...]]") -> "WitnessTable":
+        """A new table with each row in ``updates`` holding exactly the
+        given (minimized, canonical-order) mask tuple.
+
+        This is the insert-patch kernel of the write path: rows untouched
+        by the delta keep their CSR spans (one vectorized copy, no mask
+        decoding); updated rows are re-encoded from their merged masks and
+        appended, and an empty mask tuple removes the row.  Containers
+        follow the source table, like :meth:`drop_bits`.
+        """
+        if not updates:
+            return self
+        if self._row_pos is None:
+            self._row_pos = {r: i for i, r in enumerate(self.rows)}
+        replaced = set()
+        app_rows: List[Tuple] = []
+        app_bits: List[int] = []
+        app_wit_lens: List[int] = []
+        app_row_wits: List[int] = []
+        for row, masks in updates.items():
+            pos = self._row_pos.get(row)
+            if pos is not None:
+                replaced.add(pos)
+            if not masks:
+                continue
+            app_rows.append(row)
+            app_row_wits.append(len(masks))
+            for mask in masks:
+                bits = list(iter_bits(mask))
+                app_bits.extend(bits)
+                app_wit_lens.append(len(bits))
+        if (
+            HAVE_NUMPY
+            and isinstance(self.bit_ids, _np.ndarray)
+            and isinstance(self.wit_offsets, _np.ndarray)
+        ):
+            return self._merge_rows_numpy(
+                replaced, app_rows, app_bits, app_wit_lens, app_row_wits
+            )
+        return self._merge_rows_python(
+            replaced, app_rows, app_bits, app_wit_lens, app_row_wits
+        )
+
+    def _merge_rows_numpy(
+        self, replaced, app_rows, app_bits, app_wit_lens, app_row_wits
+    ) -> "WitnessTable":
+        row_offsets = _np.asarray(self.row_offsets, dtype=_np.int64)
+        wit_offsets = _np.asarray(self.wit_offsets, dtype=_np.int64)
+        bit_ids = _np.asarray(self.bit_ids, dtype=_np.int64)
+        keep_row = _np.ones(len(self.rows), dtype=bool)
+        if replaced:
+            keep_row[_np.fromiter(replaced, dtype=_np.int64)] = False
+        row_wits = row_offsets[1:] - row_offsets[:-1]
+        wit_lens = wit_offsets[1:] - wit_offsets[:-1]
+        keep_wit = _np.repeat(keep_row, row_wits)
+        keep_bit = _np.repeat(keep_wit, wit_lens)
+        kept_row_wits = row_wits[keep_row]
+        kept_wit_lens = wit_lens[keep_wit]
+        new_row_wits = _np.concatenate(
+            [kept_row_wits, _np.asarray(app_row_wits, dtype=_np.int64)]
+        )
+        new_wit_lens = _np.concatenate(
+            [kept_wit_lens, _np.asarray(app_wit_lens, dtype=_np.int64)]
+        )
+        new_bit_ids = _np.concatenate(
+            [bit_ids[keep_bit], _np.asarray(app_bits, dtype=_np.int64)]
+        )
+        new_row_offsets = _np.zeros(len(new_row_wits) + 1, dtype=_np.int64)
+        _np.cumsum(new_row_wits, out=new_row_offsets[1:])
+        new_wit_offsets = _np.zeros(len(new_wit_lens) + 1, dtype=_np.int64)
+        _np.cumsum(new_wit_lens, out=new_wit_offsets[1:])
+        new_rows = tuple(
+            itertools.compress(self.rows, keep_row.tolist())
+        ) + tuple(app_rows)
+        return WitnessTable(
+            new_rows,
+            new_row_offsets,
+            new_wit_offsets,
+            _np.ascontiguousarray(new_bit_ids),
+        )
+
+    def _merge_rows_python(
+        self, replaced, app_rows, app_bits, app_wit_lens, app_row_wits
+    ) -> "WitnessTable":
+        row_offsets = _as_int_list(self.row_offsets)
+        wit_offsets = _as_int_list(self.wit_offsets)
+        bit_ids = _as_int_list(self.bit_ids)
+        new_rows: List[Tuple] = []
+        new_row_offsets: List[int] = [0]
+        new_wit_offsets: List[int] = [0]
+        new_bit_ids: List[int] = []
+        for i, row in enumerate(self.rows):
+            if i in replaced:
+                continue
+            for w in range(row_offsets[i], row_offsets[i + 1]):
+                new_bit_ids.extend(bit_ids[wit_offsets[w] : wit_offsets[w + 1]])
+                new_wit_offsets.append(len(new_bit_ids))
+            new_rows.append(row)
+            new_row_offsets.append(len(new_wit_offsets) - 1)
+        cursor = 0
+        bit_cursor = 0
+        for row, nwits in zip(app_rows, app_row_wits):
+            for _ in range(nwits):
+                span = app_wit_lens[cursor]
+                new_bit_ids.extend(app_bits[bit_cursor : bit_cursor + span])
+                bit_cursor += span
+                new_wit_offsets.append(len(new_bit_ids))
+                cursor += 1
+            new_rows.append(row)
+            new_row_offsets.append(len(new_wit_offsets) - 1)
+        return WitnessTable(
+            new_rows, new_row_offsets, new_wit_offsets, new_bit_ids
+        )
+
+    def _drop_bits_python(self, doomed: "set") -> "WitnessTable":
+        row_offsets = _as_int_list(self.row_offsets)
+        wit_offsets = _as_int_list(self.wit_offsets)
+        bit_ids = _as_int_list(self.bit_ids)
+        new_rows: List[Tuple] = []
+        new_row_offsets: List[int] = [0]
+        new_wit_offsets: List[int] = [0]
+        new_bit_ids: List[int] = []
+        for i, row in enumerate(self.rows):
+            kept = 0
+            for w in range(row_offsets[i], row_offsets[i + 1]):
+                span = bit_ids[wit_offsets[w] : wit_offsets[w + 1]]
+                if any(b in doomed for b in span):
+                    continue
+                new_bit_ids.extend(span)
+                new_wit_offsets.append(len(new_bit_ids))
+                kept += 1
+            if kept:
+                new_rows.append(row)
+                new_row_offsets.append(len(new_wit_offsets) - 1)
+        if len(new_bit_ids) == len(bit_ids):
+            return self
+        return WitnessTable(
+            new_rows, new_row_offsets, new_wit_offsets, new_bit_ids
+        )
 
     # ------------------------------------------------------------------
     # Flat-file (zero-copy) form

@@ -33,10 +33,11 @@ from __future__ import annotations
 import threading
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ExponentialGuardError, ReproError
 from repro.algebra.ast import Query
 from repro.algebra.evaluate import evaluate
 from repro.algebra.parser import parse_query
+from repro.algebra.plan import DEFAULT_VIEW_NAME
 from repro.algebra.relation import Database, Row
 from repro.columnar import cached_column_store, using_numpy
 from repro.columnar.store import ColumnStore
@@ -50,7 +51,10 @@ from repro.provenance.cache import (
     provenance_cache,
 )
 from repro.provenance.locations import SourceTuple
+from repro.provenance.why import WhyProvenance
 from repro.service.requests import (
+    ApplyDeltaRequest,
+    ApplyDeltaResponse,
     DeleteRequest,
     DeleteResponse,
     EvaluateRequest,
@@ -65,6 +69,7 @@ from repro.service.requests import (
     WhyResponse,
     error_response,
 )
+from repro.versioning import VersionedDatabase
 
 __all__ = ["ServiceEngine"]
 
@@ -117,9 +122,15 @@ class ServiceEngine:
         self._lock = threading.RLock()
         self._databases: Dict[str, Database] = {}
         self._queries: Dict[str, Query] = {}
-        #: (database name, query text) -> warm oracle; dropped when the
-        #: name is re-registered.
+        #: (database name, query text) -> warm oracle; incrementally
+        #: maintained on writes, selectively kept across re-registration.
         self._oracles: Dict[Tuple[str, str], HypotheticalDeletions] = {}
+        #: Versioned write handle per registered name (epoch + delta log
+        #: + maintained statistics).
+        self._versions: Dict[str, VersionedDatabase] = {}
+        #: How many times each name has been (re-)registered; version
+        #: tokens embed it so epochs never collide across registrations.
+        self._generations: Dict[str, int] = {}
         self._workers = workers
         self._optimizer_level = optimizer_level
         self._use_columnar = using_numpy() if use_columnar is None else use_columnar
@@ -136,6 +147,12 @@ class ServiceEngine:
             "witness_build_seconds": 0.0,
             "witness_rows": 0,
             "witness_count": 0,
+            # Write-path accounting: applied deltas and what happened to
+            # the warm oracles they touched.
+            "deltas_applied": 0,
+            "oracles_patched": 0,
+            "oracles_reused": 0,
+            "oracles_rebuilt": 0,
         }
         if (
             cache_entries is not None
@@ -154,17 +171,53 @@ class ServiceEngine:
     # Registry
     # ------------------------------------------------------------------
     def register_database(self, name: str, db: Database) -> None:
-        """Add or atomically replace the database served under ``name``."""
+        """Add or atomically replace the database served under ``name``.
+
+        Warm per-(database, query) oracles survive the swap when the new
+        snapshot leaves every relation their query reads **value-equal** —
+        a schema migration that adds relations, or replaces some while
+        keeping others, does not cold-start the queries it didn't touch.
+        Everything else (and the displaced snapshot's shared cache
+        entries) is dropped, so the registry never pins dead databases
+        alive.
+        """
         if not isinstance(db, Database):
             raise ServiceError(f"expected a Database for {name!r}, got {db!r}")
         with self._lock:
             self._check_open()
+            old_db = self._databases.get(name)
+            if old_db is db:
+                return  # same snapshot: warm state and epoch both stand
             self._databases[name] = db
-            # Warm state for the displaced snapshot can never be asked for
-            # again under this name; drop it so the registry does not pin
-            # dead databases alive.
+            generation = self._generations.get(name, 0) + 1
+            self._generations[name] = generation
+            self._versions[name] = VersionedDatabase(
+                db, name=f"{name}@{generation}"
+            )
             for key in [k for k in self._oracles if k[0] == name]:
-                del self._oracles[key]
+                oracle = self._oracles[key]
+                query = self._queries.get(key[1])
+                if (
+                    old_db is not None
+                    and old_db is not db
+                    and query is not None
+                    and all(
+                        rel in db and rel in old_db and db[rel] == old_db[rel]
+                        for rel in query.relation_names()
+                    )
+                ):
+                    rebased = oracle.rebased(db, keep_baseline=True)
+                    prov = rebased.provenance
+                    if prov is not None:
+                        provenance_cache.seed(
+                            "why", query, db, DEFAULT_VIEW_NAME, prov
+                        )
+                    self._oracles[key] = rebased
+                    self._counters["oracles_reused"] += 1
+                else:
+                    del self._oracles[key]
+            if old_db is not None and old_db is not db:
+                provenance_cache.invalidate_database(old_db)
 
     def database(self, name: str) -> Database:
         """The database registered under ``name``."""
@@ -255,6 +308,118 @@ class ServiceEngine:
             return winner
 
     # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+    def version(self, name: str) -> "VersionedDatabase":
+        """The versioned write handle for the database under ``name``."""
+        with self._lock:
+            self.database(name)  # raises ServiceError when unknown
+            return self._versions[name]
+
+    def apply_delta(
+        self, name: str, deletions=(), inserts=()
+    ) -> ApplyDeltaResponse:
+        """Apply a real write to the named database, maintaining warm state.
+
+        ``deletions``/``inserts`` are ``(relation, row)`` pairs.  The
+        versioned handle normalizes them to the net delta, bumps the
+        epoch, and keeps statistics current; then every warm structure is
+        *patched*, not rebuilt:
+
+        * the columnar store grows an append/tombstone form sharing the
+          old store's value pool and source index;
+        * each warm oracle whose query reads only untouched relations is
+          re-pointed with its provenance and baseline intact (``reused``);
+        * each oracle with a witness kernel gets the kernel delta-patched
+          — witness-table row drops for deletions, delta-branch
+          re-annotation for inserts (``patched``);
+        * oracles whose patch is refused (exponential-guard) are dropped
+          for lazy rebuild on next touch (``rebuilt``).
+
+        Finally the displaced snapshot's shared cache entries are
+        invalidated.  Answers after the write are bit-identical to a cold
+        engine over the post-delta database (pinned by the maintenance
+        property suite).
+        """
+        with self._lock:
+            self._check_open()
+            old_db = self.database(name)
+            vdb = self._versions[name]
+            delta = vdb.apply_delta(deletions, inserts)
+            if not delta:
+                return ApplyDeltaResponse(epoch=delta.epoch)
+            new_db = vdb.db
+            self._databases[name] = new_db
+            deleted_by: Dict[str, List[Row]] = {}
+            for rel, row in delta.deletions:
+                deleted_by.setdefault(rel, []).append(row)
+            inserted_by: Dict[str, List[Row]] = {}
+            for rel, row in delta.inserts:
+                inserted_by.setdefault(rel, []).append(row)
+            store = provenance_cache.peek("columnar", old_db, old_db, "")
+            new_store = None
+            if store is not None:
+                new_store = store.apply_delta(new_db, deleted_by, inserted_by)
+                provenance_cache.seed("columnar", new_db, new_db, "", new_store)
+            changed = set(delta.touched_relations())
+            patched = reused = rebuilt = 0
+            for key in [k for k in self._oracles if k[0] == name]:
+                oracle = self._oracles[key]
+                query = self._queries.get(key[1])
+                kernel = (
+                    oracle.provenance.kernel if oracle.provenance else None
+                )
+                if query is not None and changed.isdisjoint(
+                    query.relation_names()
+                ):
+                    # The write cannot change this query's answer or its
+                    # witnesses: carry everything over, baseline included.
+                    new_oracle = oracle.rebased(new_db, keep_baseline=True)
+                    reused += 1
+                elif kernel is None:
+                    # Compiled-plan fallback mode: nothing warm to patch
+                    # beyond the plan itself, which the memo carries.
+                    new_oracle = oracle.rebased(new_db)
+                    reused += 1
+                else:
+                    try:
+                        new_kernel = kernel.apply_delta(
+                            new_db,
+                            deleted_sources=delta.deletions,
+                            inserted_by_name=inserted_by,
+                            query=query,
+                            optimizer_level=self._optimizer_level,
+                            store=new_store,
+                        )
+                    except ExponentialGuardError:
+                        del self._oracles[key]
+                        rebuilt += 1
+                        continue
+                    new_oracle = oracle.rebased(
+                        new_db, prov=WhyProvenance.from_kernel(new_kernel)
+                    )
+                    patched += 1
+                prov = new_oracle.provenance
+                if prov is not None and query is not None:
+                    provenance_cache.seed(
+                        "why", query, new_db, DEFAULT_VIEW_NAME, prov
+                    )
+                self._oracles[key] = new_oracle
+            provenance_cache.invalidate_database(old_db)
+            self._counters["deltas_applied"] += 1
+            self._counters["oracles_patched"] += patched
+            self._counters["oracles_reused"] += reused
+            self._counters["oracles_rebuilt"] += rebuilt
+            return ApplyDeltaResponse(
+                epoch=delta.epoch,
+                deleted=len(delta.deletions),
+                inserted=len(delta.inserts),
+                patched=patched,
+                reused=reused,
+                rebuilt=rebuilt,
+            )
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(self, request) -> Response:
@@ -280,6 +445,10 @@ class ServiceEngine:
                 )[0]
             if isinstance(request, DeleteRequest):
                 return self._delete(request)
+            if isinstance(request, ApplyDeltaRequest):
+                return self.apply_delta(
+                    request.database, request.deletions, request.inserts
+                )
             raise ServiceError(f"unknown request type {type(request).__name__}")
         except ReproError as err:
             with self._lock:
@@ -437,6 +606,8 @@ class ServiceEngine:
             self._oracles.clear()
             self._databases.clear()
             self._queries.clear()
+            self._versions.clear()
+            self._generations.clear()
         close_pools()
 
     def __enter__(self) -> "ServiceEngine":

@@ -52,12 +52,14 @@ __all__ = [
     "WhereRequest",
     "HypotheticalRequest",
     "DeleteRequest",
+    "ApplyDeltaRequest",
     "Response",
     "EvaluateResponse",
     "WhyResponse",
     "WhereResponse",
     "HypotheticalResponse",
     "DeleteResponse",
+    "ApplyDeltaResponse",
     "error_response",
     "encode_request",
     "decode_request",
@@ -169,6 +171,26 @@ class DeleteRequest:
             )
 
 
+@dataclass(frozen=True)
+class ApplyDeltaRequest:
+    """Apply a real write to the named database (not hypothetical).
+
+    ``deletions``/``inserts`` are ``(relation, row)`` pairs.  The engine
+    bumps the database's epoch and incrementally maintains its warm
+    per-query state; the response reports the *net* applied delta.  The
+    only request kind with no ``query`` — writes are per-database.
+    """
+
+    database: str
+    deletions: FrozenSet[SourceTuple] = frozenset()
+    inserts: FrozenSet[SourceTuple] = frozenset()
+    kind = "apply_delta"
+
+    def __post_init__(self):
+        object.__setattr__(self, "deletions", _freeze_deletions(self.deletions))
+        object.__setattr__(self, "inserts", _freeze_deletions(self.inserts))
+
+
 #: Every request type, keyed by its wire ``kind``.
 REQUEST_KINDS = {
     cls.kind: cls
@@ -178,6 +200,7 @@ REQUEST_KINDS = {
         WhereRequest,
         HypotheticalRequest,
         DeleteRequest,
+        ApplyDeltaRequest,
     )
 }
 
@@ -234,6 +257,21 @@ class DeleteResponse(Response):
     kind = "delete"
 
 
+@dataclass(frozen=True)
+class ApplyDeltaResponse(Response):
+    #: The database's epoch after the write (unchanged for a no-op delta).
+    epoch: int = 0
+    #: Net applied deletions/insertions (no-op pairs normalized away).
+    deleted: int = 0
+    inserted: int = 0
+    #: Warm oracle accounting: delta-patched / reused as-is / dropped for
+    #: lazy rebuild.
+    patched: int = 0
+    reused: int = 0
+    rebuilt: int = 0
+    kind = "apply_delta"
+
+
 def error_response(message: str) -> Response:
     """The failure envelope every request kind shares."""
     return Response(ok=False, error=message)
@@ -246,11 +284,16 @@ def error_response(message: str) -> Response:
 def encode_request(request) -> Dict[str, object]:
     """A JSON-ready dict for ``request`` (sans transport envelope fields)."""
     kind = request.kind
-    out: Dict[str, object] = {
-        "kind": kind,
-        "database": request.database,
-        "query": request.query,
-    }
+    out: Dict[str, object] = {"kind": kind, "database": request.database}
+    if kind == "apply_delta":
+        out["deletions"] = [
+            [rel, list(row)] for rel, row in sorted(request.deletions, key=repr)
+        ]
+        out["inserts"] = [
+            [rel, list(row)] for rel, row in sorted(request.inserts, key=repr)
+        ]
+        return out
+    out["query"] = request.query
     if kind == "why":
         out["row"] = list(request.row)
     elif kind == "where":
@@ -280,6 +323,12 @@ def decode_request(payload: Dict[str, object]):
         )
     try:
         database = payload["database"]
+        if kind == "apply_delta":
+            return ApplyDeltaRequest(
+                database,
+                _freeze_deletions(payload.get("deletions", ())),
+                _freeze_deletions(payload.get("inserts", ())),
+            )
         query = payload["query"]
         if kind == "evaluate":
             return EvaluateRequest(database, query)
@@ -336,6 +385,13 @@ def encode_response(response: Response) -> Dict[str, object]:
             [rel, list(row)] for rel, row in response.deletions
         ]
         out["side_effects"] = [list(row) for row in response.side_effects]
+    elif isinstance(response, ApplyDeltaResponse):
+        out["epoch"] = response.epoch
+        out["deleted"] = response.deleted
+        out["inserted"] = response.inserted
+        out["patched"] = response.patched
+        out["reused"] = response.reused
+        out["rebuilt"] = response.rebuilt
     return out
 
 
@@ -378,5 +434,14 @@ def decode_response(payload: Dict[str, object]) -> Response:
                 (rel, tuple(row)) for rel, row in payload["deletions"]
             ),
             side_effects=tuple(tuple(row) for row in payload["side_effects"]),
+        )
+    if kind == "apply_delta":
+        return ApplyDeltaResponse(
+            epoch=payload["epoch"],
+            deleted=payload["deleted"],
+            inserted=payload["inserted"],
+            patched=payload.get("patched", 0),
+            reused=payload.get("reused", 0),
+            rebuilt=payload.get("rebuilt", 0),
         )
     raise ServiceError(f"unknown response kind {kind!r}")

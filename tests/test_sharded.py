@@ -382,6 +382,8 @@ class TestCacheCounters:
             "witness_build_seconds": 0.0,
             "witness_rows": 0,
             "witness_count": 0,
+            "invalidations": 0,
+            "version_bumps": 0,
         }
 
     def test_reset_stats_keeps_entries(self):

@@ -291,17 +291,21 @@ class TestRoundTrips:
         assert clone._masks() == snap._masks()
 
     def test_snapshot_old_pickle_state(self):
-        """5-tuple states from pre-CSR pickles still restore."""
+        """5-/6-tuple states from older pickles still restore."""
         db, query = random_instance(23, max_depth=2)
         prov = bitset_why_provenance(query, db)
         snap = prov._shard_snapshot()
         state = snap.__getstate__()
-        assert len(state) == 6
-        old = (state[0], state[1], state[2], snap._masks(), state[4])
-        clone = ShardSnapshot.__new__(ShardSnapshot)
-        clone.__setstate__(old)
-        assert clone.rows == snap.rows
-        assert clone._masks() == snap._masks()
+        assert len(state) == 7
+        for old in (
+            (state[0], state[1], state[2], snap._masks(), state[4]),
+            (state[0], state[1], state[2], snap._masks(), state[4], None),
+        ):
+            clone = ShardSnapshot.__new__(ShardSnapshot)
+            clone.__setstate__(old)
+            assert clone.rows == snap.rows
+            assert clone._masks() == snap._masks()
+            assert clone.version is None
 
     def test_snapshot_mmap_round_trip(self, tmp_path):
         db, query = random_instance(23, max_depth=3)
