@@ -12,11 +12,12 @@ Three modes:
   cliff tripping an assertion) surface without paying full benchmark cost.
 * ``python benchmarks/run_all.py --compare BASELINE.json`` — the CI perf
   gate: regenerate the tracked plan/optimizer/sharded/segmask/columnar/
-  witness/service/maintenance medians into a scratch file
+  witness/service/maintenance/observability medians into a scratch file
   (``bench_plan_compile.py`` + ``bench_optimizer.py`` +
   ``bench_sharded.py`` + ``bench_segmask.py`` + ``bench_columnar.py`` +
   ``bench_witness.py`` + ``bench_service.py`` +
-  ``bench_maintenance.py``), then fail if any tracked
+  ``bench_maintenance.py`` + ``bench_observability.py``), then fail if
+  any tracked
   median regressed more than 25% against the committed baseline (normally
   the repository's ``BENCH_plan.json``).  Most medians are speedup
   *ratios* measured baseline-vs-new on the same machine, so they transfer
@@ -26,7 +27,11 @@ Three modes:
   cares about and the same 25% tolerance applies (the host-transferable
   ``service.median_speedup_batched`` ratio is gated alongside it; on a
   slower host the throughput line may warn/fail while the ratio still
-  pins the batching win).  Degenerate baselines
+  pins the batching win).  One tracked value is a **ceiling**, not a
+  floor: ``observability.overhead_pct`` (the enabled-vs-disabled serving
+  latency regression) is lower-is-better and fails the gate when a fresh
+  run exceeds its absolute limit (5%), independent of the baseline.
+  Degenerate baselines
   (missing keys, zero/near-zero medians) are skipped with a named
   warning, never a traceback.
 
@@ -74,6 +79,14 @@ TRACKED_MEDIANS = (
 )
 REGRESSION_TOLERANCE = 0.25
 
+#: Dotted paths gated as **ceilings**: lower is better, and the limit is
+#: an absolute bound on the *fresh* value — a baseline that happened to
+#: record a lucky low number must not ratchet the bar.  (The floor gate
+#: above cannot express these: it rewards growth.)
+TRACKED_CEILINGS = (
+    ("observability.overhead_pct", 5.0),
+)
+
 #: Baseline medians at or below this are meaningless as gates: the recorded
 #: value is zero/garbage, and 75% of nothing would pass anything.
 NEAR_ZERO_MEDIAN = 1e-6
@@ -101,6 +114,7 @@ def evaluate_gate(
     fresh: dict,
     tracked=TRACKED_MEDIANS,
     tolerance: float = REGRESSION_TOLERANCE,
+    ceilings=TRACKED_CEILINGS,
 ) -> "tuple[list[str], list[str]]":
     """Gate ``fresh`` medians against ``baseline``: (report lines, failures).
 
@@ -110,6 +124,12 @@ def evaluate_gate(
     instead of raising ``KeyError``/``ZeroDivisionError`` or silently
     passing garbage.  A tracked key missing from the *fresh* run is a
     failure — the benchmark that should have produced it did not.
+
+    ``ceilings`` are lower-is-better metrics gated against an **absolute
+    limit on the fresh value** (the baseline is reported for context but
+    never moves the bar): a fresh value above the limit fails, a missing
+    fresh value fails, and no baseline is required at all — a ceiling
+    metric added after the committed baseline still gates.
     """
     floor_factor = 1.0 - tolerance
     lines: "list[str]" = []
@@ -149,6 +169,29 @@ def evaluate_gate(
                 f"{dotted}: {new:.2f}x is below {floor:.2f}x "
                 f"(baseline {base:.2f}x - {tolerance:.0%})"
             )
+    for dotted, limit in ceilings:
+        base = _lookup(baseline, dotted)
+        new = _lookup(fresh, dotted)
+        context = (
+            f"baseline {base:.2f}"
+            if isinstance(base, (int, float)) and not isinstance(base, bool)
+            else "no baseline"
+        )
+        if new is None:
+            failures.append(f"{dotted}: missing from the fresh run")
+            continue
+        if not isinstance(new, (int, float)) or isinstance(new, bool):
+            failures.append(f"{dotted}: fresh value {new!r} is not a number")
+            continue
+        verdict = "ok" if new <= limit else "EXCEEDED"
+        lines.append(
+            f"  {dotted}: fresh {new:.2f} (ceiling {limit:.2f}, {context}) "
+            f"— {verdict}"
+        )
+        if new > limit:
+            failures.append(
+                f"{dotted}: {new:.2f} exceeds the {limit:.2f} ceiling"
+            )
     return lines, failures
 
 
@@ -168,6 +211,7 @@ def run_compare(baseline_path: str) -> int:
             "bench_witness.py",
             "bench_service.py",
             "bench_maintenance.py",
+            "bench_observability.py",
         ):
             code = subprocess.call(
                 [

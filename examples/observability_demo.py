@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Watch the serving engine run: live metrics, slow queries, and a trace.
+
+The serving stack (``repro serve``) instruments itself end to end — every
+request lands in a latency histogram, the micro-batcher reports queue
+depth and coalescing, requests over a threshold enter the slow-query log
+with their rendered plan attached, and each request's span tree (parse →
+witness build → batcher queue → kernel) can be dumped as a Chrome
+trace-event file (open it at ``chrome://tracing`` or https://ui.perfetto.dev).
+
+This demo drives the whole loop in one process:
+
+1. write a small access-control database to a temp file;
+2. start the real CLI server (``repro serve``) on a free port with a
+   zero-millisecond slow-query threshold and a trace directory;
+3. drive mixed evaluate / why-provenance / hypothetical-deletion traffic
+   over the NDJSON socket;
+4. ask the live server for its stats (the same answer ``repro stats
+   host:port`` prints) and show the digest mid-traffic;
+5. let the server finish and print where the trace file landed.
+
+Run with: ``python examples/observability_demo.py``
+"""
+
+import json
+import os
+import socket
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.cli import main as repro_main  # noqa: E402
+from repro.workloads import usergroup_workload  # noqa: E402
+
+QUERY = "PROJECT[user, file](UserGroup JOIN GroupFile)"
+TRAFFIC = 24  # traffic requests; +1 stats request = the server's quota
+
+
+def write_database(path: str) -> None:
+    db, _query, _target = usergroup_workload(
+        num_users=12, num_groups=5, num_files=6, seed=42
+    )
+    payload = {
+        "relations": [
+            {
+                "name": name,
+                "schema": list(db[name].schema.attributes),
+                "rows": [list(row) for row in db[name].sorted_rows()],
+            }
+            for name in db
+        ]
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    print(
+        f"database: {sum(len(db[name]) for name in db)} source tuples "
+        f"across {len(list(db))} relations -> {path}"
+    )
+
+
+def start_server(db_path: str, port_file: str, trace_dir: str) -> threading.Thread:
+    thread = threading.Thread(
+        target=repro_main,
+        args=(
+            [
+                "serve",
+                db_path,
+                "--port",
+                "0",
+                "--port-file",
+                port_file,
+                "--max-requests",
+                str(TRAFFIC + 1),
+                "--slow-query-ms",
+                "0",
+                "--trace-dir",
+                trace_dir,
+            ],
+        ),
+        daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline:
+        if os.path.exists(port_file) and open(port_file).read().strip():
+            return thread
+        time.sleep(0.02)
+    raise SystemExit("server did not start")
+
+
+def build_traffic(db_path: str) -> list:
+    with open(db_path) as handle:
+        relations = json.load(handle)["relations"]
+    memberships = next(r for r in relations if r["name"] == "UserGroup")["rows"]
+    lines = []
+    for i in range(TRAFFIC):
+        if i % 4 == 0:
+            lines.append({"kind": "evaluate", "database": "db", "query": QUERY})
+        else:
+            user, group = memberships[i % len(memberships)]
+            lines.append(
+                {
+                    "kind": "hypothetical",
+                    "database": "db",
+                    "query": QUERY,
+                    "deletions": [["UserGroup", [user, group]]],
+                }
+            )
+        lines[-1]["id"] = i
+    return lines
+
+
+def roundtrip(sock_file, sock, payload: dict) -> dict:
+    sock.sendall((json.dumps(payload) + "\n").encode())
+    return json.loads(sock_file.readline())
+
+
+def print_stats_digest(answer: dict) -> None:
+    stats = answer["stats"]
+    metrics = answer["metrics"]
+    print("\n--- live stats (what `repro stats host:port` shows) ---")
+    print(f"requests: {stats['requests']}   errors: {stats['errors']}")
+    for name, snap in sorted(metrics["histograms"].items()):
+        if not name.startswith("service.latency.") or not snap["count"]:
+            continue
+        kind = name.rsplit(".", 1)[-1]
+        print(
+            f"  {kind:>13}: n={snap['count']:<4} "
+            f"p50={snap['p50'] * 1e6:.0f}us p95={snap['p95'] * 1e6:.0f}us"
+        )
+    batcher = stats.get("batcher", {})
+    print(
+        f"batcher: pending={batcher.get('pending')} "
+        f"batches={batcher.get('batches_issued')} "
+        f"coalesced={batcher.get('coalesced_requests')} "
+        f"expired={batcher.get('expired')} overloads={batcher.get('overloads')}"
+    )
+    slow = answer["slow_queries"]
+    print(f"slow queries (threshold 0ms, so everything qualifies): {len(slow)}")
+    for entry in slow[-3:]:
+        print(
+            f"  {entry['seconds'] * 1e3:7.2f}ms {entry['kind']:>12} "
+            f"{entry['query'][:48]}"
+        )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-obs-demo-") as scratch:
+        db_path = os.path.join(scratch, "db.json")
+        port_file = os.path.join(scratch, "port")
+        trace_dir = os.path.join(scratch, "traces")
+        write_database(db_path)
+        server = start_server(db_path, port_file, trace_dir)
+        host, port = open(port_file).read().split()
+        print(f"server: {host}:{port} (slow-query threshold 0ms, tracing on)")
+
+        lines = build_traffic(db_path)
+        half = len(lines) // 2
+        with socket.create_connection((host, int(port)), timeout=15) as sock:
+            sock_file = sock.makefile("r")
+            ok = sum(roundtrip(sock_file, sock, p)["ok"] for p in lines[:half])
+            print(f"\nfirst wave: {ok}/{half} answered ok")
+            stats_answer = roundtrip(
+                sock_file, sock, {"kind": "stats", "id": "stats"}
+            )
+            print_stats_digest(stats_answer)
+            ok = sum(roundtrip(sock_file, sock, p)["ok"] for p in lines[half:])
+            print(f"\nsecond wave: {ok}/{len(lines) - half} answered ok")
+
+        server.join(timeout=15)
+        traces = [f for f in os.listdir(trace_dir)] if os.path.isdir(trace_dir) else []
+        for name in traces:
+            path = os.path.join(trace_dir, name)
+            events = json.load(open(path))["traceEvents"]
+            kinds = sorted({e["name"] for e in events})
+            print(
+                f"\ntrace: {len(events)} events ({', '.join(kinds)}) in {name}"
+            )
+            print(
+                "open chrome://tracing or https://ui.perfetto.dev and load "
+                "the file to see per-request span trees"
+            )
+
+
+if __name__ == "__main__":
+    main()

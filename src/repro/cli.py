@@ -25,6 +25,9 @@ Sub-commands (query syntax is the DSL of :mod:`repro.algebra.parser`)::
     repro apply DB.json --delete '["UserGroup", ["joe", "g1"]]'
     repro apply DB.json --insert '["GroupFile", ["g2", "f9"]]' --dry-run
     repro serve DB.json --port 7464 --workers 4
+    repro serve DB.json --slow-query-ms 50 --trace-dir /tmp/traces
+    repro stats 127.0.0.1:7464
+    repro stats 127.0.0.1:7464 --format text
 
 ``apply`` performs a *real* write: the pair flags are repeatable, the
 delta is normalized to its net effect (delete-then-insert of the same row
@@ -43,6 +46,27 @@ sets the registry name requests address the database by (default ``db``);
 ``--max-requests N`` serves N requests and exits (smoke tests);
 ``--port-file PATH`` writes the bound ``host port`` once listening, so
 callers that passed ``--port 0`` learn the kernel-chosen port.
+
+Serving is observable (:mod:`repro.observability`): ``--slow-query-ms T``
+streams every request slower than ``T`` milliseconds to stderr (with the
+rendered plan and witness build stats attached) and keeps the offenders
+in the slow-query ring a ``StatsRequest`` reads back; ``--trace-dir DIR``
+buffers per-request span trees and dumps them as Chrome trace-event JSON
+(``DIR/repro-trace-<pid>.json``, loadable in ``chrome://tracing`` or
+Perfetto) on shutdown.
+
+``stats`` asks a running server for its live observability snapshot over
+one NDJSON request — request counters, per-kind latency histograms
+(p50/p95/p99), batcher queue stats, cache/pool counters, and recent
+slow-query entries.  ``--format text`` prints the Prometheus-style text
+exposition instead (the HTTP-free ``/metrics`` equivalent)::
+
+    $ repro stats 127.0.0.1:7464
+    requests: 1042   errors: 0
+    service.latency.hypothetical: p50=512.0us p99=4.1ms (n=871)
+    batcher: pending=3 batches_issued=112 coalesced_requests=759
+    slow queries (threshold 50.0ms): 2 logged
+      0.0613s hypothetical db PROJECT[user, file](UserGroup JOIN GroupFile)
 
 Exit status is 0 on success, 2 on usage errors, 1 on library errors (which
 are printed, not raised).
@@ -322,13 +346,43 @@ def _cmd_apply(args: argparse.Namespace) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
+    import os
 
+    from repro.observability import SlowQueryLog, TraceSink, install_sink
     from repro.service import MicroBatcher, ServiceEngine, ServiceServer
 
     db = load_database(args.database)
 
+    slow_log = None
+    if args.slow_query_ms is not None:
+
+        def _report(entry: dict) -> None:
+            line = (
+                f"slow query: {entry['seconds']:.4f}s {entry['kind']} "
+                f"{entry['database']} {entry['query']}"
+            )
+            if "plan" in entry:
+                line += f"\n  plan:\n    " + str(entry["plan"]).replace(
+                    "\n", "\n    "
+                )
+            if "build_stats" in entry:
+                line += f"\n  build_stats: {entry['build_stats']}"
+            print(line, file=sys.stderr, flush=True)
+
+        slow_log = SlowQueryLog(
+            threshold_s=args.slow_query_ms / 1000.0, sink=_report
+        )
+
+    sink = None
+    if args.trace_dir is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        sink = TraceSink()
+        install_sink(sink)
+
     async def run() -> None:
-        with ServiceEngine({args.name: db}, workers=args.workers) as engine:
+        with ServiceEngine(
+            {args.name: db}, workers=args.workers, slow_query_log=slow_log
+        ) as engine:
             with MicroBatcher(
                 engine,
                 max_batch=args.max_batch,
@@ -356,6 +410,107 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        if sink is not None:
+            install_sink(None)
+            path = os.path.join(
+                args.trace_dir, f"repro-trace-{os.getpid()}.json"
+            )
+            events = sink.dump(path)
+            print(f"trace: {events} events -> {path}", file=sys.stderr)
+
+
+def _format_latency(seconds: "float | None") -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    import socket
+
+    from repro.service import StatsRequest, encode_request
+
+    host, _, port_text = args.address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ReproError(
+            f"address must be host:port, got {args.address!r}"
+        )
+    payload = encode_request(StatsRequest(format=args.format))
+    payload["id"] = 1
+    try:
+        with socket.create_connection(
+            (host, int(port_text)), timeout=args.timeout_s
+        ) as conn:
+            conn.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+    except OSError as err:
+        raise ReproError(f"cannot reach {args.address}: {err}") from None
+    envelope = json.loads(data.decode("utf-8"))
+    if not envelope.get("ok"):
+        raise ReproError(f"server answered: {envelope.get('error')}")
+    if args.format == "text":
+        print(envelope.get("text", ""), end="")
+        return
+    if args.json:
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+        return
+    stats = envelope.get("stats", {})
+    metrics = envelope.get("metrics", {})
+    print(f"requests: {stats.get('requests', 0)}   errors: {stats.get('errors', 0)}")
+    for name, snap in sorted(metrics.get("histograms", {}).items()):
+        if not snap.get("count"):
+            continue
+        # Histograms are latencies unless the name says otherwise
+        # (batch_size / coalesce_factor count requests, not seconds).
+        timed = "seconds" in name or ".latency." in name
+        fmt = _format_latency if timed else (lambda v: "-" if v is None else f"{v:g}")
+        print(
+            f"{name}: p50={fmt(snap.get('p50'))} "
+            f"p95={fmt(snap.get('p95'))} "
+            f"p99={fmt(snap.get('p99'))} (n={snap['count']})"
+        )
+    batcher = stats.get("batcher")
+    if isinstance(batcher, dict):
+        print(
+            f"batcher: pending={batcher.get('pending', 0)} "
+            f"batches_issued={batcher.get('batches_issued', 0)} "
+            f"coalesced_requests={batcher.get('coalesced_requests', 0)} "
+            f"expired={batcher.get('expired', 0)} "
+            f"overloads={batcher.get('overloads', 0)}"
+        )
+    cache = stats.get("cache")
+    if isinstance(cache, dict):
+        print(
+            f"cache: hits={cache.get('hits', 0)} misses={cache.get('misses', 0)} "
+            f"evictions={cache.get('evictions', 0)} spills={cache.get('spills', 0)}"
+        )
+    pools = stats.get("pools")
+    if isinstance(pools, dict):
+        print(
+            f"pools: created={pools.get('created', 0)} "
+            f"reused={pools.get('reused', 0)} "
+            f"live_thread={pools.get('live_thread_pools', 0)} "
+            f"live_process={pools.get('live_process_pools', 0)}"
+        )
+    slow = envelope.get("slow_queries", [])
+    if slow:
+        threshold = slow[-1].get("threshold_s", 0.0)
+        print(f"slow queries (threshold {threshold * 1e3:.1f}ms): {len(slow)} logged")
+        for entry in slow[-args.slow_limit:]:
+            print(
+                f"  {entry.get('seconds', 0.0):.4f}s {entry.get('kind', '?')} "
+                f"{entry.get('database', '?')} {entry.get('query', '')}"
+            )
 
 
 def _cmd_annotate(args: argparse.Namespace) -> None:
@@ -527,7 +682,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the bound 'host port' here once listening",
     )
+    p_serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log requests slower than MS milliseconds to stderr and keep "
+        "them in the slow-query ring a StatsRequest reads back",
+    )
+    p_serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="buffer per-request span trees and dump Chrome trace-event "
+        "JSON to DIR/repro-trace-<pid>.json on shutdown",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="print a running server's live metrics/stats snapshot",
+    )
+    p_stats.add_argument(
+        "address", help="the server's host:port (e.g. 127.0.0.1:7464)"
+    )
+    p_stats.add_argument(
+        "--format",
+        choices=("json", "text"),
+        default="json",
+        help="json (default: a human-readable digest of the JSON snapshot) "
+        "or text (the raw Prometheus-style exposition)",
+    )
+    p_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON envelope instead of the digest",
+    )
+    p_stats.add_argument(
+        "--timeout-s",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="connect/read timeout (default: 10s)",
+    )
+    p_stats.add_argument(
+        "--slow-limit",
+        type=_positive_int,
+        default=10,
+        metavar="N",
+        help="most slow-query entries printed in the digest (default: 10)",
+    )
+    p_stats.set_defaults(handler=_cmd_stats)
 
     p_ann = sub.add_parser("annotate", help="plan an annotation placement")
     p_ann.add_argument("database")

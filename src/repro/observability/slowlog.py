@@ -1,0 +1,95 @@
+"""Slow-query log: a bounded ring of requests that blew a latency budget.
+
+The metrics histograms say *that* p99 moved; the slow-query log says
+*which* queries moved it.  :class:`SlowQueryLog` keeps the most recent
+``capacity`` offenders over ``threshold_s`` with enough context to
+reproduce them offline: request kind, database, query text, the rendered
+plan, and the witness ``build_stats`` when the offense was a cold build.
+
+``note()`` is called from the engine's request path with the measured
+wall time; below-threshold calls return ``False`` on a single compare.
+An optional ``sink`` callable sees each entry as it is logged — the CLI
+uses it to stream offenders to stderr while serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Ring buffer of requests slower than ``threshold_s`` seconds."""
+
+    def __init__(
+        self,
+        threshold_s: float = 0.1,
+        capacity: int = 128,
+        sink: Optional[Callable[[Dict[str, object]], None]] = None,
+    ):
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be >= 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_s = threshold_s
+        self.capacity = capacity
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._entries: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self._total = 0
+
+    def note(
+        self,
+        kind: str,
+        database: str,
+        query: str,
+        seconds: float,
+        detail: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Log the request if it exceeded the threshold; ``True`` if logged."""
+        if seconds < self.threshold_s:
+            return False
+        entry: Dict[str, object] = {
+            "ts": time.time(),
+            "kind": kind,
+            "database": database,
+            "query": query,
+            "seconds": seconds,
+            "threshold_s": self.threshold_s,
+        }
+        if detail:
+            entry.update(detail)
+        with self._lock:
+            self._entries.append(entry)
+            self._total += 1
+        sink = self._sink
+        if sink is not None:
+            try:
+                sink(entry)
+            except Exception:
+                pass  # a broken sink must not fail the request it observed
+        return True
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Most-recent-last copies of the buffered entries."""
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    @property
+    def total(self) -> int:
+        """Offenders ever logged, including ones the ring has dropped."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._total = 0

@@ -45,10 +45,13 @@ import atexit
 import multiprocessing
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Sequence, Tuple
 
+from repro.observability.metrics import default_registry
+from repro.observability.tracing import tracer as _tracer
 from repro.parallel.shards import ShardSnapshot, plan_shards
 
 __all__ = [
@@ -119,14 +122,20 @@ def _attach_cached(path: str, expect_version=None) -> ShardSnapshot:
     re-attach raises :class:`~repro.errors.StaleSnapshotError` rather than
     letting a worker answer from a superseded epoch.
     """
+    # The attach-vs-hit counters live in the *calling process's* default
+    # registry: the parent and thread workers share one, while spawn/fork
+    # process workers count in their own interpreter (unscraped — the
+    # parent-side `parallel.batch_seconds` histogram still covers them).
     snapshot = _ATTACHED.get(path)
     if snapshot is not None and (
         expect_version is None or snapshot.version == expect_version
     ):
         _ATTACHED.move_to_end(path)
+        default_registry().counter("parallel.mmap.attach_hits").inc()
         return snapshot
     if snapshot is not None:
         del _ATTACHED[path]
+    default_registry().counter("parallel.mmap.attaches").inc()
     snapshot = ShardSnapshot.attach_file(path, expect_version=expect_version)
     _ATTACHED[path] = snapshot
     while len(_ATTACHED) > _MAX_ATTACHED:
@@ -145,6 +154,23 @@ def _run_chunk_mmap(args: "Tuple[str, Sequence] | Tuple[str, Sequence, object]")
     return _attach_cached(path, expect).destroyed_indices_chunk(
         masks, 0, len(masks)
     )
+
+
+def _timed_chunk(fn):
+    """Run one chunk task, recording its latency per executing thread.
+
+    Thread-backend chunks run in the parent process, so their latency
+    lands in the shared default registry (``parallel.chunk_seconds``) —
+    the per-worker task-latency distribution the pool's scheduling is
+    judged by.  Near-free when the registry is disabled.
+    """
+    started = time.perf_counter()
+    try:
+        return fn()
+    finally:
+        default_registry().histogram("parallel.chunk_seconds").observe(
+            time.perf_counter() - started
+        )
 
 
 def resolve_backend(backend: str, workers: int, total: int) -> str:
@@ -267,8 +293,10 @@ class WorkerPool:
         if self._executor is not None:
             return list(
                 self._executor.map(
-                    lambda rng: snapshot.destroyed_indices_chunk(
-                        masks, rng[0], rng[1], force_python=force_python
+                    lambda rng: _timed_chunk(
+                        lambda: snapshot.destroyed_indices_chunk(
+                            masks, rng[0], rng[1], force_python=force_python
+                        )
                     ),
                     shards,
                 )
@@ -298,8 +326,10 @@ class WorkerPool:
         if self._executor is not None:
             return list(
                 self._executor.map(
-                    lambda task: task[0].destroyed_indices_chunk(
-                        task[1], 0, len(task[1]), force_python=force_python
+                    lambda task: _timed_chunk(
+                        lambda: task[0].destroyed_indices_chunk(
+                            task[1], 0, len(task[1]), force_python=force_python
+                        )
                     ),
                     tasks,
                 )
@@ -327,10 +357,12 @@ class WorkerPool:
         if self._executor is not None:
             return list(
                 self._executor.map(
-                    lambda task: _attach_cached(
-                        task[0], task[2] if len(task) > 2 else None
-                    ).destroyed_indices_chunk(
-                        task[1], 0, len(task[1]), force_python=force_python
+                    lambda task: _timed_chunk(
+                        lambda: _attach_cached(
+                            task[0], task[2] if len(task) > 2 else None
+                        ).destroyed_indices_chunk(
+                            task[1], 0, len(task[1]), force_python=force_python
+                        )
                     ),
                     tasks,
                 )
@@ -506,6 +538,7 @@ def sharded_destroyed_indices(
     total = len(masks)
     if total == 0:
         return []
+    batch_started = time.perf_counter()
     if chunk_size is None and workers > 1:
         # Balanced over the workers, but never below the amortization
         # floor: fewer, larger shards beat idle-free scheduling once the
@@ -578,6 +611,11 @@ def sharded_destroyed_indices(
                         masks, start, stop, force_python=force_python
                     )
                 )
+        registry = default_registry()
+        registry.histogram("parallel.batch_seconds").observe(
+            time.perf_counter() - batch_started
+        )
+        registry.counter("parallel.batches.serial").inc()
         return out
 
     # Persistent pools are shared process-wide, so a concurrent
@@ -595,14 +633,20 @@ def sharded_destroyed_indices(
             else None,
         )
         try:
-            if mmap_tasks is not None:
-                parts = pool.run_mmap(mmap_tasks, force_python=force_python)
-            elif tasks is not None:
-                parts = pool.run_payload(tasks, force_python=force_python)
-            else:
-                parts = pool.run(
-                    snapshot, masks, shards, force_python=force_python
-                )
+            with _tracer.span(
+                "shard_kernel",
+                backend=chosen,
+                workers=workers,
+                shards=len(shards),
+            ):
+                if mmap_tasks is not None:
+                    parts = pool.run_mmap(mmap_tasks, force_python=force_python)
+                elif tasks is not None:
+                    parts = pool.run_payload(tasks, force_python=force_python)
+                else:
+                    parts = pool.run(
+                        snapshot, masks, shards, force_python=force_python
+                    )
             break
         except (RuntimeError, ValueError, OSError):
             if pool.healthy():
@@ -635,4 +679,9 @@ def sharded_destroyed_indices(
     merged: List[Tuple[int, ...]] = []
     for part in parts:
         merged.extend(part)
+    registry = default_registry()
+    registry.histogram("parallel.batch_seconds").observe(
+        time.perf_counter() - batch_started
+    )
+    registry.counter(f"parallel.batches.{chosen}").inc()
     return merged

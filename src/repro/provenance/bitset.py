@@ -49,6 +49,7 @@ from repro.algebra.evaluate import DEFAULT_VIEW_NAME
 from repro.algebra.plan import CompiledPlan
 from repro.algebra.relation import Database, Relation, Row
 from repro.algebra.schema import Schema
+from repro.observability.metrics import default_registry as _registry
 from repro.parallel import ShardSnapshot, sharded_destroyed_indices
 from repro.provenance.cache import cached_plan
 from repro.provenance.interning import SourceIndex, iter_bits
@@ -749,6 +750,7 @@ class BitsetProvenance:
                 new_seg if new_seg is not None else seg_patch
             )
             kernel._touched = new_touched
+            _registry().counter("provenance.delta.patched").inc()
             return kernel
 
         nonlinear = _join_nonlinear_names(query)
@@ -837,6 +839,7 @@ class BitsetProvenance:
             kernel._seg_witnesses, kernel._touched = self._derived_after_updates(
                 new_seg, new_touched, updates
             )
+        _registry().counter("provenance.delta.patched").inc()
         return kernel
 
     def _drop_from_dicts(
@@ -977,6 +980,7 @@ class BitsetProvenance:
         row ids translate into this kernel's index), landing back in the
         CSR form — the fallback is then no slower than a cold build.
         """
+        _registry().counter("provenance.delta.reannotated").inc()
         return bitset_why_provenance(
             query,
             new_db,
@@ -1063,4 +1067,5 @@ def bitset_why_provenance(
         "path": path,
     }
     provenance_cache.note_witness_build(seconds, len(table), nwits)
+    _registry().histogram("provenance.witness_build_seconds").observe(seconds)
     return prov

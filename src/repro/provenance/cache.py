@@ -620,6 +620,29 @@ class ProvenanceCache:
             self._release(self._plan_inflight, key)
             return plan
 
+    def peek_plan(
+        self,
+        query: Query,
+        db: Database,
+        optimizer_level: "int | None" = None,
+    ) -> "CompiledPlan | None":
+        """The memoized plan for the key, or None — never compiles.
+
+        Does not touch the plan hit/miss counters or the LRU order: the
+        slow-query log uses this to attach the rendered plan of an
+        already-served request, which is diagnostics, not serving.
+        """
+        level = DEFAULT_OPTIMIZER_LEVEL if optimizer_level is None else optimizer_level
+        names = sorted(query.relation_names())
+        signature = tuple(
+            (name, db[name].schema.attributes if name in db else None)
+            for name in names
+        )
+        version = stats_version(db, names) if level > 0 else None
+        key = (id(query), signature, level, version)
+        with self._lock:
+            return self._plans.get(key)
+
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters.
 

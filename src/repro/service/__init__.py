@@ -34,11 +34,15 @@ from repro.service.requests import (
     DeleteResponse,
     EvaluateRequest,
     EvaluateResponse,
+    HealthRequest,
+    HealthResponse,
     HypotheticalRequest,
     HypotheticalResponse,
     Response,
     ServiceError,
     ServiceOverloadError,
+    StatsRequest,
+    StatsResponse,
     WhereRequest,
     WhereResponse,
     WhyRequest,
@@ -65,12 +69,16 @@ __all__ = [
     "WhereRequest",
     "HypotheticalRequest",
     "DeleteRequest",
+    "StatsRequest",
+    "HealthRequest",
     "Response",
     "EvaluateResponse",
     "WhyResponse",
     "WhereResponse",
     "HypotheticalResponse",
     "DeleteResponse",
+    "StatsResponse",
+    "HealthResponse",
     "encode_request",
     "decode_request",
     "encode_response",

@@ -38,6 +38,7 @@ from collections import deque
 from concurrent.futures import Future
 from typing import Deque, List, Optional, Tuple
 
+from repro.observability.tracing import tracer as _tracer
 from repro.service.engine import ServiceEngine
 from repro.service.requests import (
     DeadlineExceededError,
@@ -51,14 +52,21 @@ __all__ = ["MicroBatcher", "PendingRequest"]
 
 
 class PendingRequest:
-    """A queued request: the payload, its future, and its deadline."""
+    """A queued request: payload, future, deadline, and trace context.
 
-    __slots__ = ("request", "future", "deadline")
+    ``enqueued`` stamps the submit time (queue-wait latency); ``span`` is
+    the submitter's captured trace span, re-adopted on the scheduler
+    thread so engine spans nest under the request's tree.
+    """
+
+    __slots__ = ("request", "future", "deadline", "enqueued", "span")
 
     def __init__(self, request, future: Future, deadline: Optional[float]):
         self.request = request
         self.future = future
         self.deadline = deadline
+        self.enqueued = time.monotonic()
+        self.span = _tracer.capture()
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now >= self.deadline
@@ -99,6 +107,20 @@ class MicroBatcher:
         self._closed = False
         self._batches_issued = 0
         self._coalesced = 0
+        self._expired = 0
+        self._overloads = 0
+        metrics = engine.metrics
+        self._m_depth = metrics.gauge("batcher.queue_depth")
+        # Count-shaped buckets (powers of two up to max_batch scale): these
+        # two histograms hold request counts, not seconds, so quantiles
+        # must land on whole batch sizes.
+        counts = tuple(float(2 ** i) for i in range(13))
+        self._m_batch_size = metrics.histogram("batcher.batch_size", buckets=counts)
+        self._m_coalesce = metrics.histogram("batcher.coalesce_factor", buckets=counts)
+        self._m_queue_wait = metrics.histogram("batcher.queue_wait_seconds")
+        self._m_expired = metrics.counter("batcher.expired")
+        self._m_overload = metrics.counter("batcher.overload")
+        engine.add_stats_source("batcher", self.stats)
         self._thread = threading.Thread(
             target=self._run, name="repro-batcher", daemon=True
         )
@@ -122,12 +144,17 @@ class MicroBatcher:
         )
         with self._cond:
             if self._closed:
+                self._overloads += 1
+                self._m_overload.inc()
                 raise ServiceOverloadError("batcher is closed")
             if len(self._queue) >= self._max_pending:
+                self._overloads += 1
+                self._m_overload.inc()
                 raise ServiceOverloadError(
                     f"request queue is full ({self._max_pending} pending)"
                 )
             self._queue.append(pending)
+            self._m_depth.set(len(self._queue))
             self._cond.notify()
         return future
 
@@ -146,8 +173,10 @@ class MicroBatcher:
                 if self._closed:
                     leftovers = list(self._queue)
                     self._queue.clear()
+                    self._m_depth.set(0)
                     break
                 head = self._queue.popleft()
+                self._m_depth.set(len(self._queue))
             if head.expired(time.monotonic()):
                 self._fail_expired(head)
                 continue
@@ -168,6 +197,9 @@ class MicroBatcher:
                 pending.future.set_result(error_response("service is shutting down"))
 
     def _fail_expired(self, pending: PendingRequest) -> None:
+        with self._cond:
+            self._expired += 1
+        self._m_expired.inc()
         if not pending.future.done():
             pending.future.set_result(
                 error_response(
@@ -177,8 +209,13 @@ class MicroBatcher:
             )
 
     def _serve_single(self, pending: PendingRequest) -> None:
+        self._m_queue_wait.observe(time.monotonic() - pending.enqueued)
         try:
-            response = self._engine.execute(pending.request)
+            with _tracer.adopt(pending.span):
+                with _tracer.span(
+                    "batcher_serve", wait_s=time.monotonic() - pending.enqueued
+                ):
+                    response = self._engine.execute(pending.request)
         except Exception as err:  # engine converts; this is the backstop
             response = error_response(f"{type(err).__name__}: {err}")
         if not pending.future.done():
@@ -211,6 +248,7 @@ class MicroBatcher:
                         kept.append(pending)
                 kept.extend(self._queue)
                 self._queue = kept
+                self._m_depth.set(len(self._queue))
                 if matched:
                     continue
                 remaining = window_ends - time.monotonic()
@@ -234,12 +272,18 @@ class MicroBatcher:
             return
         self._batches_issued += 1
         self._coalesced += len(live) - 1
+        self._m_batch_size.observe(len(live))
+        self._m_coalesce.observe(len(live))  # requests answered per kernel call
+        for pending in live:
+            self._m_queue_wait.observe(now - pending.enqueued)
         try:
-            responses = self._engine.execute_hypothetical_batch(
-                head.request.database,
-                head.request.query,
-                [pending.request.deletions for pending in live],
-            )
+            with _tracer.adopt(head.span):
+                with _tracer.span("batch_kernel", batch=len(live)):
+                    responses = self._engine.execute_hypothetical_batch(
+                        head.request.database,
+                        head.request.query,
+                        [pending.request.deletions for pending in live],
+                    )
         except Exception as err:  # engine surfaces ReproError; be safe
             failure = error_response(str(err))
             for pending in live:
@@ -259,6 +303,8 @@ class MicroBatcher:
                 "pending": len(self._queue),
                 "batches_issued": self._batches_issued,
                 "coalesced_requests": self._coalesced,
+                "expired": self._expired,
+                "overloads": self._overloads,
                 "max_batch": self._max_batch,
                 "max_delay_s": self._max_delay_s,
                 "max_pending": self._max_pending,

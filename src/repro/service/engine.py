@@ -30,8 +30,10 @@ shared caches and kernels the library uses standalone (pinned by
 
 from __future__ import annotations
 
+import copy
 import threading
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import ExponentialGuardError, ReproError
 from repro.algebra.ast import Query
@@ -43,6 +45,8 @@ from repro.columnar import cached_column_store, using_numpy
 from repro.columnar.store import ColumnStore
 from repro.deletion.api import delete_view_tuple, minimum_source_deletion
 from repro.deletion.hypothetical import HypotheticalDeletions
+from repro.observability import MetricsRegistry, SlowQueryLog, default_registry
+from repro.observability.tracing import tracer as _tracer
 from repro.parallel.executor import close_pools, pool_registry
 from repro.provenance.cache import (
     cached_plan,
@@ -59,10 +63,14 @@ from repro.service.requests import (
     DeleteResponse,
     EvaluateRequest,
     EvaluateResponse,
+    HealthRequest,
+    HealthResponse,
     HypotheticalRequest,
     HypotheticalResponse,
     Response,
     ServiceError,
+    StatsRequest,
+    StatsResponse,
     WhereRequest,
     WhereResponse,
     WhyRequest,
@@ -118,6 +126,9 @@ class ServiceEngine:
         cache_bytes: Optional[int] = None,
         cache_spill_dir: Optional[str] = None,
         use_columnar: Optional[bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        slow_query_log: Optional[SlowQueryLog] = None,
+        slow_query_s: Optional[float] = None,
     ):
         self._lock = threading.RLock()
         self._databases: Dict[str, Database] = {}
@@ -154,6 +165,26 @@ class ServiceEngine:
             "oracles_reused": 0,
             "oracles_rebuilt": 0,
         }
+        # Observability: the metrics registry the serving layers record to
+        # (defaults to the process-wide one), the per-request-kind latency
+        # histograms (created on first touch), and the slow-query log.
+        self._metrics = metrics if metrics is not None else default_registry()
+        self._latency: Dict[str, object] = {}
+        # Hot-path instruments resolved once: the registry accessor takes
+        # its lock per lookup, which the per-request path should not pay.
+        self._m_requests = self._metrics.counter("service.requests")
+        self._m_errors = self._metrics.counter("service.errors")
+        self._m_warm_hits = self._metrics.counter("service.oracle.warm_hits")
+        self._m_cold_builds = self._metrics.counter("service.oracle.cold_builds")
+        if slow_query_log is None and slow_query_s is not None:
+            slow_query_log = SlowQueryLog(threshold_s=slow_query_s)
+        self._slow_log = slow_query_log
+        self._started = time.time()
+        #: Extra stats() sections pulled live (the batcher self-registers
+        #: as "batcher" so a StatsRequest sees queue depth mid-traffic).
+        self._stats_sources: Dict[str, Callable[[], Dict[str, object]]] = {}
+        self._metrics.register_collector("provenance_cache", provenance_cache.stats)
+        self._metrics.register_collector("pools", lambda: pool_registry().stats())
         if (
             cache_entries is not None
             or cache_bytes is not None
@@ -283,16 +314,19 @@ class ServiceEngine:
             self._check_open()
             oracle = self._oracles.get(key)
             if oracle is not None:
+                self._m_warm_hits.inc()
                 return oracle
             query = self.query(query_text)
             db = self.database(database)
-        oracle = HypotheticalDeletions(
-            query,
-            db,
-            optimizer_level=self._optimizer_level,
-            workers=self._workers,
-            store=self._column_store(db),
-        )
+        self._m_cold_builds.inc()
+        with _tracer.span("witness_build", database=database):
+            oracle = HypotheticalDeletions(
+                query,
+                db,
+                optimizer_level=self._optimizer_level,
+                workers=self._workers,
+                store=self._column_store(db),
+            )
         prov = oracle.provenance
         build_stats = (
             getattr(prov.kernel, "build_stats", None) if prov is not None else None
@@ -305,7 +339,11 @@ class ServiceEngine:
                 self._counters["witness_build_seconds"] += build_stats["seconds"]
                 self._counters["witness_rows"] += build_stats["rows"]
                 self._counters["witness_count"] += build_stats["witnesses"]
-            return winner
+        if winner is oracle and build_stats:
+            self._metrics.histogram("service.witness_build.seconds").observe(
+                build_stats["seconds"]
+            )
+        return winner
 
     # ------------------------------------------------------------------
     # The write path
@@ -410,6 +448,10 @@ class ServiceEngine:
             self._counters["oracles_patched"] += patched
             self._counters["oracles_reused"] += reused
             self._counters["oracles_rebuilt"] += rebuilt
+            self._metrics.counter("service.delta.applied").inc()
+            self._metrics.counter("service.delta.oracles_patched").inc(patched)
+            self._metrics.counter("service.delta.oracles_reused").inc(reused)
+            self._metrics.counter("service.delta.oracles_rebuilt").inc(rebuilt)
             return ApplyDeltaResponse(
                 epoch=delta.epoch,
                 deleted=len(delta.deletions),
@@ -429,9 +471,42 @@ class ServiceEngine:
         malformed payload that slips past the wire decoder (an unhashable
         row value, a non-string database name) must answer an error, never
         take down the serving loop that called us.
+
+        Each request records its wall time into the per-kind latency
+        histogram (``service.latency.<kind>``), runs under a ``request``
+        trace span, and is noted in the slow-query log when it exceeds
+        the configured threshold.
         """
         with self._lock:
             self._counters["requests"] += 1
+        self._m_requests.inc()
+        kind = getattr(request, "kind", type(request).__name__)
+        started = time.perf_counter()
+        with _tracer.span("request", kind=kind):
+            response = self._dispatch(request)
+        elapsed = time.perf_counter() - started
+        if kind != "hypothetical":
+            # Hypothetical latency is recorded per candidate inside
+            # execute_hypothetical_batch — the batcher reaches it without
+            # passing through here, and this path would double-count.
+            self._latency_histogram(kind).observe(elapsed)
+        if not response.ok:
+            with self._lock:
+                self._counters["errors"] += 1
+            self._m_errors.inc()
+        slow_log = self._slow_log
+        if slow_log is not None and kind not in ("stats", "health"):
+            if elapsed >= slow_log.threshold_s:
+                slow_log.note(
+                    kind,
+                    getattr(request, "database", ""),
+                    getattr(request, "query", ""),
+                    elapsed,
+                    detail=self._slow_detail(request, response),
+                )
+        return response
+
+    def _dispatch(self, request) -> Response:
         try:
             if isinstance(request, EvaluateRequest):
                 return self._evaluate(request)
@@ -449,15 +524,62 @@ class ServiceEngine:
                 return self.apply_delta(
                     request.database, request.deletions, request.inserts
                 )
+            if isinstance(request, StatsRequest):
+                return self._stats_response(request)
+            if isinstance(request, HealthRequest):
+                return self._health_response(request)
             raise ServiceError(f"unknown request type {type(request).__name__}")
         except ReproError as err:
-            with self._lock:
-                self._counters["errors"] += 1
             return error_response(str(err))
         except Exception as err:  # noqa: BLE001 - the serving boundary
-            with self._lock:
-                self._counters["errors"] += 1
             return error_response(f"{type(err).__name__}: {err}")
+
+    def _latency_histogram(self, kind: str):
+        hist = self._latency.get(kind)
+        if hist is None:
+            hist = self._metrics.histogram(f"service.latency.{kind}")
+            self._latency[kind] = hist
+        return hist
+
+    def _slow_detail(self, request, response: Response) -> Dict[str, object]:
+        """Rendered plan + witness build stats for a slow-query entry.
+
+        Best-effort: only warm state is consulted (``peek``-style) so the
+        log itself never triggers a compile or build.
+        """
+        detail: Dict[str, object] = {"ok": response.ok}
+        if response.error:
+            detail["error"] = response.error
+        query_text = getattr(request, "query", "")
+        database = getattr(request, "database", "")
+        if query_text and database:
+            detail.update(self._slow_detail_for(database, query_text))
+        return detail
+
+    def _slow_detail_for(
+        self, database: str, query_text: str
+    ) -> Dict[str, object]:
+        detail: Dict[str, object] = {}
+        try:
+            with self._lock:
+                query = self._queries.get(query_text)
+                db = self._databases.get(database)
+                oracle = self._oracles.get((database, query_text))
+            if query is not None and db is not None:
+                plan = provenance_cache.peek_plan(
+                    query, db, self._optimizer_level
+                )
+                if plan is not None:
+                    detail["plan"] = plan.explain()
+            if oracle is not None and oracle.provenance is not None:
+                build_stats = getattr(
+                    oracle.provenance.kernel, "build_stats", None
+                )
+                if build_stats:
+                    detail["build_stats"] = dict(build_stats)
+        except Exception:  # the log must never fail the request it observed
+            pass
+        return detail
 
     def _evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
         query = self.query(request.query)
@@ -535,6 +657,7 @@ class ServiceEngine:
         per-candidate :meth:`~repro.deletion.hypothetical.
         HypotheticalDeletions.view_after` calls.
         """
+        started = time.perf_counter()
         oracle = self.oracle(database, query_text)
         distinct: Dict[FrozenSet[SourceTuple], int] = {}
         order: List[FrozenSet[SourceTuple]] = []
@@ -554,6 +677,26 @@ class ServiceEngine:
             )
             for answer in answers
         ]
+        # Every candidate in the batch experienced the batch's wall time;
+        # the batcher reaches this entry point without passing through
+        # execute(), so per-request hypothetical latency lands here.
+        elapsed = time.perf_counter() - started
+        hist = self._latency_histogram("hypothetical")
+        for _ in deletion_sets:
+            hist.observe(elapsed)
+        slow_log = self._slow_log
+        if slow_log is not None and elapsed >= slow_log.threshold_s:
+            slow_log.note(
+                "hypothetical",
+                database,
+                query_text,
+                elapsed,
+                detail=dict(
+                    self._slow_detail_for(database, query_text),
+                    batch=len(deletion_sets),
+                    distinct=len(order),
+                ),
+            )
         return [by_candidate[distinct[d]] for d in deletion_sets]
 
     def _destroyed_vector(
@@ -579,15 +722,74 @@ class ServiceEngine:
     # Introspection and lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Request counters plus the shared cache and pool-registry stats."""
+        """Request counters plus the shared cache and pool-registry stats.
+
+        The answer is a **deep-copied snapshot**: mutating it, or the
+        engine serving more requests, never changes a dict already handed
+        out, and nested sections are never seen torn mid-update (pinned
+        by a regression test).
+        """
         with self._lock:
-            counters = dict(self._counters)
+            counters: Dict[str, object] = copy.deepcopy(self._counters)
             counters["databases"] = len(self._databases)
             counters["warm_oracles"] = len(self._oracles)
             counters["columnar"] = self._use_columnar
-        counters["cache"] = provenance_cache.stats()
-        counters["pools"] = pool_registry().stats()
+            sources = dict(self._stats_sources)
+        counters["cache"] = copy.deepcopy(provenance_cache.stats())
+        counters["pools"] = copy.deepcopy(pool_registry().stats())
+        for name, fn in sources.items():
+            try:
+                counters[name] = copy.deepcopy(dict(fn()))
+            except Exception as err:  # a dead source must not kill stats
+                counters[name] = {"error": f"{type(err).__name__}: {err}"}
         return counters
+
+    def add_stats_source(
+        self, name: str, fn: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Attach a live stats section pulled on every :meth:`stats` call.
+
+        The batcher registers itself as ``"batcher"`` so a mid-traffic
+        ``StatsRequest`` sees current queue depth and coalescing counts.
+        """
+        with self._lock:
+            self._stats_sources[name] = fn
+
+    def _stats_response(self, request: StatsRequest) -> StatsResponse:
+        if request.database:
+            self.database(request.database)  # raises ServiceError if unknown
+        slow = self._slow_log
+        return StatsResponse(
+            stats=self.stats(),
+            metrics=self._metrics.snapshot(),
+            text=self._metrics.render_text() if request.format == "text" else "",
+            slow_queries=tuple(slow.entries()) if slow is not None else (),
+        )
+
+    def _health_response(self, request: HealthRequest) -> HealthResponse:
+        with self._lock:
+            if request.database and request.database not in self._databases:
+                return HealthResponse(
+                    status="unknown-database",
+                    databases=tuple(sorted(self._databases)),
+                    warm_oracles=len(self._oracles),
+                    uptime_s=time.time() - self._started,
+                )
+            return HealthResponse(
+                status="closed" if self._closed else "ok",
+                databases=tuple(sorted(self._databases)),
+                warm_oracles=len(self._oracles),
+                uptime_s=time.time() - self._started,
+            )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this engine's instrumentation records to."""
+        return self._metrics
+
+    @property
+    def slow_query_log(self) -> Optional[SlowQueryLog]:
+        return self._slow_log
 
     @property
     def workers(self) -> Optional[int]:

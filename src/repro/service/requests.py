@@ -15,6 +15,11 @@ One dataclass per core operation the engine serves:
 * :class:`DeleteRequest` — a full deletion solve through the dichotomy
   dispatchers (exact by default, ``exact=False`` refuses/avoids the
   exponential algorithms exactly like ``allow_exponential=False``).
+* :class:`StatsRequest` / :class:`HealthRequest` — the observability
+  endpoints: a live metrics/stats snapshot (JSON, optionally with the
+  Prometheus-style text exposition and the slow-query log) and a cheap
+  liveness probe.  Neither names a query; both are served unbatched so
+  they answer mid-traffic without queueing behind a coalesced batch.
 
 Requests name their database by *registry name* (the engine owns a
 named-database registry) and their query by *DSL text* (the engine interns
@@ -53,6 +58,8 @@ __all__ = [
     "HypotheticalRequest",
     "DeleteRequest",
     "ApplyDeltaRequest",
+    "StatsRequest",
+    "HealthRequest",
     "Response",
     "EvaluateResponse",
     "WhyResponse",
@@ -60,6 +67,8 @@ __all__ = [
     "HypotheticalResponse",
     "DeleteResponse",
     "ApplyDeltaResponse",
+    "StatsResponse",
+    "HealthResponse",
     "error_response",
     "encode_request",
     "decode_request",
@@ -191,6 +200,36 @@ class ApplyDeltaRequest:
         object.__setattr__(self, "inserts", _freeze_deletions(self.inserts))
 
 
+@dataclass(frozen=True)
+class StatsRequest:
+    """A live observability snapshot from the serving engine.
+
+    ``database`` is optional ("" = whole engine).  ``format`` selects the
+    payload: ``"json"`` (default) answers the engine stats dict plus the
+    metrics registry snapshot and slow-query entries; ``"text"``
+    additionally includes the Prometheus-style text exposition — the
+    HTTP-free ``/metrics`` equivalent a scraper can lift verbatim.
+    """
+
+    database: str = ""
+    format: str = "json"
+    kind = "stats"
+
+    def __post_init__(self):
+        if self.format not in ("json", "text"):
+            raise ServiceError(
+                f"format must be 'json' or 'text', got {self.format!r}"
+            )
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    """A cheap liveness/readiness probe (no query, no database required)."""
+
+    database: str = ""
+    kind = "health"
+
+
 #: Every request type, keyed by its wire ``kind``.
 REQUEST_KINDS = {
     cls.kind: cls
@@ -201,6 +240,8 @@ REQUEST_KINDS = {
         HypotheticalRequest,
         DeleteRequest,
         ApplyDeltaRequest,
+        StatsRequest,
+        HealthRequest,
     )
 }
 
@@ -272,6 +313,38 @@ class ApplyDeltaResponse(Response):
     kind = "apply_delta"
 
 
+@dataclass(frozen=True)
+class StatsResponse(Response):
+    #: The engine's deep-copied stats snapshot (counters + subsystem dicts).
+    stats: Dict[str, object] = None  # type: ignore[assignment]
+    #: The metrics registry snapshot (counters/gauges/histograms/collected).
+    metrics: Dict[str, object] = None  # type: ignore[assignment]
+    #: Prometheus-style text exposition; empty unless format="text".
+    text: str = ""
+    #: Recent slow-query log entries, most-recent-last.
+    slow_queries: Tuple[Dict[str, object], ...] = ()
+    kind = "stats"
+
+    def __post_init__(self):
+        if self.stats is None:
+            object.__setattr__(self, "stats", {})
+        if self.metrics is None:
+            object.__setattr__(self, "metrics", {})
+        object.__setattr__(self, "slow_queries", tuple(self.slow_queries))
+
+
+@dataclass(frozen=True)
+class HealthResponse(Response):
+    status: str = "ok"
+    databases: Tuple[str, ...] = ()
+    warm_oracles: int = 0
+    uptime_s: float = 0.0
+    kind = "health"
+
+    def __post_init__(self):
+        object.__setattr__(self, "databases", tuple(self.databases))
+
+
 def error_response(message: str) -> Response:
     """The failure envelope every request kind shares."""
     return Response(ok=False, error=message)
@@ -292,6 +365,11 @@ def encode_request(request) -> Dict[str, object]:
         out["inserts"] = [
             [rel, list(row)] for rel, row in sorted(request.inserts, key=repr)
         ]
+        return out
+    if kind == "stats":
+        out["format"] = request.format
+        return out
+    if kind == "health":
         return out
     out["query"] = request.query
     if kind == "why":
@@ -322,6 +400,14 @@ def decode_request(payload: Dict[str, object]):
             f"{sorted(REQUEST_KINDS)}"
         )
     try:
+        # The observability kinds take no query and an optional database.
+        if kind == "stats":
+            return StatsRequest(
+                payload.get("database", ""),
+                format=payload.get("format", "json"),
+            )
+        if kind == "health":
+            return HealthRequest(payload.get("database", ""))
         database = payload["database"]
         if kind == "apply_delta":
             return ApplyDeltaRequest(
@@ -392,6 +478,16 @@ def encode_response(response: Response) -> Dict[str, object]:
         out["patched"] = response.patched
         out["reused"] = response.reused
         out["rebuilt"] = response.rebuilt
+    elif isinstance(response, StatsResponse):
+        out["stats"] = response.stats
+        out["metrics"] = response.metrics
+        out["text"] = response.text
+        out["slow_queries"] = [dict(e) for e in response.slow_queries]
+    elif isinstance(response, HealthResponse):
+        out["status"] = response.status
+        out["databases"] = list(response.databases)
+        out["warm_oracles"] = response.warm_oracles
+        out["uptime_s"] = response.uptime_s
     return out
 
 
@@ -443,5 +539,21 @@ def decode_response(payload: Dict[str, object]) -> Response:
             patched=payload.get("patched", 0),
             reused=payload.get("reused", 0),
             rebuilt=payload.get("rebuilt", 0),
+        )
+    if kind == "stats":
+        return StatsResponse(
+            stats=dict(payload.get("stats", {})),
+            metrics=dict(payload.get("metrics", {})),
+            text=payload.get("text", ""),
+            slow_queries=tuple(
+                dict(e) for e in payload.get("slow_queries", ())
+            ),
+        )
+    if kind == "health":
+        return HealthResponse(
+            status=payload.get("status", "ok"),
+            databases=tuple(payload.get("databases", ())),
+            warm_oracles=payload.get("warm_oracles", 0),
+            uptime_s=payload.get("uptime_s", 0.0),
         )
     raise ServiceError(f"unknown response kind {kind!r}")

@@ -256,15 +256,18 @@ class ServiceServer:
         await self._send(writer, write_lock, request_id, response)
 
     async def _answer(self, request, timeout_s: float) -> Response:
+        metrics = self._engine.metrics
         try:
             future = self._batcher.submit(request, timeout_s=timeout_s)
         except ServiceOverloadError as err:
+            metrics.counter("server.overload").inc()
             return error_response(str(err))
         try:
             return await asyncio.wait_for(
                 asyncio.wrap_future(future), timeout=timeout_s
             )
         except asyncio.TimeoutError:
+            metrics.counter("server.deadline_exceeded").inc()
             return error_response(
                 f"deadline exceeded after {timeout_s:.3f}s "
                 "(DeadlineExceededError)"

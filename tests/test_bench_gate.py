@@ -36,7 +36,7 @@ TRACKED = ("alpha", "nested.beta")
 def test_healthy_baseline_passes(run_all):
     baseline = {"alpha": 4.0, "nested": {"beta": 2.0}}
     fresh = {"alpha": 3.9, "nested": {"beta": 2.2}}
-    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25, ceilings=())
     assert failures == []
     assert any("alpha" in line and "ok" in line for line in lines)
 
@@ -44,7 +44,7 @@ def test_healthy_baseline_passes(run_all):
 def test_regression_fails_by_name(run_all):
     baseline = {"alpha": 4.0, "nested": {"beta": 2.0}}
     fresh = {"alpha": 1.0, "nested": {"beta": 2.0}}
-    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25, ceilings=())
     assert len(failures) == 1
     assert failures[0].startswith("alpha:")
 
@@ -52,7 +52,7 @@ def test_regression_fails_by_name(run_all):
 def test_missing_baseline_key_skips_with_warning(run_all):
     baseline = {"nested": {"beta": 2.0}}
     fresh = {"alpha": 9.0, "nested": {"beta": 2.0}}
-    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25, ceilings=())
     assert failures == []
     assert any("alpha" in line and "skipped" in line for line in lines)
 
@@ -60,7 +60,7 @@ def test_missing_baseline_key_skips_with_warning(run_all):
 def test_zero_baseline_median_skips_with_warning(run_all):
     baseline = {"alpha": 0.0, "nested": {"beta": 2.0}}
     fresh = {"alpha": 0.0, "nested": {"beta": 2.0}}
-    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25, ceilings=())
     assert failures == []
     assert any(
         "alpha" in line and "zero/near-zero" in line for line in lines
@@ -70,14 +70,14 @@ def test_zero_baseline_median_skips_with_warning(run_all):
 def test_near_zero_baseline_median_skips(run_all):
     baseline = {"alpha": 1e-9, "nested": {"beta": 2.0}}
     fresh = {"alpha": 5.0, "nested": {"beta": 2.0}}
-    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25, ceilings=())
     assert failures == []
 
 
 def test_non_numeric_baseline_skips_with_warning(run_all):
     baseline = {"alpha": "fast", "nested": {"beta": True}}
     fresh = {"alpha": 5.0, "nested": {"beta": 2.0}}
-    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25, ceilings=())
     assert failures == []
     assert sum("not a number" in line for line in lines) == 2
 
@@ -85,7 +85,7 @@ def test_non_numeric_baseline_skips_with_warning(run_all):
 def test_missing_fresh_median_fails(run_all):
     baseline = {"alpha": 4.0, "nested": {"beta": 2.0}}
     fresh = {"alpha": 4.0}
-    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25)
+    _lines, failures = run_all.evaluate_gate(baseline, fresh, TRACKED, 0.25, ceilings=())
     assert failures == ["nested.beta: missing from the fresh run"]
 
 
@@ -95,3 +95,66 @@ def test_tracked_medians_include_sharded(run_all):
 
 def test_tracked_medians_include_segmask(run_all):
     assert "segmask.median_speedup" in run_all.TRACKED_MEDIANS
+
+
+CEILINGS = (("obs.overhead_pct", 5.0),)
+
+
+def test_ceiling_under_limit_passes(run_all):
+    baseline = {"obs": {"overhead_pct": 1.0}}
+    fresh = {"obs": {"overhead_pct": 3.5}}
+    lines, failures = run_all.evaluate_gate(
+        baseline, fresh, (), 0.25, ceilings=CEILINGS
+    )
+    assert failures == []
+    assert any("obs.overhead_pct" in line and "ok" in line for line in lines)
+
+
+def test_ceiling_exceeded_fails_by_name(run_all):
+    baseline = {"obs": {"overhead_pct": 1.0}}
+    fresh = {"obs": {"overhead_pct": 6.2}}
+    _lines, failures = run_all.evaluate_gate(
+        baseline, fresh, (), 0.25, ceilings=CEILINGS
+    )
+    assert failures == ["obs.overhead_pct: 6.20 exceeds the 5.00 ceiling"]
+
+
+def test_ceiling_is_absolute_not_baseline_relative(run_all):
+    # A lucky low baseline must not ratchet the bar: 0.1% -> 4.9% is a
+    # large relative jump but still under the absolute ceiling.
+    baseline = {"obs": {"overhead_pct": 0.1}}
+    fresh = {"obs": {"overhead_pct": 4.9}}
+    _lines, failures = run_all.evaluate_gate(
+        baseline, fresh, (), 0.25, ceilings=CEILINGS
+    )
+    assert failures == []
+
+
+def test_ceiling_gates_without_any_baseline(run_all):
+    # A ceiling metric added after the committed baseline still gates.
+    _lines, failures = run_all.evaluate_gate(
+        {}, {"obs": {"overhead_pct": 9.0}}, (), 0.25, ceilings=CEILINGS
+    )
+    assert failures == ["obs.overhead_pct: 9.00 exceeds the 5.00 ceiling"]
+    _lines, ok = run_all.evaluate_gate(
+        {}, {"obs": {"overhead_pct": 2.0}}, (), 0.25, ceilings=CEILINGS
+    )
+    assert ok == []
+
+
+def test_ceiling_missing_fresh_value_fails(run_all):
+    _lines, failures = run_all.evaluate_gate(
+        {}, {}, (), 0.25, ceilings=CEILINGS
+    )
+    assert failures == ["obs.overhead_pct: missing from the fresh run"]
+
+
+def test_ceiling_non_numeric_fresh_value_fails(run_all):
+    _lines, failures = run_all.evaluate_gate(
+        {}, {"obs": {"overhead_pct": "low"}}, (), 0.25, ceilings=CEILINGS
+    )
+    assert failures == ["obs.overhead_pct: fresh value 'low' is not a number"]
+
+
+def test_tracked_ceilings_include_observability(run_all):
+    assert ("observability.overhead_pct", 5.0) in run_all.TRACKED_CEILINGS
